@@ -1,0 +1,166 @@
+(* The benchmark harness.
+
+   Default mode regenerates every table of the paper's evaluation
+   (Tables I-XII, the §4.2 improvement estimates, and the §5
+   experiments) by running the simulator at full call counts, printing
+   each as paper-vs-measured.
+
+   [--quick] uses reduced call counts (same tables, more noise).
+   [--only ID] runs a single experiment (see [--list]).
+   [--microbench] additionally runs Bechamel microbenchmarks of the
+   genuinely computational kernels (checksums, marshalling, header
+   codecs, event queue), measured in real wall-clock time. *)
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let run_experiment ~quick (e : Experiments.Registry.entry) =
+  say "";
+  say "### %s — %s" e.Experiments.Registry.id e.Experiments.Registry.title;
+  let t0 = Unix.gettimeofday () in
+  let tables = e.Experiments.Registry.run ~quick in
+  List.iter (fun t -> print_string (Report.Table.render t)) tables;
+  say "  (computed in %.1fs of wall-clock)" (Unix.gettimeofday () -. t0)
+
+(* {1 Bechamel microbenchmarks of the real computational kernels} *)
+
+let microbench_tests () =
+  let open Bechamel in
+  let packet n =
+    let b = Bytes.create n in
+    for i = 0 to n - 1 do
+      Bytes.set b i (Char.chr ((i * 31) land 0xff))
+    done;
+    b
+  in
+  let p74 = packet 74 and p1514 = packet 1514 in
+  let checksum b =
+    Staged.stage (fun () -> Wire.Checksum.checksum b ~pos:0 ~len:(Bytes.length b))
+  in
+  let proc =
+    Rpc.Idl.proc "bench"
+      [
+        Rpc.Idl.arg "n" Rpc.Idl.T_int;
+        Rpc.Idl.arg ~mode:Rpc.Idl.Var_in "data" (Rpc.Idl.T_var_bytes 1440);
+      ]
+  in
+  let values = [ Rpc.Marshal.V_int 42l; Rpc.Marshal.V_bytes (packet 1400) ] in
+  let encoded =
+    let w = Wire.Bytebuf.Writer.create 2048 in
+    Rpc.Marshal.encode_args w Rpc.Marshal.In_call_packet proc values;
+    Wire.Bytebuf.Writer.contents w
+  in
+  let timing = Hw.Timing.create Hw.Config.default in
+  let ep st ip = { Rpc.Frames.mac = Net.Mac.of_station st; ip = Net.Ipv4.Addr.of_string ip } in
+  let hdr =
+    {
+      Rpc.Proto.ptype = Rpc.Proto.Call;
+      please_ack = false;
+      no_frag_ack = false;
+      secured = false;
+      activity =
+        {
+          Rpc.Proto.Activity.caller_ip = Net.Ipv4.Addr.of_string "16.0.0.1";
+          caller_space = 1;
+          thread = 1;
+        };
+      seq = 1;
+      server_space = 1;
+      interface_id = 7l;
+      proc_idx = 0;
+      frag_idx = 0;
+      frag_count = 1;
+      data_len = 0;
+      checksum = 0;
+    }
+  in
+  let frame =
+    Rpc.Frames.build timing ~src:(ep 1 "16.0.0.1") ~dst:(ep 2 "16.0.0.2") ~hdr
+      ~payload:(packet 1400) ~payload_pos:0 ~payload_len:1400
+  in
+  Test.make_grouped ~name:"kernels"
+    [
+      Test.make ~name:"checksum-74B" (checksum p74);
+      Test.make ~name:"checksum-1514B" (checksum p1514);
+      Test.make ~name:"marshal-encode-1404B"
+        (Staged.stage (fun () ->
+             let w = Wire.Bytebuf.Writer.create 2048 in
+             Rpc.Marshal.encode_args w Rpc.Marshal.In_call_packet proc values));
+      Test.make ~name:"marshal-decode-1404B"
+        (Staged.stage (fun () ->
+             Rpc.Marshal.decode_args
+               (Wire.Bytebuf.Reader.of_bytes encoded)
+               Rpc.Marshal.In_call_packet proc));
+      Test.make ~name:"frame-build-1514B"
+        (Staged.stage (fun () ->
+             Rpc.Frames.build timing ~src:(ep 1 "16.0.0.1") ~dst:(ep 2 "16.0.0.2") ~hdr
+               ~payload:(packet 1400) ~payload_pos:0 ~payload_len:1400));
+      Test.make ~name:"frame-parse-1514B"
+        (Staged.stage (fun () -> Rpc.Frames.parse timing frame));
+      Test.make ~name:"event-heap-64"
+        (Staged.stage (fun () ->
+             let h = Sim.Heap.create ~leq:(fun (a : int) b -> a <= b) in
+             for i = 63 downto 0 do
+               Sim.Heap.add h i
+             done;
+             while not (Sim.Heap.is_empty h) do
+               ignore (Sim.Heap.pop h)
+             done));
+      Test.make ~name:"simulated-null-rpc"
+        (Staged.stage (fun () ->
+             let w = Workload.World.create ~idle_load:false () in
+             ignore (Workload.Driver.measure_single_call w ~proc:Workload.Driver.Null ())));
+    ]
+
+let run_microbench () =
+  let open Bechamel in
+  say "";
+  say "### microbenchmarks (real wall-clock, Bechamel OLS ns/iter)";
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] (microbench_tests ()) in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> say "  %-32s %12.1f ns/iter" name est
+      | _ -> say "  %-32s (no estimate)" name)
+    (List.sort compare rows)
+
+let () =
+  let quick = ref false in
+  let micro = ref false in
+  let only = ref [] in
+  let list_only = ref false in
+  let args =
+    [
+      ("--quick", Arg.Set quick, "reduced call counts");
+      ("--microbench", Arg.Set micro, "also run Bechamel kernel microbenchmarks");
+      ("--only", Arg.String (fun s -> only := s :: !only), "ID run a single experiment");
+      ("--list", Arg.Set list_only, "list experiment ids");
+    ]
+  in
+  Arg.parse args (fun _ -> ()) "firefly-rpc benchmark harness";
+  if !list_only then
+    List.iter
+      (fun e -> say "%-14s %s" e.Experiments.Registry.id e.Experiments.Registry.title)
+      Experiments.Registry.all
+  else begin
+    say "Firefly RPC reproduction — regenerating the paper's tables%s"
+      (if !quick then " (quick mode)" else "");
+    let entries =
+      match !only with
+      | [] -> Experiments.Registry.all
+      | ids ->
+        List.filter_map
+          (fun id ->
+            match Experiments.Registry.find id with
+            | Some e -> Some e
+            | None ->
+              say "unknown experiment %S (try --list)" id;
+              None)
+          (List.rev ids)
+    in
+    List.iter (run_experiment ~quick:!quick) entries;
+    if !micro then run_microbench ()
+  end

@@ -1,0 +1,350 @@
+(* The firefly CLI: explore the simulated Firefly RPC system.
+
+     firefly list                        list reproducible experiments
+     firefly repro [ID...] [--quick]     regenerate paper tables
+     firefly call  [options]             run an ad-hoc workload
+     firefly trace [--proc P]            per-step breakdown of one call
+
+   `firefly call` exposes the configuration knobs (§4.2's improvements,
+   processor counts, loss injection...) so any what-if can be run from
+   the shell. *)
+
+open Cmdliner
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* {1 Shared configuration flags} *)
+
+type cfg_flags = {
+  cpus : int;
+  caller_cpus : int option;
+  server_cpus : int option;
+  mbps : float;
+  cpu_speedup : float;
+  no_checksums : bool;
+  cut_through : bool;
+  busy_wait : bool;
+  hand_stubs : bool;
+  hand_runtime : bool;
+  raw_ethernet : bool;
+  redesigned_header : bool;
+  streaming : bool;
+  no_uniproc_fix : bool;
+  interrupt_code : string;
+  seed : int;
+}
+
+let cfg_term =
+  let open Term in
+  let docs = "CONFIGURATION" in
+  let flag name doc = Arg.(value & flag & info [ name ] ~docs ~doc) in
+  let make cpus caller_cpus server_cpus mbps cpu_speedup no_checksums cut_through busy_wait
+      hand_stubs hand_runtime raw_ethernet redesigned_header streaming no_uniproc_fix
+      interrupt_code seed =
+    {
+      cpus;
+      caller_cpus;
+      server_cpus;
+      mbps;
+      cpu_speedup;
+      no_checksums;
+      cut_through;
+      busy_wait;
+      hand_stubs;
+      hand_runtime;
+      raw_ethernet;
+      redesigned_header;
+      streaming;
+      no_uniproc_fix;
+      interrupt_code;
+      seed;
+    }
+  in
+  const make
+  $ Arg.(value & opt int 5 & info [ "cpus" ] ~docs ~doc:"Processors per machine (both).")
+  $ Arg.(value & opt (some int) None & info [ "caller-cpus" ] ~docs ~doc:"Caller processors.")
+  $ Arg.(value & opt (some int) None & info [ "server-cpus" ] ~docs ~doc:"Server processors.")
+  $ Arg.(value & opt float 10. & info [ "mbps" ] ~docs ~doc:"Ethernet bit rate (Mbit/s).")
+  $ Arg.(value & opt float 1. & info [ "cpu-speedup" ] ~docs ~doc:"CPU speed vs MicroVAX II.")
+  $ flag "no-checksums" "Omit software UDP checksums (paper 4.2.4)."
+  $ flag "cut-through" "Controller overlaps QBus and Ethernet transfers (4.2.1)."
+  $ flag "busy-wait" "Threads spin for packets instead of blocking (4.2.7)."
+  $ flag "hand-stubs" "RPC Exerciser hand-produced stubs (section 5)."
+  $ flag "hand-runtime" "RPC runtime recoded in machine code (4.2.8)."
+  $ flag "raw-ethernet" "RPC directly on Ethernet datagrams, no IP/UDP (4.2.6)."
+  $ flag "redesigned-header" "Easier-to-parse RPC header (4.2.5)."
+  $ flag "streaming" "Blast multi-packet results without per-fragment acks."
+  $ flag "no-uniproc-fix" "Leave the section-5 uniprocessor scheduling bug in place."
+  $ Arg.(
+      value
+      & opt (enum [ ("assembly", "assembly"); ("modula2", "modula2"); ("original", "original") ])
+          "assembly"
+      & info [ "interrupt-code" ] ~docs ~doc:"Interrupt routine version (Table IX).")
+  $ Arg.(value & opt int 42 & info [ "seed" ] ~docs ~doc:"Simulation seed.")
+
+let build_config flags ~cpus =
+  {
+    Hw.Config.default with
+    Hw.Config.cpus;
+    cpu_speedup = flags.cpu_speedup;
+    ethernet_mbps = flags.mbps;
+    udp_checksums = not flags.no_checksums;
+    cut_through = flags.cut_through;
+    busy_wait = flags.busy_wait;
+    hand_stubs = flags.hand_stubs;
+    hand_runtime = flags.hand_runtime;
+    raw_ethernet = flags.raw_ethernet;
+    redesigned_header = flags.redesigned_header;
+    streaming_results = flags.streaming;
+    uniproc_fix = not flags.no_uniproc_fix;
+    interrupt_code =
+      (match flags.interrupt_code with
+      | "modula2" -> Hw.Config.Final_modula2
+      | "original" -> Hw.Config.Original_modula2
+      | _ -> Hw.Config.Assembly);
+  }
+
+let configs flags =
+  let caller = build_config flags ~cpus:(Option.value flags.caller_cpus ~default:flags.cpus) in
+  let server = build_config flags ~cpus:(Option.value flags.server_cpus ~default:flags.cpus) in
+  (caller, server)
+
+(* {1 firefly list} *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e -> say "%-14s %s" e.Experiments.Registry.id e.Experiments.Registry.title)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the reproducible experiments.") Term.(const run $ const ())
+
+(* {1 firefly repro} *)
+
+let repro_cmd =
+  let run quick ids =
+    let entries =
+      match ids with
+      | [] -> Experiments.Registry.all
+      | ids ->
+        List.map
+          (fun id ->
+            match Experiments.Registry.find id with
+            | Some e -> e
+            | None -> failwith (Printf.sprintf "unknown experiment %S (try `firefly list`)" id))
+          ids
+    in
+    List.iter
+      (fun e ->
+        say "";
+        say "### %s — %s" e.Experiments.Registry.id e.Experiments.Registry.title;
+        List.iter (fun t -> print_string (Report.Table.render t)) (e.Experiments.Registry.run ~quick))
+      entries
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced call counts.") in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
+  Cmd.v
+    (Cmd.info "repro" ~doc:"Regenerate the paper's tables (all, or the given IDs).")
+    Term.(const run $ quick $ ids)
+
+(* {1 firefly call} *)
+
+let proc_conv =
+  Arg.enum
+    [
+      ("null", Workload.Driver.Null);
+      ("maxresult", Workload.Driver.Max_result);
+      ("maxarg", Workload.Driver.Max_arg);
+    ]
+
+let call_cmd =
+  let run flags proc threads calls bulk loss transport =
+    let caller_config, server_config = configs flags in
+    let proc =
+      match bulk with
+      | Some n -> Workload.Driver.Get_data n
+      | None -> proc
+    in
+    let w =
+      Workload.World.create ~caller_config ~server_config ~seed:flags.seed ()
+    in
+    if loss > 0. then begin
+      let rng = Sim.Engine.rng w.Workload.World.eng in
+      Hw.Ether_link.set_fault_injector w.Workload.World.link
+        (Some
+           (fun _ ->
+             if Sim.Rng.bool rng ~p:loss then Hw.Ether_link.Drop else Hw.Ether_link.Deliver))
+    end;
+    let options =
+      if loss > 0. then
+        Some { Rpc.Runtime.retransmit_after = Sim.Time.ms 50; max_retries = 100 }
+      else None
+    in
+    let o = Workload.Driver.run w ?options ~transport ~threads ~calls ~proc () in
+    say "calls:            %d x %s (%d threads)" o.Workload.Driver.calls
+      (match proc with
+      | Workload.Driver.Null -> "Null()"
+      | Workload.Driver.Max_result -> "MaxResult(b)"
+      | Workload.Driver.Max_arg -> "MaxArg(b)"
+      | Workload.Driver.Get_data n -> Printf.sprintf "GetData(%d)" n)
+      o.Workload.Driver.threads;
+    say "elapsed:          %s of simulated time" (Sim.Time.span_to_string o.Workload.Driver.elapsed);
+    say "rate:             %.0f RPC/s" o.Workload.Driver.rpcs_per_sec;
+    say "mean latency:     %s" (Sim.Time.span_to_string o.Workload.Driver.mean_latency);
+    say "throughput:       %.2f Mbit/s of payload" o.Workload.Driver.megabits_per_sec;
+    say "CPUs busy:        caller %.2f, server %.2f" o.Workload.Driver.caller_busy_cpus
+      o.Workload.Driver.server_busy_cpus;
+    say "retransmissions:  %d" o.Workload.Driver.retransmissions;
+    if Array.length o.Workload.Driver.latencies > 0 then begin
+      let p q = Sim.Time.span_to_string (Workload.Driver.percentile o q) in
+      say "latency:          p50 %s   p90 %s   p99 %s   max %s" (p 0.50) (p 0.90) (p 0.99)
+        (p 1.0)
+    end
+  in
+  let proc =
+    Arg.(value & opt proc_conv Workload.Driver.Null & info [ "proc" ] ~doc:"Procedure to call.")
+  in
+  let threads = Arg.(value & opt int 1 & info [ "threads" ] ~doc:"Caller threads.") in
+  let calls = Arg.(value & opt int 1000 & info [ "calls" ] ~doc:"Total calls.") in
+  let bulk =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bulk" ] ~docv:"BYTES" ~doc:"Call GetData(BYTES) instead (multi-packet results).")
+  in
+  let loss =
+    Arg.(value & opt float 0. & info [ "loss" ] ~doc:"Packet loss probability on the wire.")
+  in
+  let transport =
+    Arg.(
+      value
+      & opt (enum [ ("auto", `Auto); ("udp", `Udp); ("decnet", `Decnet) ]) `Auto
+      & info [ "transport" ] ~doc:"Bind-time transport: auto, udp or decnet.")
+  in
+  Cmd.v
+    (Cmd.info "call" ~doc:"Run an ad-hoc RPC workload under a chosen configuration.")
+    Term.(const run $ cfg_term $ proc $ threads $ calls $ bulk $ loss $ transport)
+
+(* {1 firefly trace} *)
+
+let trace_cmd =
+  let run flags proc =
+    let caller_config, server_config = configs flags in
+    let w =
+      Workload.World.create ~caller_config ~server_config ~seed:flags.seed ~idle_load:false ()
+    in
+    let tr = Sim.Engine.trace w.Workload.World.eng in
+    let binding = Workload.World.test_binding w () in
+    let gate = Sim.Gate.create w.Workload.World.eng in
+    let latency = ref Sim.Time.zero_span in
+    Nub.Machine.spawn_thread w.Workload.World.caller ~name:"trace" (fun () ->
+        Hw.Cpu_set.with_cpu (Nub.Machine.cpus w.Workload.World.caller) (fun ctx ->
+            let client = Rpc.Runtime.new_client w.Workload.World.caller_rt in
+            let idx, args =
+              match proc with
+              | Workload.Driver.Null -> (Workload.Test_interface.null_idx, [])
+              | Workload.Driver.Max_result ->
+                (Workload.Test_interface.max_result_idx, [ Rpc.Marshal.V_bytes Bytes.empty ])
+              | Workload.Driver.Max_arg ->
+                ( Workload.Test_interface.max_arg_idx,
+                  [ Rpc.Marshal.V_bytes (Workload.Test_interface.pattern 1440) ] )
+              | Workload.Driver.Get_data n ->
+                ( Workload.Test_interface.get_data_idx,
+                  [ Rpc.Marshal.V_int (Int32.of_int n); Rpc.Marshal.V_bytes Bytes.empty ] )
+            in
+            let once () = ignore (Rpc.Runtime.call binding client ctx ~proc_idx:idx ~args) in
+            once ();
+            once ();
+            Sim.Trace.set_enabled tr true;
+            let t0 = Sim.Engine.now w.Workload.World.eng in
+            once ();
+            latency := Sim.Time.diff (Sim.Engine.now w.Workload.World.eng) t0;
+            Sim.Trace.set_enabled tr false);
+        Sim.Gate.open_ gate);
+    Workload.World.run_until_quiet w gate;
+    say "one warmed-up call: %s" (Sim.Time.span_to_string !latency);
+    say "";
+    say "%-10s %-9s %-38s %10s" "time(us)" "site" "step" "cost(us)";
+    let spans =
+      List.sort
+        (fun a b -> Sim.Time.compare a.Sim.Trace.start_at b.Sim.Trace.start_at)
+        (Sim.Trace.spans tr)
+    in
+    let origin =
+      match spans with
+      | [] -> Sim.Time.zero
+      | s :: _ -> s.Sim.Trace.start_at
+    in
+    List.iter
+      (fun s ->
+        say "%-10.0f %-9s %-38s %10.1f"
+          (Sim.Time.to_us (Sim.Time.diff s.Sim.Trace.start_at origin))
+          s.Sim.Trace.site s.Sim.Trace.label
+          (Sim.Time.to_us (Sim.Trace.duration s)))
+      spans
+  in
+  let proc =
+    Arg.(value & opt proc_conv Workload.Driver.Null & info [ "proc" ] ~doc:"Procedure to trace.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print the per-step time breakdown of one call (Tables VI/VII).")
+    Term.(const run $ cfg_term $ proc)
+
+(* {1 firefly profile} *)
+
+let profile_cmd =
+  let run flags proc threads calls =
+    let caller_config, server_config = configs flags in
+    let w =
+      Workload.World.create ~caller_config ~server_config ~seed:flags.seed ~idle_load:false ()
+    in
+    let tr = Sim.Engine.trace w.Workload.World.eng in
+    Sim.Trace.set_enabled tr true;
+    let o = Workload.Driver.run w ~threads ~calls ~proc () in
+    Sim.Trace.set_enabled tr false;
+    let spans = Sim.Trace.spans tr in
+    let agg : (string * string, int ref * Sim.Time.span ref) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun s ->
+        let key = (s.Sim.Trace.site, s.Sim.Trace.label) in
+        let n, total =
+          match Hashtbl.find_opt agg key with
+          | Some v -> v
+          | None ->
+            let v = (ref 0, ref Sim.Time.zero_span) in
+            Hashtbl.add agg key v;
+            v
+        in
+        incr n;
+        total := Sim.Time.span_add !total (Sim.Trace.duration s))
+      spans;
+    let rows = Hashtbl.fold (fun (site, label) (n, total) acc -> (site, label, !n, !total) :: acc) agg [] in
+    let rows = List.sort (fun (_, _, _, a) (_, _, _, b) -> Sim.Time.span_compare b a) rows in
+    say "%d calls (%d threads), %.0f RPC/s — CPU/bus time by step:" o.Workload.Driver.calls
+      threads o.Workload.Driver.rpcs_per_sec;
+    say "";
+    say "%-9s %-38s %8s %12s %10s" "site" "step" "count" "total(ms)" "us/call";
+    List.iter
+      (fun (site, label, n, total) ->
+        say "%-9s %-38s %8d %12.2f %10.1f" site label n (Sim.Time.to_ms total)
+          (Sim.Time.to_us total /. float_of_int o.Workload.Driver.calls))
+      rows
+  in
+  let proc =
+    Arg.(value & opt proc_conv Workload.Driver.Null & info [ "proc" ] ~doc:"Procedure to profile.")
+  in
+  let threads = Arg.(value & opt int 1 & info [ "threads" ] ~doc:"Caller threads.") in
+  let calls = Arg.(value & opt int 50 & info [ "calls" ] ~doc:"Calls to aggregate over.") in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Aggregate CPU/bus time per fast-path step over a workload (a Table VI/VII view under load).")
+    Term.(const run $ cfg_term $ proc $ threads $ calls)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "firefly" ~version:"1.0.0"
+             ~doc:"A simulated reproduction of 'Performance of Firefly RPC' (SOSP 1989).")
+          [ list_cmd; repro_cmd; call_cmd; trace_cmd; profile_cmd ]))

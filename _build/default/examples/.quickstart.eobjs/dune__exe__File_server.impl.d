@@ -1,0 +1,1 @@
+examples/file_server.ml: Buffer Bytes Hashtbl Hw Int32 Net Nub Printf Rpc Sim Workload

@@ -1,0 +1,1 @@
+examples/local_os_calls.ml: Hashtbl Hw Net Nub Printf Rpc Sim

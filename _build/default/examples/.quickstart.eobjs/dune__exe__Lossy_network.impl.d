@@ -1,0 +1,1 @@
+examples/lossy_network.ml: Bytes Hw Nub Printf Rpc Sim Workload

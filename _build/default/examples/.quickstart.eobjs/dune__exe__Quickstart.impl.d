@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Char Hw Net Nub Printf Rpc Sim

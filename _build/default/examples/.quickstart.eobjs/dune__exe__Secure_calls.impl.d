@@ -1,0 +1,1 @@
+examples/secure_calls.ml: Bytes Hashtbl Hw Int32 Nub Option Printf Rpc Sim Workload

@@ -1,0 +1,1 @@
+examples/wan_rpc.ml: Hw Int32 Net Nub Printf Rpc Sim

@@ -1,0 +1,1 @@
+lib/core/binder.ml: Decnet Frames Hashtbl Idl Nub Printf Rpc_error Runtime

@@ -1,0 +1,1 @@
+lib/core/binder.mli: Frames Idl Nub Runtime Secure

@@ -1,0 +1,1 @@
+lib/core/decnet.ml: Buffer Bytes Fun Hashtbl Hw List Net Node Nub Queue Rpc_error Sim Wire

@@ -1,0 +1,1 @@
+lib/core/decnet.mli: Hw Net Node Sim Stdlib

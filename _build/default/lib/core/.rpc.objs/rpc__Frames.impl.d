@@ -1,0 +1,1 @@
+lib/core/frames.ml: Bytes Hw Net Printf Proto Wire

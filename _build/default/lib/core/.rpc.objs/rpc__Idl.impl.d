@@ -1,0 +1,1 @@
+lib/core/idl.ml: Array Char Format Hashtbl Int32 List String

@@ -1,0 +1,1 @@
+lib/core/marshal.ml: Bool Bytes Format Hw Idl Int Int32 Int64 List Option Printf Rpc_error Sim String Wire

@@ -1,0 +1,1 @@
+lib/core/marshal.mli: Format Hw Idl Sim Stdlib Wire

@@ -1,0 +1,1 @@
+lib/core/node.ml: Bytes Format Frames Hashtbl Hw Net Nub Printf Proto Queue Sim

@@ -1,0 +1,1 @@
+lib/core/node.mli: Frames Hw Nub Proto Sim Stdlib

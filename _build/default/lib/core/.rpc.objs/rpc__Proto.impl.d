@@ -1,0 +1,1 @@
+lib/core/proto.ml: Format Hashtbl Int32 Net Printf Wire

@@ -1,0 +1,1 @@
+lib/core/rpc_error.mli:

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Buffer Bytes Decnet Frames Fun Hashtbl Hw Idl Int32 List Marshal Net Node Nub Option Printexc Printf Proto Queue Result Rpc_error Secure Sim Wire

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Decnet Frames Hw Idl Marshal Net Node Nub Proto Secure Sim

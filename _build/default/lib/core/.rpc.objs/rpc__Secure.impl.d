@@ -1,0 +1,1 @@
+lib/core/secure.ml: Bytes Char Hw Int64 Sim String

@@ -1,0 +1,1 @@
+lib/core/typed.ml: Array Idl Int32 List Marshal Printf Rpc_error Runtime String

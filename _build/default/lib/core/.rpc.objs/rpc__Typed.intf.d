@@ -1,0 +1,1 @@
+lib/core/typed.mli: Hw Idl Runtime Stdlib

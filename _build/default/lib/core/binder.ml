@@ -1,0 +1,57 @@
+type export_entry = { ee_runtime : Runtime.t; ee_intf : Idl.interface }
+
+type t = {
+  table : (string * int, export_entry) Hashtbl.t;
+  resolve : caller:Nub.Machine.t -> server:Nub.Machine.t -> Frames.endpoint option;
+}
+
+let create ?(resolve = fun ~caller:_ ~server:_ -> None) () =
+  { table = Hashtbl.create 16; resolve }
+
+let export ?auth t runtime intf ~impls ~workers =
+  let key = (intf.Idl.intf_name, intf.Idl.intf_version) in
+  if Hashtbl.mem t.table key then
+    invalid_arg
+      (Printf.sprintf "Binder.export: %s v%d already exported" intf.Idl.intf_name
+         intf.Idl.intf_version);
+  Runtime.export ?auth runtime intf ~impls ~workers;
+  Hashtbl.replace t.table key { ee_runtime = runtime; ee_intf = intf }
+
+let import t runtime ~name ~version ?options ?auth ?(transport = `Auto) () =
+  match Hashtbl.find_opt t.table (name, version) with
+  | None ->
+    Rpc_error.fail (Rpc_error.Unbound_interface (Printf.sprintf "%s v%d" name version))
+  | Some ee ->
+    let options =
+      match options with
+      | Some o -> o
+      | None -> Runtime.default_options runtime
+    in
+    let same_machine = Runtime.machine runtime == Runtime.machine ee.ee_runtime in
+    if same_machine then
+      Runtime.bind_local runtime ~server:ee.ee_runtime ee.ee_intf ~options
+    else begin
+      let server_machine = Runtime.machine ee.ee_runtime in
+      match transport with
+      | `Decnet ->
+        (* Make sure the exporter is listening, then bind a session. *)
+        Runtime.decnet_listen ee.ee_runtime (Decnet.endpoint (Runtime.node ee.ee_runtime));
+        Runtime.bind_decnet runtime
+          ~ep:(Decnet.endpoint (Runtime.node runtime))
+          ~peer:(Nub.Machine.mac server_machine)
+          ~server_space:(Runtime.space ee.ee_runtime)
+          ee.ee_intf
+      | `Auto | `Udp ->
+        let direct =
+          { Frames.mac = Nub.Machine.mac server_machine; ip = Nub.Machine.ip server_machine }
+        in
+        let dst =
+          match t.resolve ~caller:(Runtime.machine runtime) ~server:server_machine with
+          | Some next_hop -> next_hop
+          | None -> direct
+        in
+        Runtime.bind_ether ?auth runtime ~dst ~server_space:(Runtime.space ee.ee_runtime)
+          ee.ee_intf ~options
+    end
+
+let exporters t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table []

@@ -1,0 +1,54 @@
+(** The name service: exporters register interfaces, importers obtain
+    bindings.
+
+    Binding is where the transport is chosen (§3.1): importing an
+    interface exported from the same machine yields a shared-memory
+    binding; a remote exporter yields the packet-exchange protocol over
+    IP/UDP/Ethernet.  The binder itself is a zero-cost oracle — the
+    paper measures calls on established bindings, not binding time. *)
+
+type t
+
+val create :
+  ?resolve:(caller:Nub.Machine.t -> server:Nub.Machine.t -> Frames.endpoint option) -> unit -> t
+(** [resolve] supplies the next-hop endpoint for inter-machine bindings
+    — e.g. the MAC of an IP gateway when caller and server sit on
+    different Ethernet segments ([None] = deliver directly, the default
+    single-segment behaviour).  The server's IP always remains the
+    packet's IP destination; only the link-layer next hop changes. *)
+
+val export :
+  ?auth:Secure.key ->
+  t ->
+  Runtime.t ->
+  Idl.interface ->
+  impls:Runtime.impl array ->
+  workers:int ->
+  unit
+(** Installs the interface in the runtime (starting its workers) and
+    records it for importers.  With [auth], remote callers must present
+    the key at import time.
+    @raise Invalid_argument if (name, version) is already exported. *)
+
+val import :
+  t ->
+  Runtime.t ->
+  name:string ->
+  version:int ->
+  ?options:Runtime.call_options ->
+  ?auth:Secure.key ->
+  ?transport:[ `Auto | `Udp | `Decnet ] ->
+  unit ->
+  Runtime.binding
+(** @raise Rpc_error.Rpc ([Unbound_interface]) if nobody exports it.
+    Key distribution is out of band: the binder does not check [auth];
+    a missing or wrong key surfaces at call time.
+
+    [transport] is the §3.1 bind-time choice.  [`Auto] (default) picks
+    shared memory for a same-machine exporter and the custom
+    IP/UDP/Ethernet protocol otherwise; [`Udp] forces the custom
+    protocol; [`Decnet] binds over a DECNet connection (same-machine
+    imports still use shared memory, and [auth] is unsupported —
+    DECNet calls present no key). *)
+
+val exporters : t -> (string * int) list

@@ -1,0 +1,122 @@
+module W = Wire.Bytebuf.Writer
+module R = Wire.Bytebuf.Reader
+module Timing = Hw.Timing
+
+type endpoint = { mac : Net.Mac.t; ip : Net.Ipv4.Addr.t }
+
+let rpc_udp_port = 530
+
+let raw_mode timing = (Timing.config timing).Hw.Config.raw_ethernet
+let checksums_on timing = (Timing.config timing).Hw.Config.udp_checksums
+
+let frame_size timing ~payload_len = Timing.frame_overhead_bytes timing + payload_len
+
+type parsed = { p_src : endpoint; p_hdr : Proto.header; p_payload : Bytes.t }
+
+let build timing ~src ~dst ~hdr ~payload ~payload_pos ~payload_len =
+  let total = frame_size timing ~payload_len in
+  if total > Net.Ethernet.max_frame_size then
+    invalid_arg (Printf.sprintf "Frames.build: %d exceeds maximum frame" total);
+  let w = W.create total in
+  if raw_mode timing then begin
+    Net.Ethernet.encode w
+      { Net.Ethernet.dst = dst.mac; src = src.mac; ethertype = Net.Ethernet.ethertype_firefly_rpc };
+    let rpc_start = W.length w in
+    Proto.encode w { hdr with Proto.data_len = payload_len; checksum = 0 };
+    W.sub w payload ~pos:payload_pos ~len:payload_len;
+    if checksums_on timing then begin
+      (* End-to-end checksum over RPC header + payload, stored in the
+         last header field (offset 30 within the RPC header). *)
+      let cks =
+        Wire.Checksum.checksum (W.unsafe_buffer w)
+          ~pos:(W.absolute_pos w rpc_start)
+          ~len:(Proto.size + payload_len)
+      in
+      W.patch_u16 w ~pos:(rpc_start + Proto.size - 2) (if cks = 0 then 0xffff else cks)
+    end
+  end
+  else begin
+    Net.Ethernet.encode w
+      { Net.Ethernet.dst = dst.mac; src = src.mac; ethertype = Net.Ethernet.ethertype_ipv4 };
+    let udp_len = Net.Udp.header_size + Proto.size + payload_len in
+    Net.Ipv4.encode w
+      {
+        Net.Ipv4.src = src.ip;
+        dst = dst.ip;
+        protocol = Net.Ipv4.protocol_udp;
+        ttl = 30;
+        ident = 0;
+        payload_len = udp_len;
+      };
+    Net.Udp.encode w ~src:src.ip ~dst:dst.ip ~src_port:rpc_udp_port ~dst_port:rpc_udp_port
+      ~checksum:(checksums_on timing)
+      ~payload:(fun w ->
+        Proto.encode w { hdr with Proto.data_len = payload_len; checksum = 0 };
+        W.sub w payload ~pos:payload_pos ~len:payload_len)
+      ()
+  end;
+  W.contents w
+
+let parse_rpc_and_payload r =
+  match Proto.decode r with
+  | Error e -> Error e
+  | Ok hdr ->
+    if R.remaining r < hdr.Proto.data_len then Error "rpc: payload shorter than data_len"
+    else Ok (hdr, R.bytes r hdr.Proto.data_len)
+
+let parse timing frame =
+  let r = R.of_bytes frame in
+  match Net.Ethernet.decode r with
+  | Error e -> Error e
+  | Ok eth ->
+    if raw_mode timing then begin
+      if eth.Net.Ethernet.ethertype <> Net.Ethernet.ethertype_firefly_rpc then
+        Error "frame: unexpected ethertype"
+      else begin
+        (* Verify the embedded end-to-end checksum over header+payload:
+           with the field itself included, a valid region sums to
+           all-ones. *)
+        let rpc_start = Net.Ethernet.header_size in
+        let rpc_len = Bytes.length frame - rpc_start in
+        if
+          checksums_on timing
+          && not
+               ((* only verify if the sender set the field *)
+                Bytes.get_uint16_be frame (rpc_start + Proto.size - 2) = 0
+               || Wire.Checksum.verify frame ~pos:rpc_start ~len:rpc_len)
+        then Error "rpc: bad end-to-end checksum"
+        else
+          match parse_rpc_and_payload (R.of_bytes ~pos:rpc_start frame) with
+          | Error e -> Error e
+          | Ok (hdr, payload) ->
+            Ok
+              {
+                p_src =
+                  { mac = eth.Net.Ethernet.src; ip = hdr.Proto.activity.Proto.Activity.caller_ip };
+                p_hdr = hdr;
+                p_payload = payload;
+              }
+      end
+    end
+    else if eth.Net.Ethernet.ethertype <> Net.Ethernet.ethertype_ipv4 then
+      Error "frame: unexpected ethertype"
+    else
+      match Net.Ipv4.decode r with
+      | Error e -> Error e
+      | Ok ip -> (
+        if ip.Net.Ipv4.protocol <> Net.Ipv4.protocol_udp then Error "frame: not UDP"
+        else
+          match Net.Udp.decode r ~src:ip.Net.Ipv4.src ~dst:ip.Net.Ipv4.dst with
+          | Error e -> Error e
+          | Ok (udp, datagram) ->
+            if udp.Net.Udp.dst_port <> rpc_udp_port then Error "frame: not the RPC port"
+            else
+              match parse_rpc_and_payload (R.of_bytes datagram) with
+              | Error e -> Error e
+              | Ok (hdr, payload) ->
+                Ok
+                  {
+                    p_src = { mac = eth.Net.Ethernet.src; ip = ip.Net.Ipv4.src };
+                    p_hdr = hdr;
+                    p_payload = payload;
+                  })

@@ -1,0 +1,133 @@
+module W = Wire.Bytebuf.Writer
+module R = Wire.Bytebuf.Reader
+
+module Activity = struct
+  type t = { caller_ip : Net.Ipv4.Addr.t; caller_space : int; thread : int }
+
+  let equal a b =
+    Net.Ipv4.Addr.equal a.caller_ip b.caller_ip
+    && a.caller_space = b.caller_space && a.thread = b.thread
+
+  let hash t = Hashtbl.hash (Net.Ipv4.Addr.to_int32 t.caller_ip, t.caller_space, t.thread)
+
+  let pp fmt t =
+    Format.fprintf fmt "%a/%d.%d" Net.Ipv4.Addr.pp t.caller_ip t.caller_space t.thread
+end
+
+type ptype = Call | Result | Ack | Busy | Error_reply
+
+type header = {
+  ptype : ptype;
+  please_ack : bool;
+  no_frag_ack : bool;
+  secured : bool;
+  activity : Activity.t;
+  seq : int;
+  server_space : int;
+  interface_id : int32;
+  proc_idx : int;
+  frag_idx : int;
+  frag_count : int;
+  data_len : int;
+  checksum : int;
+}
+
+let size = 32
+let magic = 0x52
+let version = 1
+
+let ptype_code = function
+  | Call -> 1
+  | Result -> 2
+  | Ack -> 3
+  | Busy -> 4
+  | Error_reply -> 5
+
+let ptype_of_code = function
+  | 1 -> Some Call
+  | 2 -> Some Result
+  | 3 -> Some Ack
+  | 4 -> Some Busy
+  | 5 -> Some Error_reply
+  | _ -> None
+
+let flag_please_ack = 0x01
+let flag_no_frag_ack = 0x02
+let flag_secured = 0x04
+
+let encode w h =
+  W.u8 w magic;
+  W.u8 w version;
+  W.u8 w (ptype_code h.ptype);
+  W.u8 w
+    ((if h.please_ack then flag_please_ack else 0)
+    lor (if h.no_frag_ack then flag_no_frag_ack else 0)
+    lor if h.secured then flag_secured else 0);
+  W.u32 w (Net.Ipv4.Addr.to_int32 h.activity.Activity.caller_ip);
+  W.u16 w h.activity.Activity.caller_space;
+  W.u16 w h.activity.Activity.thread;
+  W.u32 w (Int32.of_int h.seq);
+  W.u16 w h.server_space;
+  W.u32 w h.interface_id;
+  W.u16 w h.proc_idx;
+  W.u16 w h.frag_idx;
+  W.u16 w h.frag_count;
+  W.u16 w h.data_len;
+  W.u16 w h.checksum
+
+let decode r =
+  if R.remaining r < size then Error "rpc: truncated header"
+  else begin
+    let m = R.u8 r in
+    let v = R.u8 r in
+    let pt = R.u8 r in
+    let flags = R.u8 r in
+    let caller_ip = Net.Ipv4.Addr.of_int32 (R.u32 r) in
+    let caller_space = R.u16 r in
+    let thread = R.u16 r in
+    let seq = Int32.to_int (R.u32 r) land 0xffffffff in
+    let server_space = R.u16 r in
+    let interface_id = R.u32 r in
+    let proc_idx = R.u16 r in
+    let frag_idx = R.u16 r in
+    let frag_count = R.u16 r in
+    let data_len = R.u16 r in
+    let checksum = R.u16 r in
+    if m <> magic then Error "rpc: bad magic"
+    else if v <> version then Error "rpc: bad version"
+    else
+      match ptype_of_code pt with
+      | None -> Error (Printf.sprintf "rpc: unknown packet type %d" pt)
+      | Some ptype ->
+        if frag_count = 0 || frag_idx >= frag_count then Error "rpc: bad fragment numbering"
+        else
+          Ok
+            {
+              ptype;
+              please_ack = flags land flag_please_ack <> 0;
+              no_frag_ack = flags land flag_no_frag_ack <> 0;
+              secured = flags land flag_secured <> 0;
+              activity = { Activity.caller_ip; caller_space; thread };
+              seq;
+              server_space;
+              interface_id;
+              proc_idx;
+              frag_idx;
+              frag_count;
+              data_len;
+              checksum;
+            }
+  end
+
+let pp fmt h =
+  let pt =
+    match h.ptype with
+    | Call -> "call"
+    | Result -> "result"
+    | Ack -> "ack"
+    | Busy -> "busy"
+    | Error_reply -> "error"
+  in
+  Format.fprintf fmt "%s %a#%d if=%ld proc=%d frag=%d/%d len=%d%s" pt Activity.pp h.activity
+    h.seq h.interface_id h.proc_idx h.frag_idx h.frag_count h.data_len
+    (if h.please_ack then " please-ack" else "")

@@ -1,0 +1,22 @@
+type t =
+  | Call_failed of string
+  | Unbound_interface of string
+  | Bad_procedure of int
+  | Marshal_failure of string
+  | Protocol_violation of string
+
+exception Rpc of t
+
+let to_string = function
+  | Call_failed s -> "call failed: " ^ s
+  | Unbound_interface s -> "unbound interface: " ^ s
+  | Bad_procedure i -> Printf.sprintf "bad procedure index %d" i
+  | Marshal_failure s -> "marshalling failure: " ^ s
+  | Protocol_violation s -> "protocol violation: " ^ s
+
+let fail e = raise (Rpc e)
+
+let () =
+  Printexc.register_printer (function
+    | Rpc e -> Some ("Rpc_error.Rpc: " ^ to_string e)
+    | _ -> None)

@@ -1,0 +1,17 @@
+(** Errors surfaced to RPC callers and servers. *)
+
+type t =
+  | Call_failed of string
+      (** Communication failure: the call was retransmitted until the
+          retry budget ran out without an acknowledgment or result —
+          the server machine is down or unreachable. *)
+  | Unbound_interface of string  (** import found no exporter *)
+  | Bad_procedure of int  (** procedure index out of range *)
+  | Marshal_failure of string  (** argument/result type mismatch *)
+  | Protocol_violation of string  (** malformed packet on an RPC port *)
+
+exception Rpc of t
+
+val to_string : t -> string
+val fail : t -> 'a
+(** [fail e] raises {!Rpc}. *)

@@ -1,0 +1,117 @@
+(** The per-address-space RPC runtime: caller stubs, server workers,
+    and the two fast-path transports.
+
+    A runtime lives in one user address space of one machine.  Exporting
+    an interface installs server stubs and starts worker threads that
+    park themselves in the machine's shared call table (so incoming
+    calls are dispatched directly from the Ethernet interrupt routine);
+    importing an interface yields a {!binding} whose transport was
+    chosen at bind time — the custom packet-exchange protocol over
+    IP/UDP/Ethernet for a remote server, shared memory for a server on
+    the same machine (§3.1).
+
+    {!call} is the generic stub: it performs the five caller-stub steps
+    of §3.1.1 (Starter, marshal, Transporter, unmarshal, Ender) with the
+    Table VII costs, marshalling per Tables II–V, and the full
+    retransmission / fragment / duplicate-suppression machinery of the
+    packet exchange protocol. *)
+
+type t
+
+val create : Node.t -> space:int -> t
+(** @raise Invalid_argument if [space] is already taken on the node's
+    machine. *)
+
+val node : t -> Node.t
+val machine : t -> Nub.Machine.t
+val space : t -> int
+
+(** {1 Clients (activities)} *)
+
+(** One calling thread's RPC identity: an {e activity} makes one call at
+    a time with increasing sequence numbers. *)
+type client
+
+val new_client : t -> client
+val client_activity : client -> Proto.Activity.t
+
+(** {1 Server side} *)
+
+type impl = Hw.Cpu_set.ctx -> Marshal.value list -> Marshal.value list
+(** A server procedure: receives every declared argument (placeholders
+    in [Var_out] positions), returns the values of the [Var_out]
+    arguments in declaration order.  Charge the procedure's own compute
+    to the given CPU context. *)
+
+val export : ?auth:Secure.key -> t -> Idl.interface -> impls:impl array -> workers:int -> unit
+(** Installs the interface and starts [workers] threads serving remote
+    calls plus one serving same-machine calls.  With [auth], remote
+    calls must arrive sealed under the key (§7's authenticated-call
+    hooks); same-machine calls are inside the trust boundary and pass.
+    @raise Invalid_argument if the implementation count does not match
+    the interface or the interface is already exported. *)
+
+(** {1 Caller side} *)
+
+type call_options = {
+  retransmit_after : Sim.Time.span;  (** first result-wait timeout *)
+  max_retries : int;  (** give up (Call_failed) after this many *)
+}
+
+val default_options : t -> call_options
+(** [retransmit_after] from the machine configuration (the paper's
+    recovery took ~600 ms), 10 retries. *)
+
+type binding
+
+val bind_ether :
+  ?auth:Secure.key ->
+  t ->
+  dst:Frames.endpoint ->
+  server_space:int ->
+  Idl.interface ->
+  options:call_options ->
+  binding
+(** Normally obtained via [Binder.import], which resolves the name and
+    picks the transport.  [auth] seals calls under the shared key. *)
+
+val bind_local : t -> server:t -> Idl.interface -> options:call_options -> binding
+
+val bind_decnet :
+  t -> ep:Decnet.endpoint -> peer:Net.Mac.t -> server_space:int -> Idl.interface -> binding
+(** The third transport (§3.1): calls travel over a sequenced DECNet
+    connection, established lazily and reused; the transport provides
+    reliability, so the RPC layer does no retransmission of its own. *)
+
+val decnet_listen : t -> Decnet.endpoint -> unit
+(** Serve this runtime's exports to DECNet connections addressed to its
+    space (one server thread per connection). *)
+
+val binding_interface : binding -> Idl.interface
+val is_local : binding -> bool
+
+val call :
+  binding ->
+  client ->
+  Hw.Cpu_set.ctx ->
+  proc_idx:int ->
+  args:Marshal.value list ->
+  Marshal.value list
+(** Synchronous remote procedure call; returns the [Var_out] values.
+    The calling thread must hold a CPU ([ctx]) on the caller machine;
+    it is released while blocked.
+    @raise Rpc_error.Rpc on type errors, dispatch errors, or
+    communication failure after the retry budget. *)
+
+val call_by_name : binding -> client -> Hw.Cpu_set.ctx -> proc:string -> args:Marshal.value list -> Marshal.value list
+
+(** {1 Statistics} *)
+
+val calls_made : t -> int
+val calls_served : t -> int
+val retransmissions : t -> int
+val duplicates_suppressed : t -> int
+val busy_replies : t -> int
+val server_activities : t -> int
+(** Activities with per-caller state currently retained at this
+    server. *)

@@ -1,0 +1,62 @@
+type key = int64
+
+let key_of_string s =
+  (* FNV-1a, 64-bit *)
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let overhead_bytes = 8
+
+(* xorshift64* keystream seeded from (key, seq). *)
+let keystream key ~seq =
+  let state = ref (Int64.logxor key (Int64.of_int ((seq * 0x9e3779b9) lor 1))) in
+  fun () ->
+    let x = !state in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    state := x;
+    Int64.to_int (Int64.mul x 0x2545F4914F6CDD1DL) land 0xff
+
+let cipher key ~seq b =
+  let ks = keystream key ~seq in
+  Bytes.map (fun c -> Char.chr (Char.code c lxor ks ())) b
+
+(* Keyed authenticator: 64-bit FNV over key material, seq and the
+   plaintext. *)
+let tag key ~seq b =
+  let h = ref (Int64.logxor 0xcbf29ce484222325L key) in
+  let feed v =
+    h := Int64.logxor !h (Int64.of_int v);
+    h := Int64.mul !h 0x100000001b3L
+  in
+  feed seq;
+  Bytes.iter (fun c -> feed (Char.code c)) b;
+  feed (Bytes.length b);
+  !h
+
+let seal key ~seq plain =
+  let enc = cipher key ~seq plain in
+  let out = Bytes.create (Bytes.length enc + overhead_bytes) in
+  Bytes.blit enc 0 out 0 (Bytes.length enc);
+  Bytes.set_int64_be out (Bytes.length enc) (tag key ~seq plain);
+  out
+
+let unseal key ~seq sealed =
+  let n = Bytes.length sealed - overhead_bytes in
+  if n < 0 then Error "secure: truncated payload"
+  else begin
+    let carried = Bytes.get_int64_be sealed n in
+    let plain = cipher key ~seq (Bytes.sub sealed 0 n) in
+    if Int64.equal carried (tag key ~seq plain) then Ok plain
+    else Error "secure: authenticator mismatch"
+  end
+
+let cost timing ~bytes =
+  let speedup = (Hw.Timing.config timing).Hw.Config.cpu_speedup in
+  Sim.Time.us_f ((40. +. (1.0 *. float_of_int bytes)) /. speedup)

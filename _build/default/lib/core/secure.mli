@@ -1,0 +1,35 @@
+(** Secured calls — the "structural hooks for authenticated and secure
+    calls" the paper says the design contains (§7) but never exercises.
+
+    A binding and an export that share a key get sealed payloads: the
+    argument/result bytes are enciphered with a keystream derived from
+    (key, call sequence number) and carry an 8-byte authenticator, so a
+    receiver with the key detects tampering, replay across sequence
+    numbers, and callers without the key.  Sealing happens before
+    fragmentation and unsealing after reassembly, so multi-packet calls
+    are covered by one authenticator.
+
+    The cipher here is a keyed xorshift keystream and the authenticator
+    a keyed checksum — {e placeholders} with the right interfaces and a
+    period-appropriate software cost (about 1 µs/byte at 1 MIPS, the
+    ballpark of software DES on a MicroVAX II), not cryptography.  Key
+    distribution is out of band, as the paper's hooks assumed. *)
+
+type key
+
+val key_of_string : string -> key
+(** Derives a key from a passphrase. *)
+
+val seal : key -> seq:int -> Stdlib.Bytes.t -> Stdlib.Bytes.t
+(** Encipher and append the authenticator (adds {!overhead_bytes}). *)
+
+val unseal : key -> seq:int -> Stdlib.Bytes.t -> (Stdlib.Bytes.t, string) result
+(** Verify and decipher.  Fails on a wrong key, a different sequence
+    number, truncation, or any flipped bit. *)
+
+val overhead_bytes : int
+(** 8. *)
+
+val cost : Hw.Timing.t -> bytes:int -> Sim.Time.span
+(** Per-end software cost of sealing or unsealing [bytes] of payload:
+    40 µs + 1.0 µs/byte, CPU-scaled. *)

@@ -1,0 +1,291 @@
+let fail fmt = Printf.ksprintf (fun s -> Rpc_error.fail (Rpc_error.Marshal_failure s)) fmt
+
+type 'a spec = {
+  ty : Idl.ty;
+  inject : 'a -> Marshal.value;
+  project : Marshal.value -> 'a;
+  bulk : bool;  (** arrays default to VAR IN (single-copy) *)
+}
+
+let shape_error what = fail "typed stub: unexpected wire shape for %s" what
+
+let int =
+  {
+    ty = Idl.T_int;
+    inject =
+      (fun v ->
+        if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
+          fail "int %d out of 32-bit range" v;
+        Marshal.V_int (Int32.of_int v));
+    project =
+      (function
+      | Marshal.V_int v -> Int32.to_int v
+      | _ -> shape_error "int");
+    bulk = false;
+  }
+
+let int32 =
+  {
+    ty = Idl.T_int;
+    inject = (fun v -> Marshal.V_int v);
+    project =
+      (function
+      | Marshal.V_int v -> v
+      | _ -> shape_error "int32");
+    bulk = false;
+  }
+
+let int16 =
+  {
+    ty = Idl.T_int16;
+    inject = (fun v -> Marshal.V_int16 v);
+    project =
+      (function
+      | Marshal.V_int16 v -> v
+      | _ -> shape_error "int16");
+    bulk = false;
+  }
+
+let bool =
+  {
+    ty = Idl.T_bool;
+    inject = (fun v -> Marshal.V_bool v);
+    project =
+      (function
+      | Marshal.V_bool v -> v
+      | _ -> shape_error "bool");
+    bulk = false;
+  }
+
+let real =
+  {
+    ty = Idl.T_real;
+    inject = (fun v -> Marshal.V_real v);
+    project =
+      (function
+      | Marshal.V_real v -> v
+      | _ -> shape_error "real");
+    bulk = false;
+  }
+
+let text max =
+  {
+    ty = Idl.T_text max;
+    inject = (fun s -> Marshal.V_text (Some s));
+    project =
+      (function
+      | Marshal.V_text (Some s) -> s
+      | Marshal.V_text None -> fail "typed stub: unexpected NIL text"
+      | _ -> shape_error "text");
+    bulk = false;
+  }
+
+let text_opt max =
+  {
+    ty = Idl.T_text max;
+    inject = (fun s -> Marshal.V_text s);
+    project =
+      (function
+      | Marshal.V_text s -> s
+      | _ -> shape_error "text_opt");
+    bulk = false;
+  }
+
+let bytes ~max =
+  {
+    ty = Idl.T_var_bytes max;
+    inject = (fun b -> Marshal.V_bytes b);
+    project =
+      (function
+      | Marshal.V_bytes b -> b
+      | _ -> shape_error "bytes");
+    bulk = true;
+  }
+
+let fixed_bytes n =
+  {
+    ty = Idl.T_fixed_bytes n;
+    inject = (fun b -> Marshal.V_bytes b);
+    project =
+      (function
+      | Marshal.V_bytes b -> b
+      | _ -> shape_error "fixed_bytes");
+    bulk = true;
+  }
+
+let seq elt ~max =
+  {
+    ty = Idl.T_seq (elt.ty, max);
+    inject = (fun vs -> Marshal.V_seq (List.map elt.inject vs));
+    project =
+      (function
+      | Marshal.V_seq vs -> List.map elt.project vs
+      | _ -> shape_error "seq");
+    bulk = false;
+  }
+
+let pair a b =
+  {
+    ty = Idl.T_record [ a.ty; b.ty ];
+    inject = (fun (x, y) -> Marshal.V_record [ a.inject x; b.inject y ]);
+    project =
+      (function
+      | Marshal.V_record [ x; y ] -> (a.project x, b.project y)
+      | _ -> shape_error "pair");
+    bulk = false;
+  }
+
+let triple a b c =
+  {
+    ty = Idl.T_record [ a.ty; b.ty; c.ty ];
+    inject = (fun (x, y, z) -> Marshal.V_record [ a.inject x; b.inject y; c.inject z ]);
+    project =
+      (function
+      | Marshal.V_record [ x; y; z ] -> (a.project x, b.project y, c.project z)
+      | _ -> shape_error "triple");
+    bulk = false;
+  }
+
+(* {1 Signatures} *)
+
+type 'a param_decl = { p_name : string; p_spec : 'a spec; p_mode : Idl.mode }
+type 'a out_decl = { o_name : string; o_spec : 'a spec }
+
+type _ outs =
+  | Out0 : unit outs
+  | Out1 : 'a out_decl -> 'a outs
+  | Out2 : 'a out_decl * 'b out_decl -> ('a * 'b) outs
+  | Out3 : 'a out_decl * 'b out_decl * 'c out_decl -> ('a * 'b * 'c) outs
+
+type _ fn =
+  | Returning : 'o outs -> 'o fn
+  | Arrow : 'a param_decl * 'b fn -> ('a -> 'b) fn
+  | Unit_arrow : 'b fn -> (unit -> 'b) fn
+
+let param ?mode p_name p_spec =
+  let p_mode =
+    match mode with
+    | Some `Value -> Idl.Value
+    | Some `Var_in -> Idl.Var_in
+    | None -> if p_spec.bulk then Idl.Var_in else Idl.Value
+  in
+  { p_name; p_spec; p_mode }
+
+let out o_name o_spec = { o_name; o_spec }
+let out0 = Out0
+let out1 a = Out1 a
+let out2 a b = Out2 (a, b)
+let out3 a b c = Out3 (a, b, c)
+let returning outs = Returning outs
+let ( @-> ) p rest = Arrow (p, rest)
+let noarg rest = Unit_arrow rest
+
+type 'f procedure = { name : string; fn : 'f fn }
+
+let procedure name fn = { name; fn }
+
+let out_args : type o. o outs -> Idl.arg list = function
+  | Out0 -> []
+  | Out1 a -> [ Idl.arg ~mode:Idl.Var_out a.o_name a.o_spec.ty ]
+  | Out2 (a, b) ->
+    [ Idl.arg ~mode:Idl.Var_out a.o_name a.o_spec.ty;
+      Idl.arg ~mode:Idl.Var_out b.o_name b.o_spec.ty ]
+  | Out3 (a, b, c) ->
+    [ Idl.arg ~mode:Idl.Var_out a.o_name a.o_spec.ty;
+      Idl.arg ~mode:Idl.Var_out b.o_name b.o_spec.ty;
+      Idl.arg ~mode:Idl.Var_out c.o_name c.o_spec.ty ]
+
+let rec fn_args : type f. f fn -> Idl.arg list = function
+  | Returning outs -> out_args outs
+  | Arrow (p, rest) -> Idl.arg ~mode:p.p_mode p.p_name p.p_spec.ty :: fn_args rest
+  | Unit_arrow rest -> fn_args rest
+
+let to_proc t = Idl.proc t.name (fn_args t.fn)
+
+type packed = P : _ procedure -> packed
+
+let interface ~name ~version procs =
+  Idl.interface ~name ~version (List.map (fun (P p) -> to_proc p) procs)
+
+(* {1 Caller side} *)
+
+let out_placeholders : type o. o outs -> Marshal.value list = function
+  | Out0 -> []
+  | Out1 a -> [ Marshal.placeholder a.o_spec.ty ]
+  | Out2 (a, b) -> [ Marshal.placeholder a.o_spec.ty; Marshal.placeholder b.o_spec.ty ]
+  | Out3 (a, b, c) ->
+    [ Marshal.placeholder a.o_spec.ty;
+      Marshal.placeholder b.o_spec.ty;
+      Marshal.placeholder c.o_spec.ty ]
+
+let project_outs : type o. o outs -> Marshal.value list -> o =
+ fun outs values ->
+  match outs, values with
+  | Out0, [] -> ()
+  | Out1 a, [ x ] -> a.o_spec.project x
+  | Out2 (a, b), [ x; y ] -> (a.o_spec.project x, b.o_spec.project y)
+  | Out3 (a, b, c), [ x; y; z ] ->
+    (a.o_spec.project x, b.o_spec.project y, c.o_spec.project z)
+  | _ -> fail "typed stub: result arity mismatch"
+
+let inject_outs : type o. o outs -> o -> Marshal.value list =
+ fun outs v ->
+  match outs with
+  | Out0 -> []
+  | Out1 a -> [ a.o_spec.inject v ]
+  | Out2 (a, b) ->
+    let x, y = v in
+    [ a.o_spec.inject x; b.o_spec.inject y ]
+  | Out3 (a, b, c) ->
+    let x, y, z = v in
+    [ a.o_spec.inject x; b.o_spec.inject y; c.o_spec.inject z ]
+
+let call binding client ctx (t : 'f procedure) : 'f =
+  let intf = Runtime.binding_interface binding in
+  let proc_idx =
+    try Idl.find_proc intf t.name
+    with Not_found -> fail "typed stub: procedure %s not in the bound interface" t.name
+  in
+  let rec build : type f. f fn -> Marshal.value list -> f =
+   fun fn acc ->
+    match fn with
+    | Arrow (p, rest) -> fun a -> build rest (p.p_spec.inject a :: acc)
+    | Unit_arrow rest -> fun () -> build rest acc
+    | Returning outs ->
+      let args = List.rev_append acc (out_placeholders outs) in
+      let results = Runtime.call binding client ctx ~proc_idx ~args in
+      project_outs outs results
+  in
+  build t.fn []
+
+(* {1 Server side} *)
+
+type impl_binding = I : 'f procedure * 'f -> impl_binding
+
+let implement (I (t, f)) : Runtime.impl =
+ fun _ctx values ->
+  let rec apply : type g. g fn -> g -> Marshal.value list -> Marshal.value list =
+   fun fn g vs ->
+    match fn with
+    | Arrow (p, rest) -> (
+      match vs with
+      | v :: vs -> apply rest (g (p.p_spec.project v)) vs
+      | [] -> fail "typed stub: argument arity mismatch in %s" t.name)
+    | Unit_arrow rest -> apply rest (g ()) vs
+    | Returning outs ->
+      (* [vs] holds the Var_out placeholders; the result supplies them *)
+      inject_outs outs g
+  in
+  apply t.fn f values
+
+let impls intf bindings =
+  Array.map
+    (fun (proc : Idl.proc) ->
+      match
+        List.find_opt (fun (I (t, _)) -> String.equal t.name proc.Idl.proc_name) bindings
+      with
+      | Some b -> implement b
+      | None ->
+        invalid_arg
+          ("Typed.impls: no implementation for procedure " ^ proc.Idl.proc_name))
+    intf.Idl.procs

@@ -1,0 +1,110 @@
+(** Typed stubs — the stub compiler's output, as a typed OCaml API.
+
+    The dynamic {!Runtime.call} interface traffics in {!Marshal.value}
+    lists; this module derives {e typed} caller stubs and server
+    implementations from a declarative signature, so application code
+    reads like the Modula-2+ the paper's stubs were generated from:
+
+    {[
+      open Rpc.Typed
+
+      (* PROCEDURE Add(x, y: INTEGER; VAR OUT sum: INTEGER); *)
+      let add = procedure "add" (param "x" int @-> param "y" int
+                                 @-> returning (out "sum" int))
+
+      (* PROCEDURE Grade(score: INTEGER; VAR OUT passed: BOOLEAN;
+                         VAR OUT label: Text.T); *)
+      let grade = procedure "grade"
+          (param "score" int
+           @-> returning (out2 (out "passed" bool) (out "label" (text 32))))
+
+      let intf = interface ~name:"Math" ~version:1 [ P add; P grade ]
+
+      (* server *)
+      Binder.export binder rt intf
+        ~impls:(impls intf [ I (add, fun x y -> x + y);
+                             I (grade, fun s -> (s >= 60, string_of_int s)) ])
+        ~workers:4
+
+      (* caller: an ordinary, fully typed function call *)
+      let sum : int = call binding client ctx add 20 22
+    ]}
+
+    Conventions: the wire procedure's arguments are the declared
+    parameters in order, followed by the outputs in order ([VAR OUT]
+    results are returned, not passed).  Typed implementations do not see
+    the CPU context; procedures that must charge simulated compute time
+    use the dynamic API instead. *)
+
+(** Bidirectional codec for one value. *)
+type 'a spec
+
+val int : int spec  (** 4-byte integer (OCaml [int], range-checked) *)
+
+val int32 : int32 spec
+val int16 : int spec
+val bool : bool spec
+val real : float spec
+val text : int -> string spec  (** non-NIL Text.T up to [max] bytes *)
+
+val text_opt : int -> string option spec  (** Text.T, [None] = NIL *)
+
+val bytes : max:int -> Stdlib.Bytes.t spec  (** variable-length array *)
+
+val fixed_bytes : int -> Stdlib.Bytes.t spec  (** fixed-length array *)
+
+val seq : 'a spec -> max:int -> 'a list spec
+val pair : 'a spec -> 'b spec -> ('a * 'b) spec  (** a two-field record *)
+
+val triple : 'a spec -> 'b spec -> 'c spec -> ('a * 'b * 'c) spec
+
+(** {1 Signatures} *)
+
+type 'a param_decl
+type 'a out_decl
+type 'o outs
+type 'f fn
+
+val param : ?mode:[ `Value | `Var_in ] -> string -> 'a spec -> 'a param_decl
+(** [mode] defaults to [`Value] for scalars/records and [`Var_in] for
+    arrays (the paper's single-copy optimization for bulk data). *)
+
+val out : string -> 'a spec -> 'a out_decl
+
+val out0 : unit outs
+val out1 : 'a out_decl -> 'a outs
+val out2 : 'a out_decl -> 'b out_decl -> ('a * 'b) outs
+val out3 : 'a out_decl -> 'b out_decl -> 'c out_decl -> ('a * 'b * 'c) outs
+
+val returning : 'o outs -> 'o fn
+val ( @-> ) : 'a param_decl -> 'b fn -> ('a -> 'b) fn
+
+val noarg : 'b fn -> (unit -> 'b) fn
+(** For procedures with no parameters: [procedure "null" (noarg
+    (returning out0))] has stub type [unit -> unit], so neither the
+    caller stub nor the implementation runs before it is applied. *)
+
+type 'f procedure
+
+val procedure : string -> 'f fn -> 'f procedure
+val to_proc : _ procedure -> Idl.proc
+
+type packed = P : _ procedure -> packed
+
+val interface : name:string -> version:int -> packed list -> Idl.interface
+
+(** {1 Caller side} *)
+
+val call : Runtime.binding -> Runtime.client -> Hw.Cpu_set.ctx -> 'f procedure -> 'f
+(** [call b client ctx p] is the typed stub: applying it to the
+    declared parameters performs the RPC and returns the outputs.
+    @raise Rpc_error.Rpc as {!Runtime.call} does, plus
+    [Marshal_failure] on out-of-range values. *)
+
+(** {1 Server side} *)
+
+type impl_binding = I : 'f procedure * 'f -> impl_binding
+
+val impls : Idl.interface -> impl_binding list -> Runtime.impl array
+(** Orders the typed implementations to match the interface.
+    @raise Invalid_argument if any procedure is missing or unknown. *)

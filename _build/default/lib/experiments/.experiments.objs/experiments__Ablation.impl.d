@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Exp_common Hw List Report Sim Workload

@@ -1,0 +1,1 @@
+lib/experiments/breakdown.ml: Bytes Hw Int32 Lazy List Nub Report Rpc Sim String Workload

@@ -1,0 +1,1 @@
+lib/experiments/extensions.ml: Bytes Exp_common Hw Int32 List Net Nub Printf Report Rpc Sim Wire Workload

@@ -1,0 +1,1 @@
+lib/experiments/improvements.ml: Exp_common Hw List Report Sim Workload

@@ -1,0 +1,1 @@
+lib/experiments/marshalling.ml: Bytes Hashtbl Hw Lazy List Nub Printf Report Rpc Sim String Workload

@@ -1,0 +1,1 @@
+lib/experiments/marshalling.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/processors.ml: Exp_common Hw List Report Workload

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablation Breakdown Extensions Improvements List Marshalling Processors Report Section5 String Table1 Table12 Table9

@@ -1,0 +1,1 @@
+lib/experiments/section5.ml: Exp_common Hw List Report Sim Workload

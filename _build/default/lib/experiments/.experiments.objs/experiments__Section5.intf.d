@@ -1,0 +1,1 @@
+lib/experiments/section5.mli: Report

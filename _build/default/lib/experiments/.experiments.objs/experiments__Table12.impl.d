@@ -1,0 +1,1 @@
+lib/experiments/table12.ml: Exp_common List Report Sim Workload

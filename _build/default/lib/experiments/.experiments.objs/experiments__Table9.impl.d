@@ -1,0 +1,1 @@
+lib/experiments/table9.ml: Exp_common Hw List Report Sim Workload

@@ -1,0 +1,49 @@
+module Time = Sim.Time
+module Config = Hw.Config
+module Driver = Workload.Driver
+
+type row = { variant : string; null_us : float; maxr_us : float; null_rps_7 : float }
+
+let measure ~quick config variant =
+  let lat proc =
+    Time.to_us (Exp_common.single_call ~caller_config:config ~server_config:config ~proc ())
+  in
+  let sat =
+    Exp_common.throughput ~caller_config:config ~server_config:config ~threads:7
+      ~calls:(if quick then 500 else 3000)
+      ~proc:Driver.Null ()
+  in
+  {
+    variant;
+    null_us = lat Driver.Null;
+    maxr_us = lat Driver.Max_result;
+    null_rps_7 = sat.Driver.rpcs_per_sec;
+  }
+
+let run ?(quick = false) () =
+  [
+    measure ~quick Config.default "interrupt-time demux (the Firefly design)";
+    measure ~quick
+      { Config.default with Config.traditional_demux = true }
+      "datalink-thread demux (traditional)";
+  ]
+
+let table ?quick () =
+  Report.Table.make ~id:"ablation-demux"
+    ~title:"Ablation: interrupt-time demultiplexing vs the traditional datalink thread"
+    ~columns:[ "variant"; "Null us"; "MaxResult us"; "Null RPC/s (7 threads)" ]
+    ~notes:
+      [
+        "section 3.2: the traditional path 'doubles the number of wakeups required for an RPC'";
+        "latency: the extra wakeup + datalink dispatch cost ~0.9 ms per call — the difference the paper's design buys";
+        "throughput: in the model the traditional path saturates HIGHER, because demultiplexing moves off the serialized CPU 0 onto the datalink thread; a latency/throughput trade the paper resolved in favour of latency";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.variant;
+           Report.Table.cell_f ~decimals:0 r.null_us;
+           Report.Table.cell_f ~decimals:0 r.maxr_us;
+           Report.Table.cell_f ~decimals:0 r.null_rps_7;
+         ])
+       (run ?quick ()))

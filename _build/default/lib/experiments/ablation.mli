@@ -1,0 +1,16 @@
+(** Ablation of §3.2's central design choice: demultiplexing RPC packets
+    {e in the Ethernet interrupt routine} and waking the RPC thread
+    directly, versus the "traditional approach" of waking a datalink
+    thread to demultiplex — which, as the paper says, "doubles the
+    number of wakeups required for an RPC".  The ablation runs the whole
+    system both ways and reports what the design choice bought. *)
+
+type row = {
+  variant : string;
+  null_us : float;
+  maxr_us : float;
+  null_rps_7 : float;  (** 7-thread Null() saturation *)
+}
+
+val run : ?quick:bool -> unit -> row list
+val table : ?quick:bool -> unit -> Report.Table.t

@@ -1,0 +1,71 @@
+module Time = Sim.Time
+module Config = Hw.Config
+module Driver = Workload.Driver
+
+type row = {
+  change : string;
+  paper_null_saving_us : float;
+  paper_maxr_saving_us : float;
+  sim_null_saving_us : float;
+  sim_maxr_saving_us : float;
+}
+
+(* (section, name, paper Null saving, paper MaxResult saving, config change) *)
+let changes =
+  [
+    ( "4.2.1 different network controller (full overlap)",
+      300.,
+      1800.,
+      fun c -> { c with Config.cut_through = true } );
+    ( "4.2.2 faster network (100 Mbit/s)",
+      110.,
+      1160.,
+      fun c -> { c with Config.ethernet_mbps = 100. } );
+    ("4.2.3 faster CPUs (x3)", 1380., 2280., fun c -> { c with Config.cpu_speedup = 3. });
+    ("4.2.4 omit UDP checksums", 180., 1000., fun c -> { c with Config.udp_checksums = false });
+    ( "4.2.5 redesign RPC protocol header",
+      200.,
+      200.,
+      fun c -> { c with Config.redesigned_header = true } );
+    ("4.2.6 omit IP and UDP layers", 100., 100., fun c -> { c with Config.raw_ethernet = true });
+    ("4.2.7 busy wait", 440., 440., fun c -> { c with Config.busy_wait = true });
+    ("4.2.8 recode RPC runtime", 280., 280., fun c -> { c with Config.hand_runtime = true });
+  ]
+
+let latency config proc =
+  Time.to_us (Exp_common.single_call ~caller_config:config ~server_config:config ~proc ())
+
+let run () =
+  let base_null = latency Config.default Driver.Null in
+  let base_maxr = latency Config.default Driver.Max_result in
+  List.map
+    (fun (change, p_null, p_maxr, apply) ->
+      let cfg = apply Config.default in
+      {
+        change;
+        paper_null_saving_us = p_null;
+        paper_maxr_saving_us = p_maxr;
+        sim_null_saving_us = base_null -. latency cfg Driver.Null;
+        sim_maxr_saving_us = base_maxr -. latency cfg Driver.Max_result;
+      })
+    changes
+
+let table () =
+  Report.Table.make ~id:"improvements" ~title:"Section 4.2: estimated vs re-simulated savings"
+    ~columns:
+      [ "change"; "Null paper us"; "Null sim us"; "MaxResult paper us"; "MaxResult sim us" ]
+    ~notes:
+      [
+        "paper columns are the authors' estimates; sim columns re-run the whole system with the change applied";
+        "the paper notes the effects are not independent and cannot simply be added";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.change;
+           Report.Table.cell_f ~decimals:0 r.paper_null_saving_us;
+           Report.Table.cell_f ~decimals:0 r.sim_null_saving_us;
+           Report.Table.cell_f ~decimals:0 r.paper_maxr_saving_us;
+           Report.Table.cell_f ~decimals:0 r.sim_maxr_saving_us;
+         ])
+       (run ()))

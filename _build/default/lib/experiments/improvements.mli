@@ -1,0 +1,17 @@
+(** §4.2 — "Speculations on future improvements", executed.
+
+    The paper {e estimates} what each change would save; here each change
+    is a configuration away, so we re-simulate the system with it applied
+    and measure the actual saving on Null() and MaxResult(b) latency.
+    Agreement validates both the paper's arithmetic and the model. *)
+
+type row = {
+  change : string;
+  paper_null_saving_us : float;
+  paper_maxr_saving_us : float;
+  sim_null_saving_us : float;
+  sim_maxr_saving_us : float;
+}
+
+val run : unit -> row list
+val table : unit -> Report.Table.t

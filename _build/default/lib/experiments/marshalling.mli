@@ -1,0 +1,23 @@
+(** Tables II–V — marshalling times.
+
+    Reproduced the way Birrell measured them (§2.2): local (same-
+    machine) RPC with the standard generated stubs, reporting the
+    incremental elapsed time of a call with the given argument over a
+    call of Null().  Local transport time is independent of packet
+    size, so the increment isolates the stubs' marshalling work. *)
+
+type row = {
+  label : string;
+  paper_us : float;
+  measured_us : float;
+}
+
+val table2 : unit -> row list  (** by-value 4-byte integers: 1, 2, 4 *)
+
+val table3 : unit -> row list  (** fixed-length array VAR OUT: 4, 400 bytes *)
+
+val table4 : unit -> row list  (** variable-length array VAR OUT: 1, 1440 bytes *)
+
+val table5 : unit -> row list  (** Text.T: NIL, 1, 128 bytes *)
+
+val tables : unit -> Report.Table.t list

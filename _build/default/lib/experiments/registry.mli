@@ -1,0 +1,14 @@
+(** The experiment registry: every reproduced table/figure, addressable
+    by id from the benchmark harness, the CLI and the test suite. *)
+
+type entry = {
+  id : string;
+  title : string;
+  run : quick:bool -> Report.Table.t list;
+      (** [quick] trades call counts for speed (used by tests); the
+          benchmark harness runs with [quick:false]. *)
+}
+
+val all : entry list
+val find : string -> entry option
+val ids : unit -> string list

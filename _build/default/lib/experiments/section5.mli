@@ -1,0 +1,29 @@
+(** §5 beyond the two tables: the uniprocessor lost-packet bug, and the
+    streaming transfer strategy the paper speculates would help
+    uniprocessor throughput. *)
+
+type bug_row = {
+  variant : string;
+  mean_null_ms : float;
+  retransmissions : int;
+}
+
+val uniproc_bug : ?calls:int -> unit -> bug_row list
+(** Null() on uniprocessor caller and server, with and without the
+    swapped-lines fix.  Without it, the race loses ~1 packet/second and
+    each loss costs a ~600 ms retransmission wait; the paper observed
+    calls averaging "around 20 milliseconds". *)
+
+type streaming_row = {
+  strategy : string;
+  mbps : float;
+  wakeups_per_kb : float;
+}
+
+val streaming : ?calls:int -> unit -> streaming_row list
+(** Server-to-caller bulk transfer on uniprocessor machines: 4 threads
+    of single-packet MaxResult(b) calls (the paper's approach) vs one
+    thread fetching 20 KB per call with stop-and-wait fragments vs the
+    same with streamed (blast) fragments — Amoeba/V/Sprite style. *)
+
+val tables : ?quick:bool -> unit -> Report.Table.t list

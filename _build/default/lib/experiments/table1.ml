@@ -1,0 +1,64 @@
+module Driver = Workload.Driver
+
+type row = {
+  threads : int;
+  null_seconds : float;
+  null_rps : float;
+  maxr_seconds : float;
+  maxr_mbps : float;
+}
+
+let paper =
+  [
+    { threads = 1; null_seconds = 26.61; null_rps = 375.; maxr_seconds = 63.47; maxr_mbps = 1.82 };
+    { threads = 2; null_seconds = 16.80; null_rps = 595.; maxr_seconds = 35.28; maxr_mbps = 3.28 };
+    { threads = 3; null_seconds = 16.26; null_rps = 615.; maxr_seconds = 27.28; maxr_mbps = 4.25 };
+    { threads = 4; null_seconds = 15.45; null_rps = 647.; maxr_seconds = 24.93; maxr_mbps = 4.65 };
+    { threads = 5; null_seconds = 15.11; null_rps = 662.; maxr_seconds = 24.69; maxr_mbps = 4.69 };
+    { threads = 6; null_seconds = 14.69; null_rps = 680.; maxr_seconds = 24.65; maxr_mbps = 4.70 };
+    { threads = 7; null_seconds = 13.49; null_rps = 741.; maxr_seconds = 24.72; maxr_mbps = 4.69 };
+    { threads = 8; null_seconds = 13.67; null_rps = 732.; maxr_seconds = 24.68; maxr_mbps = 4.69 };
+  ]
+
+let measure_row ~calls threads =
+  let null = Exp_common.throughput ~threads ~calls ~proc:Driver.Null () in
+  let maxr = Exp_common.throughput ~threads ~calls ~proc:Driver.Max_result () in
+  {
+    threads;
+    null_seconds = Exp_common.seconds_per_10000 null;
+    null_rps = null.Driver.rpcs_per_sec;
+    maxr_seconds = Exp_common.seconds_per_10000 maxr;
+    maxr_mbps = maxr.Driver.megabits_per_sec;
+  }
+
+let run ?(calls = 10000) () = List.map (fun p -> measure_row ~calls p.threads) paper
+
+let table ?calls () =
+  let measured = run ?calls () in
+  let rows =
+    List.map2
+      (fun p m ->
+        [
+          string_of_int p.threads;
+          Report.Table.compare_cell ~paper:p.null_seconds ~measured:m.null_seconds;
+          Report.Table.compare_cell ~paper:p.null_rps ~measured:m.null_rps;
+          Report.Table.compare_cell ~paper:p.maxr_seconds ~measured:m.maxr_seconds;
+          Report.Table.compare_cell ~paper:p.maxr_mbps ~measured:m.maxr_mbps;
+        ])
+      paper measured
+  in
+  Report.Table.make ~id:"table1" ~title:"Time for 10000 RPCs (paper / measured)"
+    ~columns:
+      [ "threads"; "Null secs/10k"; "Null RPC/s"; "MaxResult secs/10k"; "MaxResult Mbit/s" ]
+    ~notes:
+      [
+        "paper: two 5-CPU Fireflies, private 10 Mbit/s Ethernet, IP/UDP with checksums";
+        "cells are paper-value / simulated-value (relative error)";
+      ]
+    rows
+
+let cpu_utilization_note ?(calls = 10000) () =
+  let o = Exp_common.throughput ~threads:4 ~calls ~proc:Driver.Max_result () in
+  Printf.sprintf
+    "CPUs used at max throughput: caller %.2f, server %.2f (paper: ~1.2 caller, slightly less server)"
+    o.Driver.caller_busy_cpus o.Driver.server_busy_cpus

@@ -1,0 +1,23 @@
+(** Table I — Time for 10000 RPCs: Null() and MaxResult(b) with 1–8
+    caller threads (latency, call rate, throughput). *)
+
+type row = {
+  threads : int;
+  null_seconds : float;  (** seconds per 10000 calls of Null() *)
+  null_rps : float;
+  maxr_seconds : float;
+  maxr_mbps : float;
+}
+
+val paper : row list
+
+val run : ?calls:int -> unit -> row list
+(** [calls] (default 10000) is the per-configuration call budget; the
+    seconds columns are normalized to 10000 either way. *)
+
+val table : ?calls:int -> unit -> Report.Table.t
+(** Paper-vs-measured, one row per thread count. *)
+
+val cpu_utilization_note : ?calls:int -> unit -> string
+(** The §2.1 observation: CPUs used at maximum throughput (paper: ~1.2
+    on the caller, slightly less on the server). *)

@@ -1,0 +1,77 @@
+module Driver = Workload.Driver
+
+type row = {
+  system : string;
+  machine : string;
+  mips : string;
+  latency_ms : float;
+  throughput_mbps : float;
+  measured : bool;
+}
+
+let published =
+  [
+    { system = "Cedar"; machine = "Dorado - custom"; mips = "1 x 4"; latency_ms = 1.1; throughput_mbps = 2.0; measured = false };
+    { system = "Amoeba"; machine = "Tadpole - M68020"; mips = "1 x 1.5"; latency_ms = 1.4; throughput_mbps = 5.3; measured = false };
+    { system = "V"; machine = "Sun 3/75 - M68020"; mips = "1 x 2"; latency_ms = 2.5; throughput_mbps = 4.4; measured = false };
+    { system = "Sprite"; machine = "Sun 3/75 - M68020"; mips = "1 x 2"; latency_ms = 2.8; throughput_mbps = 5.6; measured = false };
+    { system = "Amoeba/Unix"; machine = "Sun 3/50 - M68020"; mips = "1 x 1.5"; latency_ms = 7.0; throughput_mbps = 1.8; measured = false };
+  ]
+
+(* Paper rows for Firefly: 1x1 -> 4.8 ms / 2.5 Mbit/s, 5x1 -> 2.7 / 4.6
+   (Exerciser stubs, as in Tables X-XI). *)
+let run ?(quick = false) () =
+  let calls = if quick then 200 else 1000 in
+  let firefly ~cpus =
+    let cfg = Exp_common.exerciser ~cpus in
+    let lat =
+      Exp_common.throughput ~caller_config:cfg ~server_config:cfg ~threads:1 ~calls
+        ~proc:Driver.Null ()
+    in
+    let thr =
+      Exp_common.throughput ~caller_config:cfg ~server_config:cfg ~threads:4
+        ~calls:(4 * calls) ~proc:Driver.Max_result ()
+    in
+    ( Sim.Time.to_ms lat.Driver.mean_latency,
+      thr.Driver.megabits_per_sec )
+  in
+  let uni_lat, uni_thr = firefly ~cpus:1 in
+  let multi_lat, multi_thr = firefly ~cpus:5 in
+  published
+  @ [
+      {
+        system = "Firefly (sim)";
+        machine = "FF - MicroVAX II";
+        mips = "1 x 1";
+        latency_ms = uni_lat;
+        throughput_mbps = uni_thr;
+        measured = true;
+      };
+      {
+        system = "Firefly (sim)";
+        machine = "FF - MicroVAX II";
+        mips = "5 x 1";
+        latency_ms = multi_lat;
+        throughput_mbps = multi_thr;
+        measured = true;
+      };
+    ]
+
+let table ?quick () =
+  Report.Table.make ~id:"table12" ~title:"Performance of remote RPC in other systems"
+    ~columns:[ "system"; "machine"; "~MIPs"; "latency ms"; "throughput Mbit/s" ]
+    ~notes:
+      [
+        "non-Firefly rows are published figures quoted by the paper; Firefly rows are simulated here";
+        "paper's Firefly rows: 1x1 -> 4.8 ms / 2.5 Mbit/s; 5x1 -> 2.7 ms / 4.6 Mbit/s";
+      ]
+    (List.map
+       (fun r ->
+         [
+           (r.system ^ if r.measured then " *" else "");
+           r.machine;
+           r.mips;
+           Report.Table.cell_f ~decimals:1 r.latency_ms;
+           Report.Table.cell_f ~decimals:1 r.throughput_mbps;
+         ])
+       (run ?quick ()))

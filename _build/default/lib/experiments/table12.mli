@@ -1,0 +1,18 @@
+(** Table XII — inter-machine Null() RPC performance of contemporary
+    systems, as published, next to our simulated Firefly rows.
+
+    The non-Firefly rows are the numbers the paper itself quotes from
+    the literature (Cedar, Amoeba, V, Sprite); only the Firefly rows are
+    measured here. *)
+
+type row = {
+  system : string;
+  machine : string;
+  mips : string;
+  latency_ms : float;
+  throughput_mbps : float;
+  measured : bool;  (** true for our simulated Firefly rows *)
+}
+
+val run : ?quick:bool -> unit -> row list
+val table : ?quick:bool -> unit -> Report.Table.t

@@ -1,0 +1,50 @@
+module Time = Sim.Time
+module Config = Hw.Config
+module Driver = Workload.Driver
+
+type row = {
+  version : string;
+  paper_us : float;
+  measured_us : float;
+  null_latency_us : float;
+}
+
+let versions =
+  [
+    ("Original Modula-2+", Config.Original_modula2, 758.);
+    ("Final Modula-2+", Config.Final_modula2, 547.);
+    ("Assembly language", Config.Assembly, 177.);
+  ]
+
+let run () =
+  List.map
+    (fun (version, code, paper_us) ->
+      let config = { Config.default with interrupt_code = code } in
+      let timing = Hw.Timing.create config in
+      let lat =
+        Exp_common.single_call ~caller_config:config ~server_config:config ~proc:Driver.Null ()
+      in
+      {
+        version;
+        paper_us;
+        measured_us = Time.to_us (Hw.Timing.rx_demux timing);
+        null_latency_us = Time.to_us lat;
+      })
+    versions
+
+let table () =
+  Report.Table.make ~id:"table9" ~title:"Execution time of the Ethernet interrupt main path"
+    ~columns:[ "version"; "paper us"; "sim us"; "Null() latency us" ]
+    ~notes:
+      [
+        "the interrupt path runs twice per RPC, so each 100 us saved in it saves ~200 us per call";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.version;
+           Report.Table.cell_f ~decimals:0 r.paper_us;
+           Report.Table.cell_f ~decimals:0 r.measured_us;
+           Report.Table.cell_f ~decimals:0 r.null_latency_us;
+         ])
+       (run ()))

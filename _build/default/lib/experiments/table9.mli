@@ -1,0 +1,15 @@
+(** Table IX — execution time of the Ethernet interrupt routine's main
+    path in its three historical versions (original Modula-2+, tuned
+    Modula-2+, assembly), plus the effect each has on Null() latency —
+    the §4.1 story that rewriting the fast path in assembly bought a
+    factor of three. *)
+
+type row = {
+  version : string;
+  paper_us : float;
+  measured_us : float;  (** traced "Handle interrupt for received pkt" span *)
+  null_latency_us : float;  (** whole-call impact *)
+}
+
+val run : unit -> row list
+val table : unit -> Report.Table.t

@@ -1,0 +1,1 @@
+lib/hw/cpu_set.ml: Array Fun Queue Sim

@@ -1,0 +1,1 @@
+lib/hw/deqna.ml: Bytes Config Ether_link Net Option Queue Sim Timing

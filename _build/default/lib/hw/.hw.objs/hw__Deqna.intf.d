@@ -1,0 +1,1 @@
+lib/hw/deqna.mli: Ether_link Net Sim Stdlib Timing

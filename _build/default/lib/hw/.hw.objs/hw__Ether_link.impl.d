@@ -1,0 +1,1 @@
+lib/hw/ether_link.ml: Bytes Char Fun Hashtbl Net Sim Wire

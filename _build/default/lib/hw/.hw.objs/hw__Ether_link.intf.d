@@ -1,0 +1,1 @@
+lib/hw/ether_link.mli: Net Sim Stdlib

@@ -1,0 +1,125 @@
+module Engine = Sim.Engine
+module Time = Sim.Time
+
+type affinity = Any | Cpu0
+type priority = Interrupt | Thread
+
+type t = {
+  eng : Engine.t;
+  name : string;
+  n : int;
+  busy : bool array;
+  q0_int : int Engine.waker Queue.t;
+  q0_thread : int Engine.waker Queue.t;
+  q_any : int Engine.waker Queue.t;
+  level : Sim.Stats.Level.t;
+  cpu0_level : Sim.Stats.Level.t;
+}
+
+type ctx = { set : t; affinity : affinity; mutable idx : int }
+
+let create eng ~site ~cpus =
+  if cpus < 1 then invalid_arg "Cpu_set.create: need at least one CPU";
+  let now = Engine.now eng in
+  {
+    eng;
+    name = site;
+    n = cpus;
+    busy = Array.make cpus false;
+    q0_int = Queue.create ();
+    q0_thread = Queue.create ();
+    q_any = Queue.create ();
+    level = Sim.Stats.Level.create ~initial:0. ~at:now;
+    cpu0_level = Sim.Stats.Level.create ~initial:0. ~at:now;
+  }
+
+let site t = t.name
+let cpu_count t = t.n
+
+let busy_count t = Array.fold_left (fun n b -> if b then n + 1 else n) 0 t.busy
+
+let note_levels t =
+  let now = Engine.now t.eng in
+  Sim.Stats.Level.set t.level (float_of_int (busy_count t)) ~at:now;
+  Sim.Stats.Level.set t.cpu0_level (if t.busy.(0) then 1. else 0.) ~at:now
+
+let take t idx =
+  t.busy.(idx) <- true;
+  note_levels t
+
+let free_index t idx =
+  t.busy.(idx) <- false;
+  note_levels t
+
+(* Prefer the highest-numbered free CPU for Any requests so CPU 0 stays
+   clear for interrupts on a multiprocessor. *)
+let find_free_any t =
+  let rec go i = if i < 0 then None else if not t.busy.(i) then Some i else go (i - 1) in
+  go (t.n - 1)
+
+let acquire t ~affinity ~priority =
+  match affinity with
+  | Cpu0 ->
+    if not t.busy.(0) then begin
+      take t 0;
+      0
+    end
+    else
+      let q =
+        match priority with
+        | Interrupt -> t.q0_int
+        | Thread -> t.q0_thread
+      in
+      Engine.suspend t.eng (fun w -> Queue.push w q)
+  | Any -> (
+    match find_free_any t with
+    | Some i ->
+      take t i;
+      i
+    | None -> Engine.suspend t.eng (fun w -> Queue.push w t.q_any))
+
+(* Handing a CPU to a waiter keeps it busy; only update levels when it
+   actually goes idle. *)
+let rec hand_off_queue q idx =
+  match Queue.take_opt q with
+  | None -> false
+  | Some w -> Engine.wake w idx || hand_off_queue q idx
+
+let release t idx =
+  let handed =
+    if idx = 0 then
+      hand_off_queue t.q0_int 0 || hand_off_queue t.q0_thread 0 || hand_off_queue t.q_any 0
+    else hand_off_queue t.q_any idx
+  in
+  if not handed then free_index t idx
+
+let with_cpu ?(affinity = Any) ?(priority = Thread) t f =
+  let idx = acquire t ~affinity ~priority in
+  let ctx = { set = t; affinity; idx } in
+  Fun.protect ~finally:(fun () -> release t ctx.idx) (fun () -> f ctx)
+
+let charge ctx ~cat ~label d =
+  if Time.span_compare d Time.zero_span > 0 then begin
+    let t = ctx.set in
+    let start_at = Engine.now t.eng in
+    Engine.delay t.eng d;
+    Sim.Trace.add (Engine.trace t.eng) ~cat ~label ~site:t.name ~start_at
+      ~stop_at:(Engine.now t.eng)
+  end
+
+let cpu_index ctx = ctx.idx
+
+let yield_cpu ctx f =
+  let t = ctx.set in
+  release t ctx.idx;
+  (* Re-acquire even on exception so the enclosing [with_cpu] releases a
+     CPU we actually hold.  The thread may come back on a different CPU,
+     as on the real machine. *)
+  Fun.protect
+    ~finally:(fun () -> ctx.idx <- acquire t ~affinity:ctx.affinity ~priority:Thread)
+    f
+
+let average_busy t ~upto = Sim.Stats.Level.average t.level ~upto
+let utilization t ~upto = average_busy t ~upto /. float_of_int t.n
+let cpu0_utilization t ~upto = Sim.Stats.Level.average t.cpu0_level ~upto
+let busy_now t = busy_count t

@@ -1,0 +1,106 @@
+module Engine = Sim.Engine
+module Time = Sim.Time
+
+type fault = Deliver | Drop | Corrupt | Corrupt_payload
+
+type station = {
+  st_mac : Net.Mac.t;
+  on_frame_start : frame:Bytes.t -> wire:Time.span -> unit;
+}
+
+type t = {
+  eng : Engine.t;
+  mbps : float;
+  medium : Sim.Resource.t;
+  stations : (Net.Mac.t, station) Hashtbl.t;
+  mutable injector : (Bytes.t -> fault) option;
+  frames : Sim.Stats.Counter.t;
+  bytes : Sim.Stats.Counter.t;
+  dropped : Sim.Stats.Counter.t;
+  corrupted : Sim.Stats.Counter.t;
+}
+
+let create eng ~mbps =
+  if mbps <= 0. then invalid_arg "Ether_link.create: mbps must be positive";
+  {
+    eng;
+    mbps;
+    medium = Sim.Resource.create eng ~name:"ethernet" ~capacity:1;
+    stations = Hashtbl.create 8;
+    injector = None;
+    frames = Sim.Stats.Counter.create ();
+    bytes = Sim.Stats.Counter.create ();
+    dropped = Sim.Stats.Counter.create ();
+    corrupted = Sim.Stats.Counter.create ();
+  }
+
+let attach t ~mac ~on_frame_start =
+  if Hashtbl.mem t.stations mac then
+    invalid_arg ("Ether_link.attach: duplicate station " ^ Net.Mac.to_string mac);
+  let st = { st_mac = mac; on_frame_start } in
+  Hashtbl.replace t.stations mac st;
+  st
+
+let detach t station = Hashtbl.remove t.stations station.st_mac
+
+let wire_span t ~bytes = Time.us_f (float_of_int (bytes * 8) /. t.mbps)
+let interframe_gap t = Time.us_f (96. /. t.mbps)
+let interframe_span = interframe_gap
+
+let set_fault_injector t f = t.injector <- f
+
+(* Corrupt one byte past [lo], mimicking the DEQNA's post-CRC memory
+   errors: the frame still demultiplexes, only the end-to-end checksum
+   can catch it. *)
+let corrupt_copy t frame ~lo =
+  let b = Bytes.copy frame in
+  if Bytes.length b > lo then begin
+    let i = lo + Sim.Rng.int (Engine.rng t.eng) (Bytes.length b - lo) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20))
+  end;
+  b
+
+let deliver t ~src frame ~wire =
+  let dst = Net.Mac.read (Wire.Bytebuf.Reader.of_bytes frame) in
+  let notify st = if not (Net.Mac.equal st.st_mac src) then st.on_frame_start ~frame ~wire in
+  if Net.Mac.is_broadcast dst then Hashtbl.iter (fun _ st -> notify st) t.stations
+  else
+    match Hashtbl.find_opt t.stations dst with
+    | Some st -> notify st
+    | None -> () (* no such station: frame disappears into the ether *)
+
+let transmit t ~src frame =
+  let len = Bytes.length frame in
+  if len < Net.Ethernet.header_size then invalid_arg "Ether_link.transmit: runt frame";
+  if len > Net.Ethernet.max_frame_size then invalid_arg "Ether_link.transmit: giant frame";
+  Sim.Resource.acquire t.medium;
+  Fun.protect
+    ~finally:(fun () -> Sim.Resource.release t.medium)
+    (fun () ->
+      let wire = wire_span t ~bytes:(max len Net.Ethernet.min_frame_size) in
+      Sim.Stats.Counter.incr t.frames;
+      Sim.Stats.Counter.add t.bytes len;
+      let fate =
+        match t.injector with
+        | None -> Deliver
+        | Some f -> f frame
+      in
+      (match fate with
+      | Deliver -> deliver t ~src frame ~wire
+      | Drop -> Sim.Stats.Counter.incr t.dropped
+      | Corrupt ->
+        Sim.Stats.Counter.incr t.corrupted;
+        deliver t ~src (corrupt_copy t frame ~lo:Net.Ethernet.header_size) ~wire
+      | Corrupt_payload ->
+        if len > 74 then begin
+          Sim.Stats.Counter.incr t.corrupted;
+          deliver t ~src (corrupt_copy t frame ~lo:74) ~wire
+        end
+        else deliver t ~src frame ~wire);
+      Engine.delay t.eng (Time.span_add wire (interframe_gap t)))
+
+let frames_carried t = Sim.Stats.Counter.value t.frames
+let bytes_carried t = Sim.Stats.Counter.value t.bytes
+let frames_dropped t = Sim.Stats.Counter.value t.dropped
+let frames_corrupted t = Sim.Stats.Counter.value t.corrupted
+let utilization t ~upto = Sim.Resource.utilization t.medium ~upto

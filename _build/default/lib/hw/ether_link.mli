@@ -1,0 +1,59 @@
+(** The shared 10 Mbit/s Ethernet segment.
+
+    One frame occupies the medium at a time (acquisition is FIFO — a
+    simplification of CSMA/CD that is exact for the paper's two-machine
+    private-Ethernet setup, where the closed request/response loop never
+    produces collisions).  A receiving station is notified when a frame
+    {e starts} arriving, with the frame's wire time, so the controller
+    model can hold its receive engine busy for the duration — that
+    store-and-forward occupancy is what caps the paper's throughput.
+
+    A fault injector can drop frames (wire noise, receiver CRC reject)
+    or corrupt bytes {e after} the CRC check — the DEQNA misbehaviour
+    that justifies software UDP checksums (§4.2.4). *)
+
+type t
+
+type fault =
+  | Deliver  (** normal delivery *)
+  | Drop  (** frame lost; wire time still elapses *)
+  | Corrupt  (** one byte past the Ethernet header flipped after the CRC check *)
+  | Corrupt_payload
+      (** one byte past offset 74 flipped — guaranteed to hit RPC
+          argument/result data, leaving all headers intact; delivers
+          unmodified if the frame has no payload *)
+
+type station
+
+val create : Sim.Engine.t -> mbps:float -> t
+
+val attach :
+  t -> mac:Net.Mac.t -> on_frame_start:(frame:Stdlib.Bytes.t -> wire:Sim.Time.span -> unit) -> station
+(** Attaches a station.  [on_frame_start] is invoked — at the instant a
+    frame addressed to this station (or to broadcast) begins arriving —
+    with the frame bytes and its remaining wire time.
+    @raise Invalid_argument if the MAC is already attached. *)
+
+val detach : t -> station -> unit
+(** Removes a station (server crash experiments). *)
+
+val transmit : t -> src:Net.Mac.t -> Stdlib.Bytes.t -> unit
+(** [transmit t ~src frame] waits for the medium, occupies it for the
+    frame's wire time plus the interframe gap, and delivers to the
+    destination (first 6 bytes of the frame).  Blocks the calling
+    process for the whole occupancy — the transmitting controller is
+    busy throughout (no cut-through is modelled by the {e caller}
+    sequencing its QBus transfer before this call). *)
+
+val wire_span : t -> bytes:int -> Sim.Time.span
+val interframe_span : t -> Sim.Time.span
+
+val set_fault_injector : t -> (Stdlib.Bytes.t -> fault) option -> unit
+
+(** {1 Statistics} *)
+
+val frames_carried : t -> int
+val bytes_carried : t -> int
+val frames_dropped : t -> int
+val frames_corrupted : t -> int
+val utilization : t -> upto:Sim.Time.t -> float

@@ -1,0 +1,1 @@
+lib/net/mac.ml: Char Format Hashtbl List Printf String Wire

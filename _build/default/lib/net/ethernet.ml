@@ -1,0 +1,23 @@
+module W = Wire.Bytebuf.Writer
+module R = Wire.Bytebuf.Reader
+
+type header = { dst : Mac.t; src : Mac.t; ethertype : int }
+
+let ethertype_ipv4 = 0x0800
+let ethertype_firefly_rpc = 0x88b5 (* IEEE local experimental *)
+let header_size = 14
+let min_frame_size = 60
+let max_frame_size = 1514
+
+let encode w { dst; src; ethertype } =
+  Mac.write w dst;
+  Mac.write w src;
+  W.u16 w ethertype
+
+let decode r =
+  if R.remaining r < header_size then Error "ethernet: frame too short"
+  else
+    let dst = Mac.read r in
+    let src = Mac.read r in
+    let ethertype = R.u16 r in
+    Ok { dst; src; ethertype }

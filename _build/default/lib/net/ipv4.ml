@@ -1,0 +1,94 @@
+module W = Wire.Bytebuf.Writer
+module R = Wire.Bytebuf.Reader
+
+module Addr = struct
+  type t = int32
+
+  let of_int32 v = v
+  let to_int32 v = v
+
+  let of_string s =
+    match String.split_on_char '.' s with
+    | [ a; b; c; d ] ->
+      let octet x =
+        match int_of_string_opt x with
+        | Some v when v >= 0 && v <= 255 -> v
+        | _ -> invalid_arg ("Ipv4.Addr.of_string: bad octet " ^ x)
+      in
+      let a, b, c, d = (octet a, octet b, octet c, octet d) in
+      Int32.of_int ((a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d)
+    | _ -> invalid_arg ("Ipv4.Addr.of_string: " ^ s)
+
+  let to_string t =
+    let v = Int32.to_int t land 0xffffffff in
+    Printf.sprintf "%d.%d.%d.%d" ((v lsr 24) land 0xff) ((v lsr 16) land 0xff)
+      ((v lsr 8) land 0xff) (v land 0xff)
+
+  let equal = Int32.equal
+  let compare = Int32.compare
+  let pp fmt t = Format.pp_print_string fmt (to_string t)
+end
+
+type header = {
+  src : Addr.t;
+  dst : Addr.t;
+  protocol : int;
+  ttl : int;
+  ident : int;
+  payload_len : int;
+}
+
+let protocol_udp = 17
+let header_size = 20
+
+let encode w h =
+  let start = W.length w in
+  W.u8 w 0x45 (* version 4, IHL 5 *);
+  W.u8 w 0 (* TOS *);
+  W.u16 w (header_size + h.payload_len);
+  W.u16 w h.ident;
+  W.u16 w 0 (* flags/fragment offset *);
+  W.u8 w h.ttl;
+  W.u8 w h.protocol;
+  W.u16 w 0 (* checksum placeholder *);
+  W.u32 w (Addr.to_int32 h.src);
+  W.u32 w (Addr.to_int32 h.dst);
+  let cks =
+    Wire.Checksum.checksum (W.unsafe_buffer w) ~pos:(W.absolute_pos w start) ~len:header_size
+  in
+  W.patch_u16 w ~pos:(start + 10) cks
+
+let decode r =
+  if R.remaining r < header_size then Error "ipv4: truncated header"
+  else begin
+    (* Verify the checksum over the raw header bytes before parsing. *)
+    let raw = R.bytes r header_size in
+    if not (Wire.Checksum.verify raw ~pos:0 ~len:header_size) then Error "ipv4: bad header checksum"
+    else
+      let hr = R.of_bytes raw in
+      let vihl = R.u8 hr in
+      if vihl <> 0x45 then Error (Printf.sprintf "ipv4: unsupported version/IHL 0x%02x" vihl)
+      else begin
+        R.skip hr 1 (* TOS *);
+        let total_len = R.u16 hr in
+        let ident = R.u16 hr in
+        let frag = R.u16 hr in
+        let ttl = R.u8 hr in
+        let protocol = R.u8 hr in
+        R.skip hr 2 (* checksum, already verified *);
+        let src = Addr.of_int32 (R.u32 hr) in
+        let dst = Addr.of_int32 (R.u32 hr) in
+        if frag land 0x3fff <> 0 then Error "ipv4: fragmented packet unsupported"
+        else if total_len < header_size then Error "ipv4: bad total length"
+        else Ok { src; dst; protocol; ttl; ident; payload_len = total_len - header_size }
+      end
+  end
+
+let pseudo_header_sum ~src ~dst ~protocol ~len =
+  let b = Bytes.create 12 in
+  Bytes.set_int32_be b 0 (Addr.to_int32 src);
+  Bytes.set_int32_be b 4 (Addr.to_int32 dst);
+  Bytes.set_uint8 b 8 0;
+  Bytes.set_uint8 b 9 protocol;
+  Bytes.set_uint16_be b 10 len;
+  Wire.Checksum.sum b ~pos:0 ~len:12

@@ -1,0 +1,27 @@
+(** 48-bit Ethernet (MAC) addresses. *)
+
+type t
+
+val broadcast : t
+
+val of_station : int -> t
+(** [of_station n] is a locally-administered unicast address derived
+    from a small station number — how the simulator names DEQNA
+    controllers.  [n] must be in [0, 0xffffff]. *)
+
+val of_string : string -> t
+(** Parses ["aa:bb:cc:dd:ee:ff"].  @raise Invalid_argument on syntax
+    errors. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val is_broadcast : t -> bool
+val pp : Format.formatter -> t -> unit
+
+val size : int
+(** Encoded size in bytes (6). *)
+
+val write : Wire.Bytebuf.Writer.t -> t -> unit
+val read : Wire.Bytebuf.Reader.t -> t

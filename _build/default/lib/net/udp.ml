@@ -1,0 +1,49 @@
+module W = Wire.Bytebuf.Writer
+module R = Wire.Bytebuf.Reader
+
+type header = { src_port : int; dst_port : int; length : int; checksum : int }
+
+let header_size = 8
+
+let encode w ~src ~dst ~src_port ~dst_port ?(checksum = true) ~payload () =
+  let start = W.length w in
+  W.u16 w src_port;
+  W.u16 w dst_port;
+  W.u16 w 0 (* length placeholder *);
+  W.u16 w 0 (* checksum placeholder *);
+  payload w;
+  let len = W.length w - start in
+  W.patch_u16 w ~pos:(start + 4) len;
+  if checksum then begin
+    let init = Ipv4.pseudo_header_sum ~src ~dst ~protocol:Ipv4.protocol_udp ~len in
+    let cks =
+      Wire.Checksum.checksum ~init (W.unsafe_buffer w) ~pos:(W.absolute_pos w start) ~len
+    in
+    (* An all-zero computed checksum is transmitted as 0xffff (RFC 768). *)
+    W.patch_u16 w ~pos:(start + 6) (if cks = 0 then 0xffff else cks)
+  end
+
+let decode r ~src ~dst =
+  if R.remaining r < header_size then Error "udp: truncated header"
+  else begin
+    let datagram_len = R.remaining r in
+    let raw = R.bytes r datagram_len in
+    let hr = R.of_bytes raw in
+    let src_port = R.u16 hr in
+    let dst_port = R.u16 hr in
+    let length = R.u16 hr in
+    let checksum = R.u16 hr in
+    if length < header_size || length > datagram_len then Error "udp: bad length"
+    else if
+      checksum <> 0
+      && not
+           (let init =
+              Ipv4.pseudo_header_sum ~src ~dst ~protocol:Ipv4.protocol_udp ~len:length
+            in
+            Wire.Checksum.verify ~init raw ~pos:0 ~len:length)
+    then Error "udp: bad checksum"
+    else
+      Ok
+        ( { src_port; dst_port; length; checksum },
+          Bytes.sub raw header_size (length - header_size) )
+  end

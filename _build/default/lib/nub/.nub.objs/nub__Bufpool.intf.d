@@ -1,0 +1,1 @@
+lib/nub/bufpool.mli:

@@ -1,0 +1,1 @@
+lib/nub/driver.ml: Bufpool Bytes Hw Sim

@@ -1,0 +1,1 @@
+lib/nub/driver.mli: Bufpool Hw Sim Stdlib

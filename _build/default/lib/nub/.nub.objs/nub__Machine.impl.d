@@ -1,0 +1,1 @@
+lib/nub/machine.ml: Bufpool Driver Hw Net Option Sim Waiter

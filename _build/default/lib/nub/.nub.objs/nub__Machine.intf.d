@@ -1,0 +1,1 @@
+lib/nub/machine.mli: Bufpool Driver Hw Net Sim Waiter

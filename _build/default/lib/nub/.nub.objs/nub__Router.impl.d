@@ -1,0 +1,1 @@
+lib/nub/router.ml: Bufpool Bytes Hashtbl Hw Int32 List Net Sim Wire

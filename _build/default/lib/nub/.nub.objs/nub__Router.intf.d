@@ -1,0 +1,1 @@
+lib/nub/router.mli: Hw Net Sim

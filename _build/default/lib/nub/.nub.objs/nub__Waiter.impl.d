@@ -1,0 +1,1 @@
+lib/nub/waiter.ml: Hw Option Sim

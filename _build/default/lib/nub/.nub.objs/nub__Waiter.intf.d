@@ -1,0 +1,1 @@
+lib/nub/waiter.mli: Hw Sim

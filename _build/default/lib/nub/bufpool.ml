@@ -1,0 +1,29 @@
+type t = {
+  cap : int;
+  mutable avail : int;
+  failed : Sim.Stats.Counter.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bufpool.create: capacity must be positive";
+  { cap = capacity; avail = capacity; failed = Sim.Stats.Counter.create () }
+
+let capacity t = t.cap
+let available t = t.avail
+
+let try_alloc t =
+  if t.avail > 0 then begin
+    t.avail <- t.avail - 1;
+    true
+  end
+  else begin
+    Sim.Stats.Counter.incr t.failed;
+    false
+  end
+
+let free t =
+  if t.avail >= t.cap then invalid_arg "Bufpool.free: double free";
+  t.avail <- t.avail + 1
+
+let in_use t = t.cap - t.avail
+let exhaustions t = Sim.Stats.Counter.value t.failed

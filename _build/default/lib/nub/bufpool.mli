@@ -1,0 +1,30 @@
+(** The shared RPC packet-buffer pool.
+
+    On the Firefly, RPC packet buffers live in memory shared among all
+    user address spaces and the Nub, permanently mapped into I/O space,
+    so stubs, the Ethernet driver and the interrupt handler all touch a
+    packet with the same addresses — no mapping or copying on the fast
+    path (§3.2).  The pool is modelled as a bounded count: the
+    interesting behaviours are exhaustion (receive losses when the
+    driver cannot replace a controller buffer) and the retained-buffer
+    discipline of the call table. *)
+
+type t
+
+val create : capacity:int -> t
+
+val capacity : t -> int
+val available : t -> int
+
+val try_alloc : t -> bool
+(** Takes one buffer; [false] if the pool is empty (the failed
+    allocation is counted). *)
+
+val free : t -> unit
+(** Returns one buffer.
+    @raise Invalid_argument if the pool would exceed its capacity —
+    that is always a double-free bug in the caller. *)
+
+val in_use : t -> int
+val exhaustions : t -> int
+(** Number of failed allocations. *)

@@ -1,0 +1,127 @@
+module Engine = Sim.Engine
+module Time = Sim.Time
+module Cpu_set = Hw.Cpu_set
+module Timing = Hw.Timing
+module Deqna = Hw.Deqna
+
+type verdict = Consumed | To_datalink | Dropped of string
+
+type t = {
+  eng : Engine.t;
+  timing : Timing.t;
+  cpus : Cpu_set.t;
+  deqna : Deqna.t;
+  pool : Bufpool.t;
+  mutable fast : ctx:Cpu_set.ctx -> frame:Bytes.t -> verdict;
+  mutable datalink : ctx:Cpu_set.ctx -> frame:Bytes.t -> unit;
+  datalink_q : Bytes.t Sim.Mailbox.t;
+  c_rx : Sim.Stats.Counter.t;
+  c_slow : Sim.Stats.Counter.t;
+  c_drop : Sim.Stats.Counter.t;
+  c_irq : Sim.Stats.Counter.t;
+}
+
+let cat = "send+receive"
+
+let charge ctx ~label span = Cpu_set.charge ctx ~cat ~label span
+
+let create eng timing ~cpus ~deqna ~pool =
+  let t =
+    {
+      eng;
+      timing;
+      cpus;
+      deqna;
+      pool;
+      fast = (fun ~ctx:_ ~frame:_ -> To_datalink);
+      datalink = (fun ~ctx:_ ~frame:_ -> ());
+      datalink_q = Sim.Mailbox.create eng;
+      c_rx = Sim.Stats.Counter.create ();
+      c_slow = Sim.Stats.Counter.create ();
+      c_drop = Sim.Stats.Counter.create ();
+      c_irq = Sim.Stats.Counter.create ();
+    }
+  in
+  t
+
+let set_fast_handler t f = t.fast <- f
+let set_datalink_handler t f = t.datalink <- f
+
+let interrupt_body t ctx =
+  Sim.Stats.Counter.incr t.c_irq;
+  charge ctx ~label:"General I/O interrupt handler" (Timing.io_interrupt t.timing);
+  charge ctx ~label:"Uniprocessor interrupt entry" (Timing.uniproc_interrupt_entry t.timing);
+  let rec drain () =
+    match Deqna.take_rx t.deqna with
+    | None -> ()
+    | Some frame ->
+      Sim.Stats.Counter.incr t.c_rx;
+      (* On-the-fly receive buffer replacement: hand the controller a
+         fresh buffer before processing this one (§3.2).  If the pool is
+         dry the controller will drop until buffers return. *)
+      if Bufpool.try_alloc t.pool then Deqna.add_rx_credits t.deqna 1;
+      (match t.fast ~ctx ~frame with
+      | Consumed -> ()
+      | Dropped _ ->
+        Sim.Stats.Counter.incr t.c_drop;
+        Bufpool.free t.pool
+      | To_datalink ->
+        Sim.Stats.Counter.incr t.c_slow;
+        (* The traditional path costs a second wakeup (§3.2). *)
+        charge ctx ~label:"Wakeup datalink thread" (Timing.wakeup t.timing);
+        charge ctx ~label:"Uniprocessor wakeup path"
+          (Timing.uniproc_wakeup_extra t.timing);
+        Sim.Mailbox.send t.datalink_q frame);
+      (* Context restore and scheduler bookkeeping for this packet:
+         serialized on CPU 0 but off an isolated call's latency path. *)
+      charge ctx ~label:"Interrupt epilogue" (Timing.interrupt_epilogue t.timing);
+      drain ()
+  in
+  drain ();
+  Deqna.interrupt_done t.deqna
+
+let start t ~rx_buffers =
+  let granted = ref 0 in
+  for _ = 1 to rx_buffers do
+    if Bufpool.try_alloc t.pool then incr granted
+  done;
+  Deqna.add_rx_credits t.deqna !granted;
+  Deqna.set_interrupt_handler t.deqna (fun () ->
+      Cpu_set.with_cpu ~affinity:Cpu_set.Cpu0 ~priority:Cpu_set.Interrupt t.cpus (fun ctx ->
+          interrupt_body t ctx));
+  Engine.spawn t.eng ~name:"datalink" (fun () ->
+      let rec loop () =
+        let frame = Sim.Mailbox.recv t.datalink_q in
+        Cpu_set.with_cpu t.cpus (fun ctx ->
+            (* Datalink demultiplexing outside the interrupt routine:
+               dispatch + the module walk the fast path avoids. *)
+            charge ctx ~label:"Datalink thread dispatch" (Timing.dispatch t.timing);
+            charge ctx ~label:"Datalink demultiplex" (Time.us 180);
+            t.datalink ~ctx ~frame);
+        loop ()
+      in
+      loop ())
+
+let send t ~ctx frame =
+  charge ctx ~label:"Handle trap to Nub" (Timing.trap_to_nub t.timing);
+  charge ctx ~label:"Queue packet for transmission" (Timing.queue_packet t.timing);
+  Deqna.queue_tx t.deqna frame;
+  (* The interprocessor interrupt: 10 us of signalling latency, then
+     CPU 0 runs the prod at interrupt priority. *)
+  Engine.schedule t.eng ~after:(Timing.ipi_latency t.timing) (fun () ->
+      Engine.spawn t.eng ~name:"ipi" (fun () ->
+          Cpu_set.with_cpu ~affinity:Cpu_set.Cpu0 ~priority:Cpu_set.Interrupt t.cpus (fun ctx ->
+              charge ctx ~label:"Uniprocessor interrupt entry"
+                (Timing.uniproc_interrupt_entry t.timing);
+              charge ctx ~label:"Handle interprocessor interrupt" (Timing.ipi_handler t.timing);
+              charge ctx ~label:"Activate Ethernet controller"
+                (Timing.activate_controller t.timing);
+              Deqna.start_transmit t.deqna;
+              (* Context restore after the prod: serialized on CPU 0,
+                 but the packet is already on its way. *)
+              charge ctx ~label:"Interrupt epilogue" (Timing.interrupt_epilogue t.timing))))
+
+let frames_received t = Sim.Stats.Counter.value t.c_rx
+let frames_to_datalink t = Sim.Stats.Counter.value t.c_slow
+let frames_dropped t = Sim.Stats.Counter.value t.c_drop
+let interrupts_taken t = Sim.Stats.Counter.value t.c_irq

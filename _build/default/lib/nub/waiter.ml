@@ -1,0 +1,79 @@
+module Engine = Sim.Engine
+module Time = Sim.Time
+module Cpu_set = Hw.Cpu_set
+module Timing = Hw.Timing
+
+type t = {
+  eng : Engine.t;
+  timing : Timing.t;
+  cpus : Cpu_set.t;
+  mutable pending : int;
+  cv : Sim.Condvar.t;
+}
+
+let create eng timing ~cpus = { eng; timing; cpus; pending = 0; cv = Sim.Condvar.create eng }
+
+let busy_wait t = (Timing.config t.timing).Hw.Config.busy_wait
+
+let cat = "send+receive"
+
+let spin t ctx ~deadline =
+  let rec loop () =
+    if t.pending > 0 then begin
+      t.pending <- t.pending - 1;
+      `Ok
+    end
+    else
+      match deadline with
+      | Some d when Time.compare (Engine.now t.eng) d >= 0 -> `Timeout
+      | _ ->
+        Cpu_set.charge ctx ~cat ~label:"Busy-wait poll" (Timing.busy_wait_poll t.timing);
+        (* Release the CPU each iteration so interrupt work can run even
+           on a uniprocessor ("relinquish control whenever the scheduler
+           demanded", §4.2.7). *)
+        Cpu_set.yield_cpu ctx (fun () -> ());
+        loop ()
+  in
+  loop ()
+
+let wait_common t ctx ~timeout =
+  if busy_wait t then
+    let deadline = Option.map (fun d -> Time.add (Engine.now t.eng) d) timeout in
+    spin t ctx ~deadline
+  else if t.pending > 0 then begin
+    t.pending <- t.pending - 1;
+    `Ok
+  end
+  else begin
+    let outcome =
+      Cpu_set.yield_cpu ctx (fun () ->
+          match timeout with
+          | None ->
+            Sim.Condvar.await t.cv;
+            `Ok
+          | Some d -> (
+            match Sim.Condvar.await_timeout t.cv ~timeout:d with
+            | `Signaled -> `Ok
+            | `Timeout -> `Timeout))
+    in
+    (match outcome with
+    | `Ok ->
+      (* The woken thread pays to be dispatched onto a processor. *)
+      Cpu_set.charge ctx ~cat ~label:"Dispatch woken thread" (Timing.dispatch t.timing)
+    | `Timeout -> ());
+    outcome
+  end
+
+let wait t ctx =
+  match wait_common t ctx ~timeout:None with
+  | `Ok -> ()
+  | `Timeout -> assert false
+
+let wait_timeout t ctx ~timeout = wait_common t ctx ~timeout:(Some timeout)
+
+let notify t ~waker =
+  Cpu_set.charge waker ~cat ~label:"Wakeup RPC thread" (Timing.wakeup t.timing);
+  Cpu_set.charge waker ~cat ~label:"Uniprocessor wakeup path"
+    (Timing.uniproc_wakeup_extra t.timing);
+  if busy_wait t then t.pending <- t.pending + 1
+  else if not (Sim.Condvar.signal t.cv) then t.pending <- t.pending + 1

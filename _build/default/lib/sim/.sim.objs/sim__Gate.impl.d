@@ -1,0 +1,1 @@
+lib/sim/gate.ml: Condvar

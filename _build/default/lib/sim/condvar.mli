@@ -1,0 +1,24 @@
+(** Condition variables for simulated processes.
+
+    Unlike OS condition variables there is no associated mutex: the
+    simulator is cooperatively scheduled, so the check-then-wait pattern
+    is atomic between events.  Waking is FIFO. *)
+
+type t
+
+val create : Engine.t -> t
+
+val await : t -> unit
+(** Suspends the calling process until {!signal} or {!broadcast}. *)
+
+val await_timeout : t -> timeout:Time.span -> [ `Signaled | `Timeout ]
+
+val signal : t -> bool
+(** Wakes the oldest live waiter.  Returns [false] if nobody was
+    waiting (the signal is {e not} remembered). *)
+
+val broadcast : t -> int
+(** Wakes all current waiters; returns how many were woken. *)
+
+val waiters : t -> int
+(** Number of live waiters (stale timed-out entries excluded). *)

@@ -1,0 +1,157 @@
+type event = { time : Time.t; seq : int; run : unit -> unit }
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  mutable executed : int;
+  mutable suspended : int;
+  queue : event Heap.t;
+  engine_rng : Rng.t;
+  engine_trace : Trace.t;
+}
+
+(* The one-shot guard [cell] is shared between a waker and any waker
+   derived from it (see [suspend_timeout]), so racing resumption paths —
+   normal wake vs. timeout — cannot both fire the continuation. *)
+type fired_cell = { mutable fired : bool }
+
+type 'a waker = {
+  cell : fired_cell;
+  fire : 'a -> unit;
+  owner : t;
+}
+
+exception Not_in_process
+
+let event_leq a b = Time.compare a.time b.time < 0 || (Time.equal a.time b.time && a.seq <= b.seq)
+
+let create ?(seed = 42) () =
+  {
+    clock = Time.zero;
+    seq = 0;
+    executed = 0;
+    suspended = 0;
+    queue = Heap.create ~leq:event_leq;
+    engine_rng = Rng.create ~seed;
+    engine_trace = Trace.create ();
+  }
+
+let now t = t.clock
+let rng t = t.engine_rng
+let trace t = t.engine_trace
+let events_executed t = t.executed
+let suspended_count t = t.suspended
+
+let schedule_at t time run =
+  if Time.compare time t.clock < 0 then invalid_arg "Engine.schedule_at: instant in the past";
+  t.seq <- t.seq + 1;
+  Heap.add t.queue { time; seq = t.seq; run }
+
+let schedule t ?(after = Time.zero_span) run =
+  if Time.span_is_negative after then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t (Time.add t.clock after) run
+
+(* Effects interpreted by the per-process handler.  The engine is carried
+   in the payload so a single global handler installation per process
+   suffices; the handler checks it owns the effect and re-performs
+   otherwise (supporting nested engines, which tests use). *)
+type _ Effect.t +=
+  | Delay : t * Time.span -> unit Effect.t
+  | Suspend : t * ('a waker -> unit) -> 'a Effect.t
+
+let wake w v =
+  if w.cell.fired then false
+  else begin
+    w.cell.fired <- true;
+    let eng = w.owner in
+    eng.suspended <- eng.suspended - 1;
+    schedule eng (fun () -> w.fire v);
+    true
+  end
+
+let waker_dead w = w.cell.fired
+
+let run_process t ?(name = "process") fn =
+  let open Effect.Deep in
+  let handle_exn exn =
+    let bt = Printexc.get_raw_backtrace () in
+    (match exn with
+     | Stdlib.Exit -> ()
+     | _ ->
+       Printf.eprintf "[sim] process %S died: %s\n%!" name (Printexc.to_string exn);
+       Printexc.raise_with_backtrace exn bt)
+  in
+  match_with fn ()
+    {
+      retc = ignore;
+      exnc = handle_exn;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay (t', span) when t' == t ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                schedule t ~after:span (fun () -> continue k ()))
+          | Suspend (t', register) when t' == t ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                t.suspended <- t.suspended + 1;
+                let w = { cell = { fired = false }; fire = continue k; owner = t } in
+                register w)
+          | _ -> None);
+    }
+
+let spawn t ?(after = Time.zero_span) ?name fn =
+  schedule t ~after (fun () -> run_process t ?name fn)
+
+let delay t span =
+  if Time.span_is_negative span then invalid_arg "Engine.delay: negative span";
+  try Effect.perform (Delay (t, span)) with Effect.Unhandled _ -> raise Not_in_process
+
+let suspend t register =
+  try Effect.perform (Suspend (t, register)) with Effect.Unhandled _ -> raise Not_in_process
+
+let suspend_timeout t ~timeout register =
+  suspend t (fun w ->
+      register { cell = w.cell; fire = (fun v -> w.fire (Some v)); owner = t };
+      schedule t ~after:timeout (fun () -> ignore (wake w None)))
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    t.clock <- ev.time;
+    t.executed <- t.executed + 1;
+    ev.run ();
+    true
+
+let check_guard ~max_events t =
+  match max_events with
+  | Some n when t.executed >= n ->
+    failwith (Printf.sprintf "Engine.run: exceeded %d events (runaway model?)" n)
+  | _ -> ()
+
+let run ?max_events t =
+  let continue_ = ref true in
+  while !continue_ do
+    check_guard ~max_events t;
+    continue_ := step t
+  done
+
+let run_until ?max_events t stop =
+  let continue_ = ref true in
+  while !continue_ do
+    check_guard ~max_events t;
+    match Heap.peek t.queue with
+    | None -> continue_ := false
+    | Some ev ->
+      if Time.compare ev.time stop > 0 then continue_ := false else ignore (step t)
+  done;
+  if Time.compare t.clock stop < 0 then t.clock <- stop
+
+let run_while ?max_events t p =
+  let continue_ = ref true in
+  while !continue_ do
+    check_guard ~max_events t;
+    if p () then continue_ := step t else continue_ := false
+  done

@@ -1,0 +1,98 @@
+(** The discrete-event simulation engine.
+
+    The engine owns a virtual clock and an ordered event queue.  Model
+    code runs as {e processes}: ordinary OCaml functions executed under
+    an effect handler that interprets {!delay} and {!suspend}.  A process
+    therefore reads as straight-line code while the engine interleaves
+    many of them in deterministic virtual-time order.
+
+    Determinism: events scheduled for the same instant run in scheduling
+    order (FIFO), so a run is a pure function of the seed and the model.
+
+    {!delay} and {!suspend} may only be called from inside a process
+    (i.e. from a function started with {!spawn} or from a callback run by
+    such a process); calling them elsewhere raises [Not_in_process]. *)
+
+type t
+
+type 'a waker
+(** A one-shot resumption capability for a suspended process.  Wakers are
+    created by {!suspend}; whoever holds one may resume the process with
+    a value of type ['a] exactly once. *)
+
+exception Not_in_process
+(** Raised when {!delay} or {!suspend} is performed outside a process. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ()] is a fresh engine with its clock at {!Time.zero}.
+    [seed] (default 42) seeds the engine's {!Rng.t}. *)
+
+val now : t -> Time.t
+(** [now t] is the current virtual instant.  Callable from anywhere. *)
+
+val rng : t -> Rng.t
+val trace : t -> Trace.t
+
+val events_executed : t -> int
+(** Number of events executed so far; a cheap progress/regression
+    metric used by determinism tests. *)
+
+(** {1 Scheduling} *)
+
+val schedule : t -> ?after:Time.span -> (unit -> unit) -> unit
+(** [schedule t ~after f] runs callback [f] at [now t + after] (default:
+    the current instant, after already-queued events for that instant).
+    [f] must not perform process effects; use {!spawn} for that. *)
+
+val spawn : t -> ?after:Time.span -> ?name:string -> (unit -> unit) -> unit
+(** [spawn t ~name f] starts [f] as a new process at [now t + after].
+    [name] is reported if the process dies with an uncaught exception. *)
+
+(** {1 Process operations} *)
+
+val delay : t -> Time.span -> unit
+(** [delay t d] suspends the calling process for [d] of virtual time.
+    [delay t Time.zero_span] yields to other events at the same instant.
+    @raise Invalid_argument if [d] is negative. *)
+
+val suspend : t -> ('a waker -> unit) -> 'a
+(** [suspend t register] suspends the calling process and hands a waker
+    for it to [register]; the process resumes when somebody calls
+    {!wake} on it, returning the value passed to {!wake}. *)
+
+val suspend_timeout : t -> timeout:Time.span -> ('a waker -> unit) -> 'a option
+(** Like {!suspend} but resumes with [None] after [timeout] if the waker
+    has not fired by then. *)
+
+val wake : 'a waker -> 'a -> bool
+(** [wake w v] resumes the suspended process with value [v].  Returns
+    [false] (and does nothing) if the waker has already fired — e.g. the
+    suspension already timed out. *)
+
+val waker_dead : _ waker -> bool
+(** [waker_dead w] is [true] once [w] has fired; a queue holding wakers
+    can use this to skip stale entries without consuming a wake. *)
+
+(** {1 Running} *)
+
+val run : ?max_events:int -> t -> unit
+(** [run t] executes events until the queue is empty.  [max_events]
+    guards against runaway models (default: unlimited);
+    @raise Failure if the guard trips. *)
+
+val run_until : ?max_events:int -> t -> Time.t -> unit
+(** [run_until t stop] executes events with time <= [stop], then sets
+    the clock to [stop].  Returns early (with the clock at [stop]) if
+    the queue drains first — model worlds contain daemon processes
+    (device engines, service threads) that wait forever by design, so
+    a drained queue is quiescence, not necessarily deadlock; use
+    {!suspended_count} to distinguish them in tests. *)
+
+val run_while : ?max_events:int -> t -> (unit -> bool) -> unit
+(** [run_while t p] executes events while [p ()] holds and the queue is
+    non-empty.  The predicate is evaluated before each event — use with
+    a completion {!Gate} to run a workload to its finish amid daemon
+    processes. *)
+
+val suspended_count : t -> int
+(** Number of currently suspended processes (waiting on a waker). *)

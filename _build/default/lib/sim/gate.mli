@@ -1,0 +1,14 @@
+(** A one-shot latch: processes wait until it opens; opening is
+    remembered, so there is no lost-signal race between a worker
+    finishing and a joiner arriving (unlike {!Condvar.signal}). *)
+
+type t
+
+val create : Engine.t -> t
+val open_ : t -> unit
+(** Opens the gate and wakes all waiters.  Idempotent. *)
+
+val wait : t -> unit
+(** Returns immediately if the gate is already open. *)
+
+val is_open : t -> bool

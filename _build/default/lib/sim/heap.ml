@@ -1,0 +1,54 @@
+type 'a tree = Empty | Node of 'a * 'a tree list
+
+type 'a t = {
+  leq : 'a -> 'a -> bool;
+  mutable root : 'a tree;
+  mutable size : int;
+}
+
+let create ~leq = { leq; root = Empty; size = 0 }
+
+let merge leq a b =
+  match a, b with
+  | Empty, t | t, Empty -> t
+  | Node (x, xs), Node (y, ys) ->
+    if leq x y then Node (x, b :: xs) else Node (y, a :: ys)
+
+let add h x =
+  h.root <- merge h.leq h.root (Node (x, []));
+  h.size <- h.size + 1
+
+let peek h =
+  match h.root with
+  | Empty -> None
+  | Node (x, _) -> Some x
+
+(* Two-pass pairing: first pass merges adjacent pairs, second pass folds
+   right-to-left.  This gives the amortized O(log n) delete-min bound. *)
+let rec merge_pairs leq = function
+  | [] -> Empty
+  | [ t ] -> t
+  | a :: b :: rest -> merge leq (merge leq a b) (merge_pairs leq rest)
+
+let pop h =
+  match h.root with
+  | Empty -> None
+  | Node (x, children) ->
+    h.root <- merge_pairs h.leq children;
+    h.size <- h.size - 1;
+    Some x
+
+let size h = h.size
+let is_empty h = h.size = 0
+
+let clear h =
+  h.root <- Empty;
+  h.size <- 0
+
+let to_sorted_list h =
+  let rec drain acc =
+    match pop h with
+    | None -> List.rev acc
+    | Some x -> drain (x :: acc)
+  in
+  drain []

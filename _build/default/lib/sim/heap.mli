@@ -1,0 +1,32 @@
+(** A mutable min-heap (pairing heap) used for the simulator event queue.
+
+    The ordering is supplied at creation time as a [leq] relation.  Ties
+    are resolved by the caller embedding a sequence number in the element
+    and its [leq]; the heap itself makes no stability guarantee. *)
+
+type 'a t
+
+val create : leq:('a -> 'a -> bool) -> 'a t
+(** [create ~leq] is an empty heap ordered by [leq] (less-or-equal). *)
+
+val add : 'a t -> 'a -> unit
+(** [add h x] inserts [x].  O(1). *)
+
+val peek : 'a t -> 'a option
+(** [peek h] is the minimum element, if any, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element.  Amortized
+    O(log n). *)
+
+val size : 'a t -> int
+(** [size h] is the number of elements currently in the heap. *)
+
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** [clear h] removes all elements. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** [to_sorted_list h] drains the heap, returning all elements in
+    ascending order.  The heap is empty afterwards.  Intended for tests. *)

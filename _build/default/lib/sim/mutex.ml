@@ -1,0 +1,29 @@
+type t = { eng : Engine.t; mutable held : bool; q : unit Engine.waker Queue.t }
+
+let create eng = { eng; held = false; q = Queue.create () }
+
+let lock t =
+  if not t.held then t.held <- true
+  else Engine.suspend t.eng (fun w -> Queue.push w t.q)
+
+let try_lock t =
+  if t.held then false
+  else begin
+    t.held <- true;
+    true
+  end
+
+let unlock t =
+  if not t.held then invalid_arg "Mutex.unlock: not locked";
+  let rec hand_off () =
+    match Queue.take_opt t.q with
+    | None -> t.held <- false
+    | Some w -> if not (Engine.wake w ()) then hand_off ()
+  in
+  hand_off ()
+
+let locked t = t.held
+
+let with_lock t f =
+  lock t;
+  Fun.protect ~finally:(fun () -> unlock t) f

@@ -1,0 +1,23 @@
+(** A FIFO mutex for simulated processes.
+
+    Used to model kernel critical sections (e.g. the Nub scheduler lock)
+    whose serialization is part of the RPC latency story.  Lock handoff
+    is direct: on unlock the oldest waiter becomes the owner without the
+    lock ever appearing free. *)
+
+type t
+
+val create : Engine.t -> t
+
+val lock : t -> unit
+(** Acquires the mutex, suspending until available. *)
+
+val unlock : t -> unit
+(** @raise Invalid_argument if the mutex is not locked. *)
+
+val try_lock : t -> bool
+val locked : t -> bool
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** [with_lock t f] runs [f] holding the mutex, releasing it on return
+    or exception. *)

@@ -1,0 +1,12 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x5DEECE66D |]
+let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+let int t bound = Random.State.int t bound
+let float t bound = Random.State.float t bound
+let bool t ~p = p > 0. && Random.State.float t 1.0 < p
+
+let exponential t ~mean =
+  (* Inverse-CDF sampling; guard the log argument away from 0. *)
+  let u = 1.0 -. Random.State.float t 1.0 in
+  -.mean *. log u

@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random numbers for the simulator.
+
+    A thin wrapper over [Random.State] with an explicit seed so that a
+    simulation run is reproducible: the same seed and workload always
+    produce the same event trace. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], so subsystems
+    can draw randomness without perturbing each other's streams. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be > 0. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> p:float -> bool
+(** [bool t ~p] is [true] with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** [exponential t ~mean] draws from an exponential distribution; used
+    for background-load burst spacing and loss processes. *)

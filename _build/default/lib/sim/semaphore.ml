@@ -1,0 +1,27 @@
+type t = { eng : Engine.t; mutable count : int; q : unit Engine.waker Queue.t }
+
+let create eng ~initial =
+  if initial < 0 then invalid_arg "Semaphore.create: negative initial";
+  { eng; count = initial; q = Queue.create () }
+
+let acquire t =
+  if t.count > 0 then t.count <- t.count - 1
+  else Engine.suspend t.eng (fun w -> Queue.push w t.q)
+
+let try_acquire t =
+  if t.count > 0 then begin
+    t.count <- t.count - 1;
+    true
+  end
+  else false
+
+let release t =
+  (* Hand the unit directly to a waiter if there is a live one. *)
+  let rec hand_off () =
+    match Queue.take_opt t.q with
+    | None -> t.count <- t.count + 1
+    | Some w -> if not (Engine.wake w ()) then hand_off ()
+  in
+  hand_off ()
+
+let value t = t.count

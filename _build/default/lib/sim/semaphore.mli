@@ -1,0 +1,16 @@
+(** Counting semaphore for simulated processes.
+
+    Models bounded pools — e.g. DEQNA receive buffer credits, or a
+    bounded server-thread pool.  FIFO wakeup order. *)
+
+type t
+
+val create : Engine.t -> initial:int -> t
+(** [initial] must be >= 0. *)
+
+val acquire : t -> unit
+(** Takes one unit, suspending while the count is zero. *)
+
+val try_acquire : t -> bool
+val release : t -> unit
+val value : t -> int

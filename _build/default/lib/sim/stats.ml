@@ -1,0 +1,83 @@
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+  let incr t = t.v <- t.v + 1
+  let add t n = t.v <- t.v + n
+  let value t = t.v
+  let reset t = t.v <- 0
+end
+
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable total : float;
+    mutable total_sq : float;
+    mutable lo : float;
+    mutable hi : float;
+  }
+
+  let create () = { n = 0; total = 0.; total_sq = 0.; lo = infinity; hi = neg_infinity }
+
+  let observe t x =
+    t.n <- t.n + 1;
+    t.total <- t.total +. x;
+    t.total_sq <- t.total_sq +. (x *. x);
+    if x < t.lo then t.lo <- x;
+    if x > t.hi then t.hi <- x
+
+  let count t = t.n
+  let sum t = t.total
+  let mean t = if t.n = 0 then 0. else t.total /. float_of_int t.n
+
+  let min t =
+    if t.n = 0 then invalid_arg "Stats.Summary.min: empty";
+    t.lo
+
+  let max t =
+    if t.n = 0 then invalid_arg "Stats.Summary.max: empty";
+    t.hi
+
+  let stddev t =
+    if t.n < 2 then 0.
+    else
+      let n = float_of_int t.n in
+      let m = t.total /. n in
+      let var = (t.total_sq /. n) -. (m *. m) in
+      if var <= 0. then 0. else sqrt var
+
+  let reset t =
+    t.n <- 0;
+    t.total <- 0.;
+    t.total_sq <- 0.;
+    t.lo <- infinity;
+    t.hi <- neg_infinity
+end
+
+module Level = struct
+  type t = {
+    start_at : Time.t;
+    mutable level : float;
+    mutable changed_at : Time.t;
+    mutable area : float;  (* level-seconds accumulated up to [changed_at] *)
+  }
+
+  let create ~initial ~at = { start_at = at; level = initial; changed_at = at; area = 0. }
+
+  let accumulate t ~upto =
+    t.area <- t.area +. (t.level *. Time.to_sec (Time.diff upto t.changed_at));
+    t.changed_at <- upto
+
+  let set t v ~at =
+    accumulate t ~upto:at;
+    t.level <- v
+
+  let current t = t.level
+
+  let integral t ~upto =
+    t.area +. (t.level *. Time.to_sec (Time.diff upto t.changed_at))
+
+  let average t ~upto =
+    let dur = Time.to_sec (Time.diff upto t.start_at) in
+    if dur <= 0. then 0. else integral t ~upto /. dur
+end

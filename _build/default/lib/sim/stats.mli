@@ -1,0 +1,50 @@
+(** Lightweight measurement helpers: counters and summary statistics. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+(** Running summary of a stream of samples (durations, sizes, ...). *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  (** [mean t] is 0. when no samples have been observed. *)
+
+  val min : t -> float
+  val max : t -> float
+  (** [min]/[max] raise [Invalid_argument] when empty. *)
+
+  val stddev : t -> float
+  (** Population standard deviation; 0. with fewer than two samples. *)
+
+  val reset : t -> unit
+end
+
+(** Time-weighted average of a step function, e.g. "number of busy CPUs
+    over time".  Drives the paper's CPU-utilization figures. *)
+module Level : sig
+  type t
+
+  val create : initial:float -> at:Time.t -> t
+  val set : t -> float -> at:Time.t -> unit
+  val current : t -> float
+  val integral : t -> upto:Time.t -> float
+  (** [integral t ~upto] is the integral of the level over time, in
+      level-seconds, including the segment from the last change to
+      [upto]. *)
+
+  val average : t -> upto:Time.t -> float
+  (** Integral divided by total observed duration; 0. if no time has
+      elapsed. *)
+end

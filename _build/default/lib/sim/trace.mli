@@ -1,0 +1,43 @@
+(** Span tracing for latency accounting.
+
+    The paper's Tables VI and VII are a per-step breakdown of where the
+    time of one RPC goes.  To regenerate them, model code records a
+    {e span} — a labelled interval of virtual time — for every fast-path
+    step it executes.  Experiments then group spans by label and sum
+    them, reproducing the paper's accounting from an actual simulated
+    call rather than from constants.
+
+    Tracing is off by default (the throughput experiments execute
+    millions of steps); experiments enable it around a single call. *)
+
+type span = {
+  cat : string;  (** coarse grouping, e.g. ["send+receive"] or ["runtime"] *)
+  label : string;  (** the paper's step name, e.g. ["wakeup RPC thread"] *)
+  site : string;  (** machine/entity the time was spent on *)
+  start_at : Time.t;
+  stop_at : Time.t;
+}
+
+type t
+
+val create : unit -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val add : t -> cat:string -> label:string -> site:string -> start_at:Time.t -> stop_at:Time.t -> unit
+(** Records a span; a no-op while tracing is disabled. *)
+
+val clear : t -> unit
+
+val spans : t -> span list
+(** All recorded spans, in recording order. *)
+
+val duration : span -> Time.span
+
+val total : ?site:string -> ?cat:string -> ?label:string -> t -> Time.span
+(** [total t ~cat ~label ~site] sums the duration of spans matching all
+    the given filters (an omitted filter matches everything). *)
+
+val labels : ?cat:string -> t -> string list
+(** Distinct labels in recording order of first appearance. *)

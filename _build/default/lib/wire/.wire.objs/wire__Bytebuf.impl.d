@@ -1,0 +1,1 @@
+lib/wire/bytebuf.ml: Bytes Char Printf String

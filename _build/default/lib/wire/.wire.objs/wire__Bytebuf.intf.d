@@ -1,0 +1,1 @@
+lib/wire/bytebuf.mli: Stdlib

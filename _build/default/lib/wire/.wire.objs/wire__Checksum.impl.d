@@ -1,0 +1,1 @@
+lib/wire/checksum.ml: Bytes Char

@@ -1,0 +1,1 @@
+lib/wire/hexdump.ml: Buffer Bytes Char Format Printf

@@ -1,0 +1,1 @@
+lib/wire/hexdump.mli: Format Stdlib

@@ -1,0 +1,77 @@
+(** Byte-level serialization for packet headers and payloads.
+
+    {!Writer} appends big-endian (network byte order) fields to a
+    fixed-capacity buffer; {!Reader} consumes them with bounds checking.
+    All multi-byte integers are big-endian, matching the IP/UDP headers
+    the RPC transport really encodes. *)
+
+exception Overflow of string
+(** Raised when a write exceeds the buffer capacity or a read runs past
+    the end of the data. *)
+
+module Writer : sig
+  type t
+
+  val create : int -> t
+  (** [create capacity] is an empty writer over a fresh buffer. *)
+
+  val over : Stdlib.Bytes.t -> pos:int -> t
+  (** [over buf ~pos] writes into an existing buffer starting at offset
+      [pos] — how RPC stubs marshal directly into a shared packet
+      buffer.  {!length} and {!patch_u16} positions are relative to
+      [pos]. *)
+
+  val length : t -> int
+  (** Bytes written so far. *)
+
+  val capacity : t -> int
+
+  val u8 : t -> int -> unit
+  (** [u8 w v] appends one byte; [v] must be in [0, 255]. *)
+
+  val u16 : t -> int -> unit
+  (** Appends a 16-bit big-endian value in [0, 0xffff]. *)
+
+  val u32 : t -> int32 -> unit
+  val bytes : t -> Stdlib.Bytes.t -> unit
+  val sub : t -> Stdlib.Bytes.t -> pos:int -> len:int -> unit
+  val string : t -> string -> unit
+
+  val zeros : t -> int -> unit
+  (** [zeros w n] appends [n] zero bytes (checksum placeholders,
+      padding). *)
+
+  val patch_u16 : t -> pos:int -> int -> unit
+  (** [patch_u16 w ~pos v] overwrites the 16-bit field previously
+      written at offset [pos]; used to fill in checksums and lengths
+      after the fact. *)
+
+  val contents : t -> Stdlib.Bytes.t
+  (** A copy of the bytes written so far. *)
+
+  val unsafe_buffer : t -> Stdlib.Bytes.t
+  (** The underlying buffer, unscoped by {!length}; for checksumming in
+      place without a copy.  Offsets into it are absolute — convert
+      writer-relative positions with {!absolute_pos}. *)
+
+  val absolute_pos : t -> int -> int
+  (** [absolute_pos w p] is the offset in {!unsafe_buffer} of the
+      writer-relative position [p]. *)
+end
+
+module Reader : sig
+  type t
+
+  val of_bytes : ?pos:int -> ?len:int -> Stdlib.Bytes.t -> t
+  val remaining : t -> int
+  val position : t -> int
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int32
+  val bytes : t -> int -> Stdlib.Bytes.t
+  val string : t -> int -> string
+  val skip : t -> int -> unit
+
+  val expect_end : t -> unit
+  (** @raise Overflow if bytes remain unread; used by strict decoders. *)
+end

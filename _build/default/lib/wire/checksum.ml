@@ -1,0 +1,25 @@
+(* 16-bit ones-complement sum.  The accumulator is kept as a plain int
+   and folded lazily; OCaml's 63-bit ints cannot overflow on any packet
+   we handle (carry folding per 2 bytes adds at most 16 bits of excess
+   per 2^47 bytes). *)
+
+let fold s =
+  let rec go s = if s > 0xffff then go ((s land 0xffff) + (s lsr 16)) else s in
+  go s
+
+let sum ?(init = 0) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then invalid_arg "Checksum.sum: bad range";
+  let s = ref init in
+  let i = ref pos in
+  let stop = pos + len - 1 in
+  while !i < stop do
+    s := !s + Bytes.get_uint16_be b !i;
+    i := !i + 2
+  done;
+  if len land 1 = 1 then s := !s + (Char.code (Bytes.get b (pos + len - 1)) lsl 8);
+  fold !s
+
+let finish s = lnot (fold s) land 0xffff
+let checksum ?init b ~pos ~len = finish (sum ?init b ~pos ~len)
+
+let verify ?init b ~pos ~len = fold (sum ?init b ~pos ~len) = 0xffff

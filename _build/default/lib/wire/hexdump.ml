@@ -1,0 +1,29 @@
+let to_string ?(pos = 0) ?len b =
+  let len =
+    match len with
+    | Some l -> l
+    | None -> Bytes.length b - pos
+  in
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then invalid_arg "Hexdump: bad range";
+  let buf = Buffer.create (len * 4) in
+  let line_start = ref pos in
+  while !line_start < pos + len do
+    let n = min 16 (pos + len - !line_start) in
+    Buffer.add_string buf (Printf.sprintf "%08x  " (!line_start - pos));
+    for i = 0 to 15 do
+      if i < n then
+        Buffer.add_string buf (Printf.sprintf "%02x " (Char.code (Bytes.get b (!line_start + i))))
+      else Buffer.add_string buf "   ";
+      if i = 7 then Buffer.add_char buf ' '
+    done;
+    Buffer.add_string buf " |";
+    for i = 0 to n - 1 do
+      let c = Bytes.get b (!line_start + i) in
+      Buffer.add_char buf (if c >= ' ' && c <= '~' then c else '.')
+    done;
+    Buffer.add_string buf "|\n";
+    line_start := !line_start + 16
+  done;
+  Buffer.contents buf
+
+let pp fmt b = Format.pp_print_string fmt (to_string b)

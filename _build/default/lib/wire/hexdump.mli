@@ -1,0 +1,7 @@
+(** Conventional hex+ASCII dump of a byte range, for debugging packet
+    encoders and for the examples' verbose modes. *)
+
+val pp : Format.formatter -> Stdlib.Bytes.t -> unit
+
+val to_string : ?pos:int -> ?len:int -> Stdlib.Bytes.t -> string
+(** 16 bytes per line: offset, hex bytes, printable ASCII. *)

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Bytes Float Hw Int32 List Nub Rpc Sim Test_interface World

@@ -1,0 +1,1 @@
+lib/workload/test_interface.ml: Bytes Char Hw Int32 Rpc Sim

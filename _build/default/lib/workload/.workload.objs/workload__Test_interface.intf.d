@@ -1,0 +1,1 @@
+lib/workload/test_interface.mli: Hw Rpc Stdlib

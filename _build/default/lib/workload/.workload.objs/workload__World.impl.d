@@ -1,0 +1,1 @@
+lib/workload/world.ml: Hw Net Nub Rpc Sim Test_interface

@@ -1,0 +1,1 @@
+lib/workload/world.mli: Hw Nub Rpc Sim

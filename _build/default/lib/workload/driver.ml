@@ -1,0 +1,133 @@
+module Engine = Sim.Engine
+module Time = Sim.Time
+module Cpu_set = Hw.Cpu_set
+module Machine = Nub.Machine
+
+type proc = Null | Max_result | Max_arg | Get_data of int
+
+type outcome = {
+  threads : int;
+  calls : int;
+  elapsed : Time.span;
+  rpcs_per_sec : float;
+  megabits_per_sec : float;
+  caller_busy_cpus : float;
+  server_busy_cpus : float;
+  retransmissions : int;
+  mean_latency : Time.span;
+  latencies : Time.span array;
+}
+
+let percentile o p =
+  let n = Array.length o.latencies in
+  if n = 0 then invalid_arg "Driver.percentile: no samples";
+  if p < 0. || p > 1. then invalid_arg "Driver.percentile: p outside [0,1]";
+  let sorted = Array.copy o.latencies in
+  Array.sort Time.span_compare sorted;
+  sorted.(min (n - 1) (int_of_float (Float.of_int n *. p)))
+
+let payload_bytes = function
+  | Null -> 0
+  | Max_result | Max_arg -> Test_interface.buffer_bytes
+  | Get_data n -> n
+
+let proc_idx = function
+  | Null -> Test_interface.null_idx
+  | Max_result -> Test_interface.max_result_idx
+  | Max_arg -> Test_interface.max_arg_idx
+  | Get_data _ -> Test_interface.get_data_idx
+
+let args_of = function
+  | Null -> []
+  | Max_result -> [ Rpc.Marshal.V_bytes Bytes.empty ]
+  | Max_arg -> [ Rpc.Marshal.V_bytes (Test_interface.pattern Test_interface.buffer_bytes) ]
+  | Get_data n -> [ Rpc.Marshal.V_int (Int32.of_int n); Rpc.Marshal.V_bytes Bytes.empty ]
+
+let validate_result proc outs =
+  match proc, outs with
+  | Null, [] | Max_arg, [] -> ()
+  | Max_result, [ Rpc.Marshal.V_bytes b ] ->
+    if Bytes.length b <> Test_interface.buffer_bytes then
+      failwith "Driver: MaxResult returned wrong size"
+  | Get_data n, [ Rpc.Marshal.V_bytes b ] ->
+    if Bytes.length b <> n then failwith "Driver: GetData returned wrong size";
+    if not (Bytes.equal b (Test_interface.pattern n)) then
+      failwith "Driver: GetData returned corrupted data"
+  | _ -> failwith "Driver: unexpected result shape"
+
+let caller_thread (w : World.t) binding proc remaining gate finished samples ~total_threads () =
+  let mach = w.World.caller in
+  let eng = w.World.eng in
+  let timing = Machine.timing mach in
+  Cpu_set.with_cpu (Machine.cpus mach) (fun ctx ->
+      let client = Rpc.Runtime.new_client w.World.caller_rt in
+      let continue_ = ref true in
+      while !continue_ do
+        if !remaining > 0 then begin
+          decr remaining;
+          Cpu_set.charge ctx ~cat:"runtime" ~label:"Calling program (loop)"
+            (Hw.Timing.caller_loop timing);
+          let t0 = Engine.now eng in
+          let outs =
+            Rpc.Runtime.call binding client ctx ~proc_idx:(proc_idx proc) ~args:(args_of proc)
+          in
+          samples := Time.diff (Engine.now eng) t0 :: !samples;
+          validate_result proc outs
+        end
+        else continue_ := false
+      done);
+  incr finished;
+  if !finished = total_threads then Sim.Gate.open_ gate
+
+let run (w : World.t) ?options ?transport ~threads ~calls ~proc () =
+  if threads < 1 then invalid_arg "Driver.run: threads must be >= 1";
+  let binding = World.test_binding w ?options ?transport () in
+  let gate = Sim.Gate.create w.World.eng in
+  let remaining = ref calls in
+  let finished = ref 0 in
+  let samples = ref [] in
+  let started_at = Engine.now w.World.eng in
+  for _ = 1 to threads do
+    Machine.spawn_thread w.World.caller ~name:"rpc-caller"
+      (caller_thread w binding proc remaining gate finished samples ~total_threads:threads)
+  done;
+  World.run_until_quiet w gate;
+  let finished_at = Engine.now w.World.eng in
+  let elapsed = Time.diff finished_at started_at in
+  let secs = Time.to_sec elapsed in
+  let bits = float_of_int (calls * payload_bytes proc * 8) in
+  {
+    threads;
+    calls;
+    elapsed;
+    rpcs_per_sec = (if secs > 0. then float_of_int calls /. secs else 0.);
+    megabits_per_sec = (if secs > 0. then bits /. secs /. 1e6 else 0.);
+    caller_busy_cpus = Machine.average_busy_cpus w.World.caller ~upto:finished_at;
+    server_busy_cpus = Machine.average_busy_cpus w.World.server ~upto:finished_at;
+    retransmissions = Rpc.Runtime.retransmissions w.World.caller_rt;
+    mean_latency =
+      (if calls > 0 then
+         Time.us_f (Time.to_us elapsed *. float_of_int threads /. float_of_int calls)
+       else Time.zero_span);
+    latencies = Array.of_list (List.rev !samples);
+  }
+
+let measure_single_call (w : World.t) ?options ~proc () =
+  let binding = World.test_binding w ?options () in
+  let gate = Sim.Gate.create w.World.eng in
+  let latency = ref Time.zero_span in
+  Machine.spawn_thread w.World.caller ~name:"single-call" (fun () ->
+      Cpu_set.with_cpu (Machine.cpus w.World.caller) (fun ctx ->
+          let client = Rpc.Runtime.new_client w.World.caller_rt in
+          let once () =
+            ignore (Rpc.Runtime.call binding client ctx ~proc_idx:(proc_idx proc) ~args:(args_of proc))
+          in
+          (* Warm the path: binding established, server threads parked. *)
+          once ();
+          once ();
+          let t0 = Engine.now w.World.eng in
+          once ();
+          latency := Time.diff (Engine.now w.World.eng) t0);
+      Sim.Gate.open_ gate);
+  World.run_until_quiet w gate;
+  !latency

@@ -1,0 +1,45 @@
+(** The measurement driver: the multithreaded caller of §2.1.
+
+    [k] caller threads in one user address space share a fixed budget of
+    calls to one Test procedure on the remote server; the run reports
+    elapsed virtual time, call rate, payload throughput and the CPU draw
+    of both machines — the quantities of Tables I, X and XI. *)
+
+type proc = Null | Max_result | Max_arg | Get_data of int
+
+type outcome = {
+  threads : int;
+  calls : int;
+  elapsed : Sim.Time.span;
+  rpcs_per_sec : float;
+  megabits_per_sec : float;  (** payload bits transferred per second *)
+  caller_busy_cpus : float;  (** time-averaged busy CPUs, caller machine *)
+  server_busy_cpus : float;
+  retransmissions : int;
+  mean_latency : Sim.Time.span;  (** elapsed × threads / calls *)
+  latencies : Sim.Time.span array;  (** per-call, in completion order *)
+}
+
+val percentile : outcome -> float -> Sim.Time.span
+(** [percentile o 0.99] — nearest-rank percentile of the per-call
+    latencies.  @raise Invalid_argument on an empty outcome or p
+    outside [0, 1]. *)
+
+val payload_bytes : proc -> int
+
+val run :
+  World.t ->
+  ?options:Rpc.Runtime.call_options ->
+  ?transport:[ `Auto | `Udp | `Decnet ] ->
+  threads:int ->
+  calls:int ->
+  proc:proc ->
+  unit ->
+  outcome
+(** Runs the workload to completion on the world's engine (which must
+    not have been run to a later time already). *)
+
+val measure_single_call :
+  World.t -> ?options:Rpc.Runtime.call_options -> proc:proc -> unit -> Sim.Time.span
+(** One warmed-up call's latency: makes a few calls to populate the
+    fast path, then times one. *)

@@ -1,0 +1,67 @@
+module Time = Sim.Time
+
+let buffer_bytes = 1440
+
+let get_data_max = 60_000
+
+let interface =
+  Rpc.Idl.interface ~name:"Test" ~version:1
+    [
+      Rpc.Idl.proc "Null" [];
+      Rpc.Idl.proc "MaxResult" [ Rpc.Idl.arg ~mode:Rpc.Idl.Var_out "buffer" (Rpc.Idl.T_var_bytes buffer_bytes) ];
+      Rpc.Idl.proc "MaxArg" [ Rpc.Idl.arg ~mode:Rpc.Idl.Var_in "buffer" (Rpc.Idl.T_var_bytes buffer_bytes) ];
+      Rpc.Idl.proc "GetData"
+        [
+          Rpc.Idl.arg "len" Rpc.Idl.T_int;
+          Rpc.Idl.arg ~mode:Rpc.Idl.Var_out "buffer" (Rpc.Idl.T_var_bytes get_data_max);
+        ];
+    ]
+
+let null_idx = Rpc.Idl.find_proc interface "Null"
+let max_result_idx = Rpc.Idl.find_proc interface "MaxResult"
+let max_arg_idx = Rpc.Idl.find_proc interface "MaxArg"
+let get_data_idx = Rpc.Idl.find_proc interface "GetData"
+
+let pattern n = Bytes.init n (fun i -> Char.chr ((i * 7) land 0xff))
+
+let charge_body ctx span =
+  Hw.Cpu_set.charge ctx ~cat:"runtime" ~label:"Null (the server procedure)" span
+
+let impls timing =
+  let body_us = Time.us 10 in
+  let null_impl ctx _args =
+    charge_body ctx body_us;
+    []
+  in
+  let max_result_impl ctx args =
+    charge_body ctx body_us;
+    match args with
+    | [ Rpc.Marshal.V_bytes b ] ->
+      (* The server procedure writes the result directly into the
+         result packet buffer (§2.2): same-size pattern, no extra
+         charge beyond the body. *)
+      ignore (Hw.Timing.config timing);
+      [ Rpc.Marshal.V_bytes (pattern (max (Bytes.length b) buffer_bytes)) ]
+    | _ -> [ Rpc.Marshal.V_bytes (pattern buffer_bytes) ]
+  in
+  let max_arg_impl ctx args =
+    charge_body ctx body_us;
+    (match args with
+    | [ Rpc.Marshal.V_bytes b ] ->
+      let expected = pattern (Bytes.length b) in
+      if not (Bytes.equal b expected) then
+        Rpc.Rpc_error.fail (Rpc.Rpc_error.Marshal_failure "MaxArg: payload corrupted in transit")
+    | _ -> ());
+    []
+  in
+  let get_data_impl ctx args =
+    charge_body ctx body_us;
+    match args with
+    | [ Rpc.Marshal.V_int n; Rpc.Marshal.V_bytes _ ] ->
+      let n = Int32.to_int n in
+      if n < 0 || n > get_data_max then
+        Rpc.Rpc_error.fail (Rpc.Rpc_error.Marshal_failure "GetData: length out of range");
+      [ Rpc.Marshal.V_bytes (pattern n) ]
+    | _ -> Rpc.Rpc_error.fail (Rpc.Rpc_error.Marshal_failure "GetData: bad arguments")
+  in
+  [| null_impl; max_result_impl; max_arg_impl; get_data_impl |]

@@ -1,0 +1,48 @@
+(** Construction of the paper's measurement setup: two Fireflies on a
+    private Ethernet (§2.1), a binder, one user address space on each
+    machine, and the Test interface exported from the server. *)
+
+type t = {
+  eng : Sim.Engine.t;
+  link : Hw.Ether_link.t;
+  binder : Rpc.Binder.t;
+  caller : Nub.Machine.t;
+  server : Nub.Machine.t;
+  caller_node : Rpc.Node.t;
+  server_node : Rpc.Node.t;
+  caller_rt : Rpc.Runtime.t;
+  server_rt : Rpc.Runtime.t;
+}
+
+val create :
+  ?caller_config:Hw.Config.t ->
+  ?server_config:Hw.Config.t ->
+  ?seed:int ->
+  ?workers:int ->
+  ?idle_load:bool ->
+  ?export_test:bool ->
+  unit ->
+  t
+(** Both configs default to {!Hw.Config.default}; [workers] (default 8)
+    server threads serve the Test interface; [idle_load] (default true)
+    starts the background threads that draw ~0.15 CPUs.  [export_test]
+    (default true) controls whether the Test interface is exported —
+    worker threads serve their whole address space, so tests that need
+    an exactly-sized worker pool export their own interface only. *)
+
+val test_binding :
+  t ->
+  ?options:Rpc.Runtime.call_options ->
+  ?transport:[ `Auto | `Udp | `Decnet ] ->
+  unit ->
+  Rpc.Runtime.binding
+(** Imports the Test interface into the caller's address space. *)
+
+val add_machine :
+  t -> name:string -> config:Hw.Config.t -> station:int -> ip:string -> Nub.Machine.t * Rpc.Node.t * Rpc.Runtime.t
+(** Attaches an extra machine (space 1) to the same Ethernet — used by
+    multi-client contention scenarios. *)
+
+val run_until_quiet : ?limit:Sim.Time.span -> t -> Sim.Gate.t -> unit
+(** Runs the simulation until the gate opens (or [limit], default 600
+    simulated seconds, as a hang backstop). *)

@@ -1,0 +1,1 @@
+test/hw/test_cpu_set.ml: Alcotest Hw List Sim

@@ -1,0 +1,1 @@
+test/hw/test_hw.ml: Alcotest Test_cpu_set Test_link_deqna Test_timing

@@ -1,0 +1,1 @@
+test/hw/test_link_deqna.ml: Alcotest Bytes Hw List Net Printf Sim Wire

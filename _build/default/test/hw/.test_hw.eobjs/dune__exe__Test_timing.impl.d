@@ -1,0 +1,1 @@
+test/hw/test_timing.ml: Alcotest Hw Sim

@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "hw"
+    [
+      ("timing", Test_timing.suite);
+      ("cpu_set", Test_cpu_set.suite);
+      ("link-deqna", Test_link_deqna.suite);
+    ]

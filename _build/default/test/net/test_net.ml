@@ -1,0 +1,226 @@
+module W = Wire.Bytebuf.Writer
+module R = Wire.Bytebuf.Reader
+module Mac = Net.Mac
+module Ethernet = Net.Ethernet
+module Ipv4 = Net.Ipv4
+module Udp = Net.Udp
+
+(* {1 MAC} *)
+
+let test_mac_parse () =
+  let m = Mac.of_string "aa:bb:cc:00:11:ff" in
+  Alcotest.(check string) "roundtrip" "aa:bb:cc:00:11:ff" (Mac.to_string m);
+  Alcotest.(check bool) "broadcast" true (Mac.is_broadcast (Mac.of_string "ff:ff:ff:ff:ff:ff"));
+  Alcotest.(check bool) "station not broadcast" false (Mac.is_broadcast (Mac.of_station 3));
+  Alcotest.(check bool) "bad octet" true
+    (try
+       ignore (Mac.of_string "aa:bb:cc:dd:ee:zz");
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "wrong arity" true
+    (try
+       ignore (Mac.of_string "aa:bb");
+       false
+     with Invalid_argument _ -> true)
+
+let test_mac_station_distinct () =
+  let a = Mac.of_station 1 and b = Mac.of_station 2 in
+  Alcotest.(check bool) "distinct" false (Mac.equal a b);
+  Alcotest.(check string) "encoding" "02:00:00:00:00:01" (Mac.to_string a)
+
+let test_mac_wire () =
+  let w = W.create 8 in
+  Mac.write w (Mac.of_station 0x123456);
+  let m = Mac.read (R.of_bytes (W.contents w)) in
+  Alcotest.(check string) "wire roundtrip" "02:00:00:12:34:56" (Mac.to_string m)
+
+(* {1 Ethernet} *)
+
+let test_ethernet_roundtrip () =
+  let h =
+    { Ethernet.dst = Mac.of_station 2; src = Mac.of_station 1; ethertype = Ethernet.ethertype_ipv4 }
+  in
+  let w = W.create 64 in
+  Ethernet.encode w h;
+  Alcotest.(check int) "header size" Ethernet.header_size (W.length w);
+  W.string w "payload";
+  let r = R.of_bytes (W.contents w) in
+  (match Ethernet.decode r with
+  | Ok h' ->
+    Alcotest.(check bool) "dst" true (Mac.equal h.Ethernet.dst h'.Ethernet.dst);
+    Alcotest.(check bool) "src" true (Mac.equal h.Ethernet.src h'.Ethernet.src);
+    Alcotest.(check int) "ethertype" h.Ethernet.ethertype h'.Ethernet.ethertype;
+    Alcotest.(check string) "payload preserved" "payload" (R.string r 7)
+  | Error e -> Alcotest.fail e)
+
+let test_ethernet_truncated () =
+  match Ethernet.decode (R.of_bytes (Bytes.create 5)) with
+  | Ok _ -> Alcotest.fail "accepted truncated frame"
+  | Error _ -> ()
+
+(* {1 IPv4} *)
+
+let ip = Ipv4.Addr.of_string
+
+let test_addr () =
+  Alcotest.(check string) "roundtrip" "16.1.0.255" (Ipv4.Addr.to_string (ip "16.1.0.255"));
+  Alcotest.(check bool) "equal" true (Ipv4.Addr.equal (ip "1.2.3.4") (ip "1.2.3.4"));
+  Alcotest.(check bool) "bad" true
+    (try
+       ignore (ip "1.2.3.400");
+       false
+     with Invalid_argument _ -> true)
+
+let ipv4_header payload_len =
+  {
+    Ipv4.src = ip "16.0.0.1";
+    dst = ip "16.0.0.2";
+    protocol = Ipv4.protocol_udp;
+    ttl = 30;
+    ident = 4242;
+    payload_len;
+  }
+
+let test_ipv4_roundtrip () =
+  let h = ipv4_header 100 in
+  let w = W.create 64 in
+  Ipv4.encode w h;
+  Alcotest.(check int) "header size" Ipv4.header_size (W.length w);
+  match Ipv4.decode (R.of_bytes (W.contents w)) with
+  | Ok h' ->
+    Alcotest.(check string) "src" "16.0.0.1" (Ipv4.Addr.to_string h'.Ipv4.src);
+    Alcotest.(check string) "dst" "16.0.0.2" (Ipv4.Addr.to_string h'.Ipv4.dst);
+    Alcotest.(check int) "protocol" Ipv4.protocol_udp h'.Ipv4.protocol;
+    Alcotest.(check int) "ident" 4242 h'.Ipv4.ident;
+    Alcotest.(check int) "payload_len" 100 h'.Ipv4.payload_len
+  | Error e -> Alcotest.fail e
+
+let test_ipv4_checksum_detects_corruption () =
+  let w = W.create 64 in
+  Ipv4.encode w (ipv4_header 10);
+  let b = W.contents w in
+  Bytes.set b 12 (Char.chr (Char.code (Bytes.get b 12) lxor 0x40));
+  match Ipv4.decode (R.of_bytes b) with
+  | Ok _ -> Alcotest.fail "accepted corrupted header"
+  | Error e -> Alcotest.(check string) "checksum error" "ipv4: bad header checksum" e
+
+let prop_ipv4_roundtrip =
+  QCheck.Test.make ~name:"ipv4 header roundtrip" ~count:200
+    QCheck.(quad (int_bound 0xffff) (int_bound 255) small_int (int_bound 1400))
+    (fun (ident, ttl, src_i, payload_len) ->
+      QCheck.assume (ttl > 0);
+      let h =
+        {
+          Ipv4.src = Ipv4.Addr.of_int32 (Int32.of_int (src_i + 1));
+          dst = ip "16.0.0.9";
+          protocol = Ipv4.protocol_udp;
+          ttl;
+          ident;
+          payload_len;
+        }
+      in
+      let w = W.create 32 in
+      Ipv4.encode w h;
+      match Ipv4.decode (R.of_bytes (W.contents w)) with
+      | Ok h' ->
+        Ipv4.Addr.equal h.Ipv4.src h'.Ipv4.src
+        && h'.Ipv4.ident = ident && h'.Ipv4.ttl = ttl
+        && h'.Ipv4.payload_len = payload_len
+      | Error _ -> false)
+
+(* {1 UDP} *)
+
+let encode_udp ?checksum payload_str =
+  let w = W.create 2048 in
+  Udp.encode w ~src:(ip "16.0.0.1") ~dst:(ip "16.0.0.2") ~src_port:1111 ~dst_port:2222 ?checksum
+    ~payload:(fun w -> W.string w payload_str)
+    ();
+  W.contents w
+
+let test_udp_roundtrip () =
+  let b = encode_udp "the quick brown fox" in
+  match Udp.decode (R.of_bytes b) ~src:(ip "16.0.0.1") ~dst:(ip "16.0.0.2") with
+  | Ok (h, payload) ->
+    Alcotest.(check int) "src port" 1111 h.Udp.src_port;
+    Alcotest.(check int) "dst port" 2222 h.Udp.dst_port;
+    Alcotest.(check int) "length" (8 + 19) h.Udp.length;
+    Alcotest.(check bool) "checksum set" true (h.Udp.checksum <> 0);
+    Alcotest.(check string) "payload" "the quick brown fox" (Bytes.to_string payload)
+  | Error e -> Alcotest.fail e
+
+let test_udp_checksum_detects_payload_corruption () =
+  let b = encode_udp "sensitive data" in
+  Bytes.set b 12 'X';
+  match Udp.decode (R.of_bytes b) ~src:(ip "16.0.0.1") ~dst:(ip "16.0.0.2") with
+  | Ok _ -> Alcotest.fail "accepted corrupted payload"
+  | Error e -> Alcotest.(check string) "checksum error" "udp: bad checksum" e
+
+let test_udp_pseudo_header_binds_addresses () =
+  (* Same datagram delivered to the wrong IP destination must fail:
+     the pseudo-header ties the checksum to the address pair. *)
+  let b = encode_udp "hello" in
+  match Udp.decode (R.of_bytes b) ~src:(ip "16.0.0.1") ~dst:(ip "16.0.0.3") with
+  | Ok _ -> Alcotest.fail "accepted datagram under wrong pseudo-header"
+  | Error _ -> ()
+
+let test_udp_no_checksum_mode () =
+  let b = encode_udp ~checksum:false "no checksum here" in
+  (* Field is zero and corruption passes silently: this is the paper's
+     §4.2.4 "omit UDP checksums" trade-off made concrete. *)
+  Bytes.set b 12 'X';
+  match Udp.decode (R.of_bytes b) ~src:(ip "16.0.0.1") ~dst:(ip "16.0.0.2") with
+  | Ok (h, _) -> Alcotest.(check int) "zero checksum field" 0 h.Udp.checksum
+  | Error e -> Alcotest.fail e
+
+let prop_udp_roundtrip =
+  QCheck.Test.make ~name:"udp payload roundtrip" ~count:200
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 1440))
+    (fun payload ->
+      let b = encode_udp payload in
+      match Udp.decode (R.of_bytes b) ~src:(ip "16.0.0.1") ~dst:(ip "16.0.0.2") with
+      | Ok (_, p) -> Bytes.to_string p = payload
+      | Error _ -> false)
+
+(* {1 Full frame} *)
+
+let test_full_frame_sizes () =
+  (* An RPC packet with no arguments must be exactly 74 bytes on the
+     wire (Eth 14 + IP 20 + UDP 8 + 32-byte RPC header), and a full
+     single-packet result exactly 1514 — the paper's packet sizes. *)
+  let build rpc_payload_len =
+    let w = W.create 2048 in
+    Ethernet.encode w
+      { Ethernet.dst = Mac.of_station 2; src = Mac.of_station 1; ethertype = Ethernet.ethertype_ipv4 };
+    let udp_len = Udp.header_size + 32 + rpc_payload_len in
+    Ipv4.encode w (ipv4_header udp_len);
+    Udp.encode w ~src:(ip "16.0.0.1") ~dst:(ip "16.0.0.2") ~src_port:530 ~dst_port:530
+      ~payload:(fun w -> W.zeros w (32 + rpc_payload_len))
+      ();
+    W.length w
+  in
+  Alcotest.(check int) "minimum RPC frame" 74 (build 0);
+  Alcotest.(check int) "maximum RPC frame" 1514 (build 1440)
+
+let suite =
+  [
+    Alcotest.test_case "mac parse/print" `Quick test_mac_parse;
+    Alcotest.test_case "mac stations" `Quick test_mac_station_distinct;
+    Alcotest.test_case "mac wire format" `Quick test_mac_wire;
+    Alcotest.test_case "ethernet roundtrip" `Quick test_ethernet_roundtrip;
+    Alcotest.test_case "ethernet truncated" `Quick test_ethernet_truncated;
+    Alcotest.test_case "ipv4 addresses" `Quick test_addr;
+    Alcotest.test_case "ipv4 roundtrip" `Quick test_ipv4_roundtrip;
+    Alcotest.test_case "ipv4 checksum detects corruption" `Quick
+      test_ipv4_checksum_detects_corruption;
+    QCheck_alcotest.to_alcotest prop_ipv4_roundtrip;
+    Alcotest.test_case "udp roundtrip" `Quick test_udp_roundtrip;
+    Alcotest.test_case "udp checksum detects corruption" `Quick
+      test_udp_checksum_detects_payload_corruption;
+    Alcotest.test_case "udp pseudo-header binds addresses" `Quick
+      test_udp_pseudo_header_binds_addresses;
+    Alcotest.test_case "udp without checksums" `Quick test_udp_no_checksum_mode;
+    QCheck_alcotest.to_alcotest prop_udp_roundtrip;
+    Alcotest.test_case "paper frame sizes (74/1514)" `Quick test_full_frame_sizes;
+  ]
+
+let () = Alcotest.run "net" [ ("net", suite) ]

@@ -1,0 +1,1 @@
+test/rpc/test_decnet.ml: Alcotest Bytes Char Hw Int32 Nub Option Printf Rpc Sim String Workload

@@ -1,0 +1,1 @@
+test/rpc/test_e2e.ml: Alcotest Bytes Char Hw Int32 List Nub Option Rpc Sim String Workload

@@ -1,0 +1,1 @@
+test/rpc/test_frames.ml: Alcotest Bytes Hw Net QCheck QCheck_alcotest Rpc

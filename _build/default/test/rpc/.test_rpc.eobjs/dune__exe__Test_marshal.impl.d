@@ -1,0 +1,1 @@
+test/rpc/test_marshal.ml: Alcotest Bytes Char Float Hw Int32 Int64 List Printf QCheck QCheck_alcotest Random Rpc Sim String Wire

@@ -1,0 +1,1 @@
+test/rpc/test_proto.ml: Alcotest Bytes Int32 List Net QCheck QCheck_alcotest Rpc Wire

@@ -1,0 +1,1 @@
+test/rpc/test_protocol_props.ml: Alcotest Bytes Hashtbl Hw Int32 Nub Printexc Printf QCheck QCheck_alcotest Rpc Sim String Workload

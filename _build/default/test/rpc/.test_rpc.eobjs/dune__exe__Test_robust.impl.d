@@ -1,0 +1,1 @@
+test/rpc/test_robust.ml: Alcotest Bytes Hw Int32 List Net Nub Rpc Sim Workload

@@ -1,0 +1,1 @@
+test/rpc/test_rpc.ml: Alcotest Test_decnet Test_e2e Test_frames Test_marshal Test_proto Test_protocol_props Test_robust Test_secure Test_typed Test_wan

@@ -1,0 +1,1 @@
+test/rpc/test_rpc.mli:

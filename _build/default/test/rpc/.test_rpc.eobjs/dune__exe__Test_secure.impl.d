@@ -1,0 +1,1 @@
+test/rpc/test_secure.ml: Alcotest Bytes Char Hw Int32 Nub Option QCheck QCheck_alcotest Rpc Sim String Workload

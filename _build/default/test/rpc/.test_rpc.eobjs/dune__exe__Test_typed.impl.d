@@ -1,0 +1,1 @@
+test/rpc/test_typed.ml: Alcotest Bytes Char Hw List Nub Option Printf Rpc Sim Workload

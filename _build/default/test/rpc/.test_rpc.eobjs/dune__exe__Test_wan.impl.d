@@ -1,0 +1,1 @@
+test/rpc/test_wan.ml: Alcotest Bytes Char Hw Int32 Net Nub Option Rpc Sim Wire

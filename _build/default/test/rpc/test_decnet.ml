@@ -1,0 +1,278 @@
+(* The DECNet transport: raw sequenced-message service, then RPC bound
+   over it (the paper's third bind-time transport, §3.1). *)
+
+module Engine = Sim.Engine
+module Time = Sim.Time
+module Cpu_set = Hw.Cpu_set
+module Machine = Nub.Machine
+module Idl = Rpc.Idl
+module Marshal = Rpc.Marshal
+module Runtime = Rpc.Runtime
+module Binder = Rpc.Binder
+module Decnet = Rpc.Decnet
+module World = Workload.World
+
+let v_int n = Marshal.V_int (Int32.of_int n)
+
+type rig = {
+  w : World.t;
+  client_ep : Decnet.endpoint;
+  server_ep : Decnet.endpoint;
+}
+
+let make_rig ?caller_config ?server_config () =
+  let w = World.create ?caller_config ?server_config ~export_test:false () in
+  {
+    w;
+    client_ep = Decnet.endpoint w.World.caller_node;
+    server_ep = Decnet.endpoint w.World.server_node;
+  }
+
+(* Echo server on the raw transport: reverses each message. *)
+let start_echo_server rig ~space =
+  Decnet.listen rig.server_ep ~space (fun conn ->
+      Cpu_set.with_cpu (Machine.cpus rig.w.World.server) (fun ctx ->
+          let rec loop () =
+            match Decnet.recv_message conn ctx ~timeout:(Time.sec 10) with
+            | None -> ()
+            | Some m ->
+              let n = Bytes.length m in
+              Decnet.send_message conn ctx (Bytes.init n (fun i -> Bytes.get m (n - 1 - i)));
+              loop ()
+          in
+          loop ()))
+
+let with_client rig f =
+  let gate = Sim.Gate.create rig.w.World.eng in
+  let out = ref None in
+  Machine.spawn_thread rig.w.World.caller ~name:"decnet-client" (fun () ->
+      Cpu_set.with_cpu (Machine.cpus rig.w.World.caller) (fun ctx -> out := Some (f ctx));
+      Sim.Gate.open_ gate);
+  World.run_until_quiet rig.w gate;
+  Option.get !out
+
+let test_connect_and_echo () =
+  let rig = make_rig () in
+  start_echo_server rig ~space:1;
+  let replies =
+    with_client rig (fun ctx ->
+        let conn =
+          Decnet.connect rig.client_ep ctx ~peer:(Machine.mac rig.w.World.server) ~space:1 ()
+        in
+        let echo s =
+          Decnet.send_message conn ctx (Bytes.of_string s);
+          match Decnet.recv_message conn ctx ~timeout:(Time.sec 5) with
+          | Some b -> Bytes.to_string b
+          | None -> "<timeout>"
+        in
+        let r1 = echo "hello" in
+        let r2 = echo "decnet" in
+        Decnet.close conn ctx;
+        [ r1; r2 ])
+  in
+  Alcotest.(check (list string)) "echoed in order" [ "olleh"; "tenced" ] replies;
+  Alcotest.(check int) "one connection" 1 (Decnet.connections_accepted rig.server_ep)
+
+let test_large_message_segmentation () =
+  let rig = make_rig () in
+  start_echo_server rig ~space:1;
+  let ok =
+    with_client rig (fun ctx ->
+        let conn =
+          Decnet.connect rig.client_ep ctx ~peer:(Machine.mac rig.w.World.server) ~space:1 ()
+        in
+        let msg = Bytes.init 5000 (fun i -> Char.chr (i mod 251)) in
+        Decnet.send_message conn ctx msg;
+        match Decnet.recv_message conn ctx ~timeout:(Time.sec 5) with
+        | Some b ->
+          Bytes.length b = 5000
+          && Bytes.equal b (Bytes.init 5000 (fun i -> Bytes.get msg (4999 - i)))
+        | None -> false)
+  in
+  Alcotest.(check bool) "5KB message reassembled correctly" true ok;
+  Alcotest.(check bool) "multiple segments used" true (Decnet.segments_sent rig.client_ep >= 4)
+
+let test_retransmission_under_loss () =
+  let rig = make_rig () in
+  start_echo_server rig ~space:1;
+  let ok =
+    with_client rig (fun ctx ->
+        let rng = Sim.Rng.create ~seed:5 in
+        Hw.Ether_link.set_fault_injector rig.w.World.link
+          (Some
+             (fun _ ->
+               if Sim.Rng.bool rng ~p:0.2 then Hw.Ether_link.Drop else Hw.Ether_link.Deliver));
+        let conn =
+          Decnet.connect rig.client_ep ctx ~peer:(Machine.mac rig.w.World.server) ~space:1 ()
+        in
+        let all_ok = ref true in
+        for i = 1 to 8 do
+          let s = Printf.sprintf "message-%d" i in
+          Decnet.send_message conn ctx (Bytes.of_string s);
+          match Decnet.recv_message conn ctx ~timeout:(Time.sec 20) with
+          | Some b ->
+            let expect = String.init (String.length s) (fun j -> s.[String.length s - 1 - j]) in
+            if Bytes.to_string b <> expect then all_ok := false
+          | None -> all_ok := false
+        done;
+        !all_ok)
+  in
+  Alcotest.(check bool) "all messages survive 20% loss" true ok;
+  Alcotest.(check bool) "retransmissions occurred" true
+    (Decnet.segments_retransmitted rig.client_ep + Decnet.segments_retransmitted rig.server_ep
+    > 0)
+
+let test_connect_no_listener () =
+  let rig = make_rig () in
+  let failed =
+    with_client rig (fun ctx ->
+        try
+          ignore
+            (Decnet.connect rig.client_ep ctx ~peer:(Machine.mac rig.w.World.server) ~space:9
+               ~retransmit_after:(Time.ms 20) ~max_retries:3 ());
+          false
+        with Rpc.Rpc_error.Rpc (Rpc.Rpc_error.Call_failed _) -> true)
+  in
+  Alcotest.(check bool) "connect to missing listener fails" true failed
+
+let test_disconnect () =
+  let rig = make_rig () in
+  (* a server that closes after the first message *)
+  Decnet.listen rig.server_ep ~space:1 (fun conn ->
+      Cpu_set.with_cpu (Machine.cpus rig.w.World.server) (fun ctx ->
+          (match Decnet.recv_message conn ctx ~timeout:(Time.sec 10) with
+          | Some _ -> ()
+          | None -> ());
+          Decnet.close conn ctx));
+  let outcome =
+    with_client rig (fun ctx ->
+        let conn =
+          Decnet.connect rig.client_ep ctx ~peer:(Machine.mac rig.w.World.server) ~space:1 ()
+        in
+        Decnet.send_message conn ctx (Bytes.of_string "bye");
+        match Decnet.recv_message conn ctx ~timeout:(Time.sec 5) with
+        | None -> not (Decnet.is_open conn)
+        | Some _ -> false)
+  in
+  Alcotest.(check bool) "close propagates" true outcome
+
+(* {1 RPC over DECNet} *)
+
+let adder =
+  Idl.interface ~name:"Adder" ~version:1
+    [
+      Idl.proc "add"
+        [ Idl.arg "x" Idl.T_int; Idl.arg "y" Idl.T_int; Idl.arg ~mode:Idl.Var_out "sum" Idl.T_int ];
+      Idl.proc "blob"
+        [ Idl.arg "n" Idl.T_int; Idl.arg ~mode:Idl.Var_out "data" (Idl.T_var_bytes 8000) ];
+    ]
+
+let adder_impls : Runtime.impl array =
+  [|
+    (fun _ctx args ->
+      match args with
+      | [ Marshal.V_int x; Marshal.V_int y; _ ] -> [ Marshal.V_int (Int32.add x y) ]
+      | _ -> Rpc.Rpc_error.fail (Rpc.Rpc_error.Marshal_failure "add"));
+    (fun _ctx args ->
+      match args with
+      | [ Marshal.V_int n; _ ] ->
+        [ Marshal.V_bytes (Workload.Test_interface.pattern (Int32.to_int n)) ]
+      | _ -> Rpc.Rpc_error.fail (Rpc.Rpc_error.Marshal_failure "blob"));
+  |]
+
+let test_rpc_over_decnet () =
+  let rig = make_rig () in
+  Binder.export rig.w.World.binder rig.w.World.server_rt adder ~impls:adder_impls ~workers:2;
+  let binding =
+    Binder.import rig.w.World.binder rig.w.World.caller_rt ~name:"Adder" ~version:1
+      ~transport:`Decnet ()
+  in
+  Alcotest.(check bool) "not local" false (Runtime.is_local binding);
+  let results =
+    with_client rig (fun ctx ->
+        let client = Runtime.new_client rig.w.World.caller_rt in
+        let a = Runtime.call_by_name binding client ctx ~proc:"add" ~args:[ v_int 40; v_int 2; v_int 0 ] in
+        let b =
+          Runtime.call_by_name binding client ctx ~proc:"blob"
+            ~args:[ v_int 6000; Marshal.V_bytes Bytes.empty ]
+        in
+        let c = Runtime.call_by_name binding client ctx ~proc:"add" ~args:[ v_int 1; v_int 2; v_int 0 ] in
+        (a, b, c))
+  in
+  let a, b, c = results in
+  Alcotest.(check bool) "add" true (a = [ v_int 42 ]);
+  (match b with
+  | [ Marshal.V_bytes bytes ] ->
+    Alcotest.(check bool) "6KB result over decnet" true
+      (Bytes.equal bytes (Workload.Test_interface.pattern 6000))
+  | _ -> Alcotest.fail "blob shape");
+  Alcotest.(check bool) "add again on same session" true (c = [ v_int 3 ]);
+  Alcotest.(check int) "session reused (one connection)" 1
+    (Decnet.connections_accepted rig.server_ep)
+
+let test_decnet_slower_than_udp () =
+  (* The reason the custom packet-exchange protocol exists: the general
+     transport costs more per call. *)
+  let udp =
+    let w = World.create () in
+    Time.to_us (Workload.Driver.measure_single_call w ~proc:Workload.Driver.Null ())
+  in
+  let decnet =
+    let rig = make_rig () in
+    Binder.export rig.w.World.binder rig.w.World.server_rt adder ~impls:adder_impls ~workers:2;
+    let binding =
+      Binder.import rig.w.World.binder rig.w.World.caller_rt ~name:"Adder" ~version:1
+        ~transport:`Decnet ()
+    in
+    with_client rig (fun ctx ->
+        let client = Runtime.new_client rig.w.World.caller_rt in
+        let once () =
+          ignore
+            (Runtime.call_by_name binding client ctx ~proc:"add"
+               ~args:[ v_int 1; v_int 1; v_int 0 ])
+        in
+        once ();
+        once ();
+        let t0 = Engine.now rig.w.World.eng in
+        once ();
+        Time.to_us (Time.diff (Engine.now rig.w.World.eng) t0))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "decnet (%.0fus) slower than the custom protocol (%.0fus)" decnet udp)
+    true
+    (decnet > udp *. 1.3);
+  Alcotest.(check bool) "but same order of magnitude" true (decnet < udp *. 4.)
+
+let test_keyed_export_rejects_decnet () =
+  let rig = make_rig () in
+  Binder.export rig.w.World.binder rig.w.World.server_rt adder ~impls:adder_impls ~workers:2
+    ~auth:(Rpc.Secure.key_of_string "k");
+  let binding =
+    Binder.import rig.w.World.binder rig.w.World.caller_rt ~name:"Adder" ~version:1
+      ~transport:`Decnet ()
+  in
+  let rejected =
+    with_client rig (fun ctx ->
+        let client = Runtime.new_client rig.w.World.caller_rt in
+        try
+          ignore
+            (Runtime.call_by_name binding client ctx ~proc:"add"
+               ~args:[ v_int 1; v_int 1; v_int 0 ]);
+          false
+        with Rpc.Rpc_error.Rpc (Rpc.Rpc_error.Call_failed _) -> true)
+  in
+  Alcotest.(check bool) "unauthenticated decnet call rejected" true rejected
+
+let suite =
+  [
+    Alcotest.test_case "connect and echo" `Quick test_connect_and_echo;
+    Alcotest.test_case "large message segmentation" `Quick test_large_message_segmentation;
+    Alcotest.test_case "retransmission under loss" `Quick test_retransmission_under_loss;
+    Alcotest.test_case "connect without listener" `Quick test_connect_no_listener;
+    Alcotest.test_case "disconnect propagation" `Quick test_disconnect;
+    Alcotest.test_case "RPC over DECNet" `Quick test_rpc_over_decnet;
+    Alcotest.test_case "DECNet slower than the custom protocol" `Quick
+      test_decnet_slower_than_udp;
+    Alcotest.test_case "keyed export rejects DECNet calls" `Quick
+      test_keyed_export_rejects_decnet;
+  ]

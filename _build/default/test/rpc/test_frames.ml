@@ -1,0 +1,125 @@
+module Frames = Rpc.Frames
+module Proto = Rpc.Proto
+module Timing = Hw.Timing
+module Config = Hw.Config
+
+let timing = Timing.create Config.default
+
+let ep station ip = { Frames.mac = Net.Mac.of_station station; ip = Net.Ipv4.Addr.of_string ip }
+let src = ep 1 "16.0.0.1"
+let dst = ep 2 "16.0.0.2"
+
+let hdr ?(ptype = Proto.Call) ?(data_len = 0) () =
+  {
+    Proto.ptype;
+    please_ack = false;
+    no_frag_ack = false;
+    secured = false;
+    activity = { Proto.Activity.caller_ip = src.Frames.ip; caller_space = 1; thread = 1 };
+    seq = 7;
+    server_space = 1;
+    interface_id = 42l;
+    proc_idx = 0;
+    frag_idx = 0;
+    frag_count = 1;
+    data_len;
+    checksum = 0;
+  }
+
+let build ?(timing = timing) payload =
+  Frames.build timing ~src ~dst ~hdr:(hdr ()) ~payload ~payload_pos:0
+    ~payload_len:(Bytes.length payload)
+
+let test_sizes () =
+  Alcotest.(check int) "empty payload = 74" 74 (Bytes.length (build Bytes.empty));
+  Alcotest.(check int) "full payload = 1514" 1514 (Bytes.length (build (Bytes.create 1440)));
+  Alcotest.(check bool) "oversize rejected" true
+    (try
+       ignore (build (Bytes.create 1441));
+       false
+     with Invalid_argument _ -> true)
+
+let test_roundtrip () =
+  let payload = Bytes.of_string "payload bytes here" in
+  let frame = build payload in
+  match Frames.parse timing frame with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    Alcotest.(check bool) "src mac" true (Net.Mac.equal p.Frames.p_src.Frames.mac src.Frames.mac);
+    Alcotest.(check bool) "src ip" true
+      (Net.Ipv4.Addr.equal p.Frames.p_src.Frames.ip src.Frames.ip);
+    Alcotest.(check int) "seq" 7 p.Frames.p_hdr.Proto.seq;
+    Alcotest.(check int) "data_len" (Bytes.length payload) p.Frames.p_hdr.Proto.data_len;
+    Alcotest.(check bytes) "payload" payload p.Frames.p_payload
+
+let test_checksum_detects () =
+  let frame = build (Bytes.of_string "some sensitive data") in
+  (* Flip one payload byte (payload starts at 74). *)
+  Bytes.set frame 80 'X';
+  match Frames.parse timing frame with
+  | Ok _ -> Alcotest.fail "accepted corrupted frame"
+  | Error e -> Alcotest.(check string) "checksum error" "udp: bad checksum" e
+
+let test_checksums_disabled_pass_corruption () =
+  let no_cks = Timing.create { Config.default with udp_checksums = false } in
+  let frame = build ~timing:no_cks (Bytes.of_string "some sensitive data") in
+  Bytes.set frame 80 'X';
+  match Frames.parse no_cks frame with
+  | Ok p ->
+    Alcotest.(check bool) "corruption passes silently" true
+      (Bytes.get p.Frames.p_payload 6 = 'X')
+  | Error e -> Alcotest.fail e
+
+let test_raw_ethernet_mode () =
+  let raw = Timing.create { Config.default with raw_ethernet = true } in
+  let payload = Bytes.of_string "raw mode payload" in
+  let frame =
+    Frames.build raw ~src ~dst ~hdr:(hdr ()) ~payload ~payload_pos:0
+      ~payload_len:(Bytes.length payload)
+  in
+  (* 28 bytes smaller: no IP or UDP headers. *)
+  Alcotest.(check int) "raw frame size" (46 + Bytes.length payload) (Bytes.length frame);
+  (match Frames.parse raw frame with
+  | Ok p -> Alcotest.(check bytes) "raw payload" payload p.Frames.p_payload
+  | Error e -> Alcotest.fail e);
+  (* The embedded end-to-end checksum still catches corruption. *)
+  let corrupted = Bytes.copy frame in
+  Bytes.set corrupted 50 'Z';
+  match Frames.parse raw corrupted with
+  | Ok _ -> Alcotest.fail "raw mode accepted corruption"
+  | Error e -> Alcotest.(check string) "raw checksum error" "rpc: bad end-to-end checksum" e
+
+let test_wrong_layer_rejected () =
+  let frame = build Bytes.empty in
+  (* Not the RPC UDP port: patch the UDP dst port (offset 14+20+2). *)
+  let wrong_port = Bytes.copy frame in
+  Bytes.set_uint16_be wrong_port 36 9999;
+  (match Frames.parse timing wrong_port with
+  | Ok _ -> Alcotest.fail "accepted wrong port"
+  | Error _ -> ());
+  let raw = Timing.create { Config.default with raw_ethernet = true } in
+  match Frames.parse raw frame with
+  | Ok _ -> Alcotest.fail "raw parser accepted IP frame"
+  | Error _ -> ()
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"frame build/parse roundtrip" ~count:150
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 1440))
+    (fun s ->
+      let payload = Bytes.of_string s in
+      let frame = build payload in
+      match Frames.parse timing frame with
+      | Ok p -> Bytes.equal p.Frames.p_payload payload
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "paper frame sizes" `Quick test_sizes;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "checksum detects corruption" `Quick test_checksum_detects;
+    Alcotest.test_case "disabled checksums pass corruption" `Quick
+      test_checksums_disabled_pass_corruption;
+    Alcotest.test_case "raw ethernet mode" `Quick test_raw_ethernet_mode;
+    Alcotest.test_case "wrong layer rejected" `Quick test_wrong_layer_rejected;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

@@ -1,0 +1,398 @@
+module W = Wire.Bytebuf.Writer
+module R = Wire.Bytebuf.Reader
+module Idl = Rpc.Idl
+module Marshal = Rpc.Marshal
+module Timing = Hw.Timing
+
+let timing = Timing.create Hw.Config.default
+
+(* {1 IDL} *)
+
+let test_idl_validation () =
+  Alcotest.(check bool) "duplicate proc" true
+    (try
+       ignore (Idl.interface ~name:"X" ~version:1 [ Idl.proc "a" []; Idl.proc "a" [] ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty name" true
+    (try
+       ignore (Idl.interface ~name:"" ~version:1 []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "oversized args" true
+    (try
+       ignore
+         (Idl.interface ~name:"X" ~version:1
+            [ Idl.proc "big" [ Idl.arg "a" (Idl.T_fixed_bytes 70_000) ] ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero-size fixed array" true
+    (try
+       ignore (Idl.arg "a" (Idl.T_fixed_bytes 0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_interface_id_stable () =
+  let i1 = Idl.interface ~name:"Test" ~version:1 [] in
+  let i2 = Idl.interface ~name:"Test" ~version:1 [ Idl.proc "p" [] ] in
+  let i3 = Idl.interface ~name:"Test" ~version:2 [] in
+  let i4 = Idl.interface ~name:"Tesu" ~version:1 [] in
+  Alcotest.(check int32) "same name+version same id" (Idl.interface_id i1) (Idl.interface_id i2);
+  Alcotest.(check bool) "version changes id" false
+    (Int32.equal (Idl.interface_id i1) (Idl.interface_id i3));
+  Alcotest.(check bool) "name changes id" false
+    (Int32.equal (Idl.interface_id i1) (Idl.interface_id i4))
+
+let test_find_proc () =
+  let i = Idl.interface ~name:"X" ~version:1 [ Idl.proc "a" []; Idl.proc "b" [] ] in
+  Alcotest.(check int) "find b" 1 (Idl.find_proc i "b");
+  Alcotest.(check bool) "missing raises" true
+    (try
+       ignore (Idl.find_proc i "zz");
+       false
+     with Not_found -> true)
+
+(* {1 Marshalling} *)
+
+let proc_all =
+  Idl.proc "all"
+    [
+      Idl.arg "n" Idl.T_int;
+      Idl.arg "fixed" (Idl.T_fixed_bytes 8);
+      Idl.arg ~mode:Idl.Var_in "input" (Idl.T_var_bytes 100);
+      Idl.arg "label" (Idl.T_text 64);
+      Idl.arg ~mode:Idl.Var_out "output" (Idl.T_var_bytes 100);
+    ]
+
+let values =
+  [
+    Marshal.V_int 123456l;
+    Marshal.V_bytes (Bytes.of_string "12345678");
+    Marshal.V_bytes (Bytes.of_string "in-data");
+    Marshal.V_text (Some "hello");
+    Marshal.V_bytes (Bytes.of_string "out-data-here");
+  ]
+
+let encode dir p vs =
+  let w = W.create 4096 in
+  Marshal.encode_args w dir p vs;
+  W.contents w
+
+let test_direction_selection () =
+  let call = encode Marshal.In_call_packet proc_all values in
+  let result = encode Marshal.In_result_packet proc_all values in
+  (* Call carries n (4) + fixed (8) + input (2+7 prefix+data) + text
+     (3+5); the trailing VAR OUT travels only in the result. *)
+  Alcotest.(check int) "call payload size" (4 + 8 + 9 + 8) (Bytes.length call);
+  (* Result carries only the VAR OUT array, last -> no length prefix. *)
+  Alcotest.(check int) "result payload size" 13 (Bytes.length result)
+
+let test_roundtrip_call () =
+  let call = encode Marshal.In_call_packet proc_all values in
+  let decoded = Marshal.decode_args (R.of_bytes call) Marshal.In_call_packet proc_all in
+  (match decoded with
+  | [ a; b; c; d; e ] ->
+    Alcotest.(check bool) "int" true (Marshal.equal_value a (Marshal.V_int 123456l));
+    Alcotest.(check bool) "fixed" true
+      (Marshal.equal_value b (Marshal.V_bytes (Bytes.of_string "12345678")));
+    Alcotest.(check bool) "var in" true
+      (Marshal.equal_value c (Marshal.V_bytes (Bytes.of_string "in-data")));
+    Alcotest.(check bool) "text" true (Marshal.equal_value d (Marshal.V_text (Some "hello")));
+    (* VAR OUT did not travel: placeholder *)
+    Alcotest.(check bool) "var out placeholder" true
+      (Marshal.equal_value e (Marshal.V_bytes Bytes.empty))
+  | _ -> Alcotest.fail "wrong arity");
+  let result = encode Marshal.In_result_packet proc_all values in
+  match Marshal.decode_args (R.of_bytes result) Marshal.In_result_packet proc_all with
+  | [ _; _; _; _; e ] ->
+    Alcotest.(check bool) "var out in result" true
+      (Marshal.equal_value e (Marshal.V_bytes (Bytes.of_string "out-data-here")))
+  | _ -> Alcotest.fail "wrong arity"
+
+let test_trailing_array_exact_fit () =
+  (* MaxResult's 1440-byte VAR OUT buffer must marshal to exactly 1440
+     bytes (§2: 74-byte headers + 1440 = 1514). *)
+  let p = Idl.proc "MaxResult" [ Idl.arg ~mode:Idl.Var_out "b" (Idl.T_var_bytes 1440) ] in
+  let payload =
+    encode Marshal.In_result_packet p [ Marshal.V_bytes (Bytes.make 1440 'x') ]
+  in
+  Alcotest.(check int) "exactly 1440" 1440 (Bytes.length payload)
+
+let test_nil_text () =
+  let p = Idl.proc "t" [ Idl.arg "s" (Idl.T_text 10) ] in
+  let b = encode Marshal.In_call_packet p [ Marshal.V_text None ] in
+  Alcotest.(check int) "NIL is one byte" 1 (Bytes.length b);
+  match Marshal.decode_args (R.of_bytes b) Marshal.In_call_packet p with
+  | [ v ] -> Alcotest.(check bool) "NIL roundtrip" true (Marshal.equal_value v (Marshal.V_text None))
+  | _ -> Alcotest.fail "arity"
+
+let test_type_errors () =
+  let p = Idl.proc "t" [ Idl.arg "x" Idl.T_int ] in
+  Alcotest.(check bool) "wrong constructor" true
+    (try
+       ignore (encode Marshal.In_call_packet p [ Marshal.V_text None ]);
+       false
+     with Rpc.Rpc_error.Rpc (Rpc.Rpc_error.Marshal_failure _) -> true);
+  Alcotest.(check bool) "wrong arity" true
+    (try
+       ignore (encode Marshal.In_call_packet p []);
+       false
+     with Rpc.Rpc_error.Rpc (Rpc.Rpc_error.Marshal_failure _) -> true);
+  let pf = Idl.proc "t" [ Idl.arg "x" (Idl.T_fixed_bytes 4) ] in
+  Alcotest.(check bool) "fixed size mismatch" true
+    (try
+       ignore (encode Marshal.In_call_packet pf [ Marshal.V_bytes (Bytes.create 5) ]);
+       false
+     with Rpc.Rpc_error.Rpc (Rpc.Rpc_error.Marshal_failure _) -> true);
+  let pv = Idl.proc "t" [ Idl.arg "x" (Idl.T_var_bytes 4) ] in
+  Alcotest.(check bool) "var max exceeded" true
+    (try
+       ignore (encode Marshal.In_call_packet pv [ Marshal.V_bytes (Bytes.create 10) ]);
+       false
+     with Rpc.Rpc_error.Rpc (Rpc.Rpc_error.Marshal_failure _) -> true)
+
+let test_truncated_decode () =
+  let p = Idl.proc "t" [ Idl.arg "x" Idl.T_int; Idl.arg "f" (Idl.T_fixed_bytes 32) ] in
+  let full =
+    encode Marshal.In_call_packet p
+      [ Marshal.V_int 1l; Marshal.V_bytes (Bytes.create 32) ]
+  in
+  Alcotest.(check bool) "truncated rejected" true
+    (try
+       ignore
+         (Marshal.decode_args (R.of_bytes (Bytes.sub full 0 10)) Marshal.In_call_packet p);
+       false
+     with Rpc.Rpc_error.Rpc (Rpc.Rpc_error.Marshal_failure _) -> true)
+
+(* {1 Extended types: booleans, 16-bit integers, reals, records, sequences} *)
+
+let point_ty = Idl.T_record [ Idl.T_real; Idl.T_real; Idl.T_text 16 ]
+
+let proc_rich =
+  Idl.proc "rich"
+    [
+      Idl.arg "flag" Idl.T_bool;
+      Idl.arg "count" Idl.T_int16;
+      Idl.arg "origin" point_ty;
+      Idl.arg ~mode:Idl.Var_out "path" (Idl.T_seq (point_ty, 8));
+    ]
+
+let a_point x y name = Marshal.V_record [ Marshal.V_real x; Marshal.V_real y; Marshal.V_text name ]
+
+let rich_values =
+  [
+    Marshal.V_bool true;
+    Marshal.V_int16 (-1234);
+    a_point 1.5 (-2.25) (Some "origin");
+    Marshal.V_seq [ a_point 0.1 0.2 None; a_point 3.14159 2.71828 (Some "e-pi") ];
+  ]
+
+let test_rich_roundtrip () =
+  let check dir =
+    let b = encode dir proc_rich rich_values in
+    let decoded = Marshal.decode_args (R.of_bytes b) dir proc_rich in
+    List.iter2
+      (fun (a, v) v' ->
+        if Marshal.travels a.Idl.mode dir then
+          Alcotest.(check bool) (a.Idl.arg_name ^ " roundtrips") true (Marshal.equal_value v v')
+        else
+          Alcotest.(check bool) (a.Idl.arg_name ^ " placeholder") true
+            (Marshal.equal_value v' (Marshal.placeholder a.Idl.ty)))
+      (List.combine proc_rich.Idl.args rich_values)
+      decoded
+  in
+  check Marshal.In_call_packet;
+  check Marshal.In_result_packet
+
+let test_int16_range () =
+  let p = Idl.proc "p" [ Idl.arg "x" Idl.T_int16 ] in
+  let roundtrip v =
+    match
+      Marshal.decode_args
+        (R.of_bytes (encode Marshal.In_call_packet p [ Marshal.V_int16 v ]))
+        Marshal.In_call_packet p
+    with
+    | [ Marshal.V_int16 v' ] -> v'
+    | _ -> Alcotest.fail "shape"
+  in
+  Alcotest.(check int) "negative" (-32768) (roundtrip (-32768));
+  Alcotest.(check int) "positive" 32767 (roundtrip 32767);
+  Alcotest.(check bool) "out of range rejected" true
+    (try
+       ignore (encode Marshal.In_call_packet p [ Marshal.V_int16 40000 ]);
+       false
+     with Rpc.Rpc_error.Rpc (Rpc.Rpc_error.Marshal_failure _) -> true)
+
+let test_real_bit_exact () =
+  let p = Idl.proc "p" [ Idl.arg "x" Idl.T_real ] in
+  List.iter
+    (fun v ->
+      match
+        Marshal.decode_args
+          (R.of_bytes (encode Marshal.In_call_packet p [ Marshal.V_real v ]))
+          Marshal.In_call_packet p
+      with
+      | [ Marshal.V_real v' ] ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%h bit-exact" v)
+          true
+          (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float v'))
+      | _ -> Alcotest.fail "shape")
+    [ 0.; -0.; 1.5; -3.25e-300; Float.max_float; Float.nan; Float.infinity ]
+
+let test_seq_limit () =
+  let p = Idl.proc "p" [ Idl.arg "xs" (Idl.T_seq (Idl.T_int, 3)) ] in
+  Alcotest.(check bool) "over-long sequence rejected" true
+    (try
+       ignore
+         (encode Marshal.In_call_packet p
+            [ Marshal.V_seq (List.init 4 (fun i -> Marshal.V_int (Int32.of_int i))) ]);
+       false
+     with Rpc.Rpc_error.Rpc (Rpc.Rpc_error.Marshal_failure _) -> true)
+
+let test_record_field_mismatch () =
+  let p = Idl.proc "p" [ Idl.arg "r" (Idl.T_record [ Idl.T_int; Idl.T_bool ]) ] in
+  Alcotest.(check bool) "field count checked" true
+    (try
+       ignore (encode Marshal.In_call_packet p [ Marshal.V_record [ Marshal.V_int 1l ] ]);
+       false
+     with Rpc.Rpc_error.Rpc (Rpc.Rpc_error.Marshal_failure _) -> true)
+
+let test_composite_cost_composes () =
+  (* A record of two ints by value must cost what two ints cost. *)
+  let arg_rec = Idl.arg "r" (Idl.T_record [ Idl.T_int; Idl.T_int ]) in
+  let v = Marshal.V_record [ Marshal.V_int 1l; Marshal.V_int 2l ] in
+  let total side =
+    Sim.Time.to_us (Marshal.cost timing side Marshal.In_call_packet arg_rec v)
+  in
+  Alcotest.(check (float 0.1)) "caller side 2x int" 8. (total Marshal.Caller_side);
+  Alcotest.(check (float 0.1)) "server side 2x int" 8. (total Marshal.Server_side)
+
+(* {1 Cost model} *)
+
+let us_of = Sim.Time.to_us
+
+let test_costs () =
+  let arg_out = Idl.arg ~mode:Idl.Var_out "b" (Idl.T_var_bytes 1440) in
+  let v = Marshal.V_bytes (Bytes.make 1440 'x') in
+  Alcotest.(check (float 1.)) "VAR OUT caller cost @1440" 550.
+    (us_of (Marshal.cost timing Marshal.Caller_side Marshal.In_result_packet arg_out v));
+  Alcotest.(check (float 0.)) "VAR OUT server free" 0.
+    (us_of (Marshal.cost timing Marshal.Server_side Marshal.In_result_packet arg_out v));
+  Alcotest.(check (float 0.)) "VAR OUT nothing in call packet" 0.
+    (us_of (Marshal.cost timing Marshal.Caller_side Marshal.In_call_packet arg_out v));
+  let arg_int = Idl.arg "n" Idl.T_int in
+  Alcotest.(check (float 0.1)) "int caller" 4.
+    (us_of (Marshal.cost timing Marshal.Caller_side Marshal.In_call_packet arg_int (Marshal.V_int 0l)));
+  Alcotest.(check (float 0.1)) "int server" 4.
+    (us_of (Marshal.cost timing Marshal.Server_side Marshal.In_call_packet arg_int (Marshal.V_int 0l)));
+  let arg_text = Idl.arg "s" (Idl.T_text 200) in
+  let tv = Marshal.V_text (Some (String.make 128 'a')) in
+  let total =
+    us_of (Marshal.cost timing Marshal.Caller_side Marshal.In_call_packet arg_text tv)
+    +. us_of (Marshal.cost timing Marshal.Server_side Marshal.In_call_packet arg_text tv)
+  in
+  Alcotest.(check (float 5.)) "text total @128" 659. total
+
+(* {1 Property: random procedures roundtrip} *)
+
+let gen_scalar_ty =
+  QCheck.Gen.(
+    oneof
+      [
+        return Idl.T_int;
+        return Idl.T_bool;
+        return Idl.T_int16;
+        return Idl.T_real;
+        map (fun n -> Idl.T_fixed_bytes (1 + (n mod 64))) nat;
+        map (fun n -> Idl.T_var_bytes (1 + (n mod 128))) nat;
+        map (fun n -> Idl.T_text (n mod 64)) nat;
+      ])
+
+(* One level of composites over the scalars: records and sequences. *)
+let gen_ty =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, gen_scalar_ty);
+        ( 1,
+          let* n = int_range 1 4 in
+          let* fields = list_size (return n) gen_scalar_ty in
+          return (Idl.T_record fields) );
+        ( 1,
+          let* elt = gen_scalar_ty in
+          let* max = int_range 1 8 in
+          return (Idl.T_seq (elt, max)) );
+      ])
+
+let gen_mode = QCheck.Gen.oneofl [ Idl.Value; Idl.Var_in; Idl.Var_out ]
+
+let rec gen_value rng ty =
+  let open QCheck.Gen in
+  match ty with
+  | Idl.T_int -> Marshal.V_int (Int32.of_int (generate1 ~rand:rng (int_bound 1000000)))
+  | Idl.T_fixed_bytes n -> Marshal.V_bytes (Bytes.init n (fun i -> Char.chr ((i * 13) land 0xff)))
+  | Idl.T_var_bytes max ->
+    let n = generate1 ~rand:rng (int_bound max) in
+    Marshal.V_bytes (Bytes.init n (fun i -> Char.chr ((i * 31) land 0xff)))
+  | Idl.T_text max ->
+    if generate1 ~rand:rng bool then Marshal.V_text None
+    else
+      Marshal.V_text
+        (Some (String.init (generate1 ~rand:rng (int_bound max)) (fun i -> Char.chr (65 + (i mod 26)))))
+  | Idl.T_bool -> Marshal.V_bool (generate1 ~rand:rng bool)
+  | Idl.T_int16 -> Marshal.V_int16 (generate1 ~rand:rng (int_range (-32768) 32767))
+  | Idl.T_real -> Marshal.V_real (generate1 ~rand:rng (float_bound_inclusive 1e9))
+  | Idl.T_record fields -> Marshal.V_record (List.map (gen_value rng) fields)
+  | Idl.T_seq (elt, max) ->
+    let n = generate1 ~rand:rng (int_bound max) in
+    Marshal.V_seq (List.init n (fun _ -> gen_value rng elt))
+
+let gen_proc =
+  QCheck.Gen.(
+    let* n = int_range 0 6 in
+    let* tys = list_size (return n) gen_ty in
+    let* modes = list_size (return n) gen_mode in
+    return
+      (Idl.proc "p"
+         (List.mapi (fun i (ty, mode) -> Idl.arg ~mode (Printf.sprintf "a%d" i) ty)
+            (List.combine tys modes))))
+
+let prop_random_proc_roundtrip =
+  QCheck.Test.make ~name:"random procedure marshalling roundtrip" ~count:300
+    (QCheck.make gen_proc)
+    (fun p ->
+      let rng = Random.State.make [| 11 |] in
+      let vs = List.map (fun a -> gen_value rng a.Idl.ty) p.Idl.args in
+      let check dir =
+        let b = encode dir p vs in
+        let decoded = Marshal.decode_args (R.of_bytes b) dir p in
+        List.for_all2
+          (fun a (v, v') ->
+            if Marshal.travels a.Idl.mode dir then Marshal.equal_value v v'
+            else Marshal.equal_value v' (Marshal.placeholder a.Idl.ty))
+          p.Idl.args
+          (List.combine vs decoded)
+      in
+      check Marshal.In_call_packet && check Marshal.In_result_packet)
+
+let suite =
+  [
+    Alcotest.test_case "idl validation" `Quick test_idl_validation;
+    Alcotest.test_case "interface id stability" `Quick test_interface_id_stable;
+    Alcotest.test_case "find_proc" `Quick test_find_proc;
+    Alcotest.test_case "direction selection" `Quick test_direction_selection;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip_call;
+    Alcotest.test_case "trailing array exact fit" `Quick test_trailing_array_exact_fit;
+    Alcotest.test_case "NIL text" `Quick test_nil_text;
+    Alcotest.test_case "type errors" `Quick test_type_errors;
+    Alcotest.test_case "truncated decode" `Quick test_truncated_decode;
+    Alcotest.test_case "rich types roundtrip" `Quick test_rich_roundtrip;
+    Alcotest.test_case "int16 range" `Quick test_int16_range;
+    Alcotest.test_case "real bit-exact" `Quick test_real_bit_exact;
+    Alcotest.test_case "sequence limit" `Quick test_seq_limit;
+    Alcotest.test_case "record field mismatch" `Quick test_record_field_mismatch;
+    Alcotest.test_case "composite costs compose" `Quick test_composite_cost_composes;
+    Alcotest.test_case "cost model placement" `Quick test_costs;
+    QCheck_alcotest.to_alcotest prop_random_proc_roundtrip;
+  ]

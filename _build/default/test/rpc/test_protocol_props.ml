@@ -1,0 +1,161 @@
+(* Property-based whole-protocol test: under arbitrary packet loss and
+   post-CRC corruption schedules, a sequence of calls must preserve
+
+   - correctness: every completed call returns exactly the right answer;
+   - at-most-once execution: a (client, seq) pair never executes twice
+     (duplicate suppression), verified with a server-side register;
+   - liveness: with a generous retry budget and sub-certain loss, every
+     call completes.
+
+   Each QCheck case is one fault schedule (seeded RNG + loss rate). *)
+
+module Engine = Sim.Engine
+module Time = Sim.Time
+module Cpu_set = Hw.Cpu_set
+module Machine = Nub.Machine
+module Idl = Rpc.Idl
+module Marshal = Rpc.Marshal
+module Runtime = Rpc.Runtime
+module Binder = Rpc.Binder
+module World = Workload.World
+
+let register_intf =
+  Idl.interface ~name:"Register" ~version:1
+    [
+      Idl.proc "apply"
+        [
+          Idl.arg "client" Idl.T_int;
+          Idl.arg "seq" Idl.T_int;
+          Idl.arg "delta" Idl.T_int;
+          Idl.arg ~mode:Idl.Var_out "total" Idl.T_int;
+        ];
+      (* a bulk procedure so fragments are exercised under faults too *)
+      Idl.proc "bulk"
+        [
+          Idl.arg "n" Idl.T_int;
+          Idl.arg ~mode:Idl.Var_out "data" (Idl.T_var_bytes 4000);
+        ];
+    ]
+
+exception Double_execution of int * int
+
+let make_impls () =
+  let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let total = ref 0l in
+  let impls : Runtime.impl array =
+    [|
+      (fun _ctx args ->
+        match args with
+        | [ Marshal.V_int client; Marshal.V_int seq; Marshal.V_int delta; _ ] ->
+          let key = (Int32.to_int client, Int32.to_int seq) in
+          if Hashtbl.mem seen key then raise (Double_execution (fst key, snd key));
+          Hashtbl.add seen key ();
+          total := Int32.add !total delta;
+          [ Marshal.V_int !total ]
+        | _ -> Rpc.Rpc_error.fail (Rpc.Rpc_error.Marshal_failure "apply"));
+      (fun _ctx args ->
+        match args with
+        | [ Marshal.V_int n; _ ] ->
+          [ Marshal.V_bytes (Workload.Test_interface.pattern (Int32.to_int n)) ]
+        | _ -> Rpc.Rpc_error.fail (Rpc.Rpc_error.Marshal_failure "bulk"));
+    |]
+  in
+  impls
+
+let run_schedule ~seed ~loss ~corrupt ~clients ~calls_each =
+  let w = World.create ~seed ~export_test:false () in
+  Binder.export w.World.binder w.World.server_rt register_intf ~impls:(make_impls ()) ~workers:4;
+  let fault_rng = Sim.Rng.create ~seed:(seed * 31 + 7) in
+  Hw.Ether_link.set_fault_injector w.World.link
+    (Some
+       (fun _ ->
+         let r = Sim.Rng.float fault_rng 1.0 in
+         if r < loss then Hw.Ether_link.Drop
+         else if r < loss +. corrupt then Hw.Ether_link.Corrupt_payload
+         else Hw.Ether_link.Deliver));
+  let options = { Runtime.retransmit_after = Time.ms 15; max_retries = 400 } in
+  let gate = Sim.Gate.create w.World.eng in
+  let finished = ref 0 in
+  let violations = ref [] in
+  for c = 1 to clients do
+    Machine.spawn_thread w.World.caller ~name:"prop-client" (fun () ->
+        Cpu_set.with_cpu (Machine.cpus w.World.caller) (fun ctx ->
+            let binding =
+              Binder.import w.World.binder w.World.caller_rt ~name:"Register" ~version:1 ~options
+                ()
+            in
+            let client = Runtime.new_client w.World.caller_rt in
+            let expected_total = ref None in
+            for s = 1 to calls_each do
+              (* interleave a fragmented bulk call every third call *)
+              if s mod 3 = 0 then begin
+                let n = 2000 + (97 * s mod 2000) in
+                match
+                  Runtime.call_by_name binding client ctx ~proc:"bulk"
+                    ~args:[ Marshal.V_int (Int32.of_int n); Marshal.V_bytes Bytes.empty ]
+                with
+                | [ Marshal.V_bytes b ]
+                  when Bytes.equal b (Workload.Test_interface.pattern n) ->
+                  ()
+                | _ -> violations := Printf.sprintf "bulk %d.%d wrong data" c s :: !violations
+                | exception e ->
+                  violations :=
+                    Printf.sprintf "bulk %d.%d: %s" c s (Printexc.to_string e) :: !violations
+              end
+              else begin
+                let delta = (c * 13) + s in
+                match
+                  Runtime.call_by_name binding client ctx ~proc:"apply"
+                    ~args:
+                      [
+                        Marshal.V_int (Int32.of_int c);
+                        Marshal.V_int (Int32.of_int s);
+                        Marshal.V_int (Int32.of_int delta);
+                        Marshal.V_int 0l;
+                      ]
+                with
+                | [ Marshal.V_int total ] -> (
+                  (* totals are per-server monotone; with concurrent
+                     clients we can only check monotonicity *)
+                  match !expected_total with
+                  | Some prev when Int32.compare total prev < 0 ->
+                    violations :=
+                      Printf.sprintf "total went backwards for %d.%d" c s :: !violations
+                  | _ -> expected_total := Some total)
+                | _ -> violations := Printf.sprintf "apply %d.%d bad shape" c s :: !violations
+                | exception e ->
+                  violations :=
+                    Printf.sprintf "apply %d.%d: %s" c s (Printexc.to_string e) :: !violations
+              end
+            done);
+        incr finished;
+        if !finished = clients then Sim.Gate.open_ gate)
+  done;
+  (try World.run_until_quiet ~limit:(Time.sec 3000) w gate
+   with Failure _ -> violations := "did not complete" :: !violations);
+  !violations
+
+let prop_protocol_under_faults =
+  QCheck.Test.make ~name:"protocol survives arbitrary fault schedules" ~count:12
+    QCheck.(pair (int_bound 10_000) (int_bound 25))
+    (fun (seed, loss_pct) ->
+      let loss = float_of_int loss_pct /. 100. in
+      match
+        run_schedule ~seed:(seed + 1) ~loss ~corrupt:0.05 ~clients:3 ~calls_each:6
+      with
+      | [] -> true
+      | violations ->
+        QCheck.Test.fail_reportf "violations: %s" (String.concat "; " violations))
+
+let test_heavy_loss_liveness () =
+  (* 35% loss + 5% corruption: brutal, but the protocol must still get
+     every call through and never double-execute. *)
+  match run_schedule ~seed:99 ~loss:0.35 ~corrupt:0.05 ~clients:2 ~calls_each:5 with
+  | [] -> ()
+  | violations -> Alcotest.fail (String.concat "; " violations)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_protocol_under_faults;
+    Alcotest.test_case "liveness under heavy loss" `Slow test_heavy_loss_liveness;
+  ]

@@ -1,0 +1,250 @@
+(* Robustness of the runtime internals: retained-result GC, packet-pool
+   exhaustion, the Busy protocol for slow servers, fragment-boundary
+   payload sizes, streaming under loss, and machine restart. *)
+
+module Engine = Sim.Engine
+module Time = Sim.Time
+module Cpu_set = Hw.Cpu_set
+module Machine = Nub.Machine
+module Idl = Rpc.Idl
+module Marshal = Rpc.Marshal
+module Runtime = Rpc.Runtime
+module Binder = Rpc.Binder
+module World = Workload.World
+module Driver = Workload.Driver
+
+let v_int n = Marshal.V_int (Int32.of_int n)
+
+let run_caller (w : World.t) gate f =
+  Machine.spawn_thread w.World.caller ~name:"robust-caller" (fun () ->
+      Cpu_set.with_cpu (Machine.cpus w.World.caller) (fun ctx ->
+          let client = Runtime.new_client w.World.caller_rt in
+          f client ctx);
+      Sim.Gate.open_ gate)
+
+let test_retained_result_gc () =
+  let w = World.create () in
+  let binding = World.test_binding w () in
+  let gate = Sim.Gate.create w.World.eng in
+  let in_use_after_call = ref 0 in
+  run_caller w gate (fun client ctx ->
+      ignore
+        (Runtime.call binding client ctx ~proc_idx:Workload.Test_interface.null_idx ~args:[]);
+      (* Let the transient buffers settle, then snapshot: the retained
+         result at the server holds one pool buffer. *)
+      Cpu_set.yield_cpu ctx (fun () -> Engine.delay w.World.eng (Time.ms 50));
+      in_use_after_call := Nub.Bufpool.in_use (Machine.pool w.World.server));
+  World.run_until_quiet w gate;
+  Alcotest.(check bool) "server retains a result buffer" true
+    (!in_use_after_call > 16 (* the driver's receive credits *));
+  Alcotest.(check int) "one activity tracked" 1 (Runtime.server_activities w.World.server_rt);
+  (* After the retain GC window (5 s), the buffer must return. *)
+  Engine.run_until w.World.eng (Time.add (Engine.now w.World.eng) (Time.sec 6));
+  Alcotest.(check int) "retained buffer reclaimed" 16
+    (Nub.Bufpool.in_use (Machine.pool w.World.server))
+
+let test_pool_exhaustion_recovers () =
+  (* A machine with a tiny pool: the driver takes 16 receive credits,
+     leaving little for callers; concurrent MaxArg callers must block
+     on allocation and still all complete. *)
+  let eng = Engine.create ~seed:9 () in
+  let link = Hw.Ether_link.create eng ~mbps:10. in
+  let caller =
+    Machine.create eng ~name:"caller" ~config:Hw.Config.default ~link ~station:1
+      ~ip:(Net.Ipv4.Addr.of_string "16.0.0.1") ~pool_buffers:20 ()
+  in
+  let server =
+    Machine.create eng ~name:"server" ~config:Hw.Config.default ~link ~station:2
+      ~ip:(Net.Ipv4.Addr.of_string "16.0.0.2") ()
+  in
+  let caller_rt = Runtime.create (Rpc.Node.create caller) ~space:1 in
+  let server_rt = Runtime.create (Rpc.Node.create server) ~space:1 in
+  let binder = Binder.create () in
+  Binder.export binder server_rt Workload.Test_interface.interface
+    ~impls:(Workload.Test_interface.impls (Machine.timing server))
+    ~workers:8;
+  let binding = Binder.import binder caller_rt ~name:"Test" ~version:1 () in
+  let gate = Sim.Gate.create eng in
+  let done_count = ref 0 in
+  let ok = ref 0 in
+  let n_threads = 6 in
+  for _ = 1 to n_threads do
+    Machine.spawn_thread caller ~name:"t" (fun () ->
+        Cpu_set.with_cpu (Machine.cpus caller) (fun ctx ->
+            let client = Runtime.new_client caller_rt in
+            for _ = 1 to 5 do
+              let r =
+                Runtime.call binding client ctx ~proc_idx:Workload.Test_interface.max_arg_idx
+                  ~args:[ Marshal.V_bytes (Workload.Test_interface.pattern 1440) ]
+              in
+              if r = [] then incr ok
+            done);
+        incr done_count;
+        if !done_count = n_threads then Sim.Gate.open_ gate)
+  done;
+  Engine.run_while eng (fun () -> not (Sim.Gate.is_open gate));
+  Alcotest.(check bool) "completed" true (Sim.Gate.is_open gate);
+  Alcotest.(check int) "all calls correct" 30 !ok;
+  Alcotest.(check bool) "pool was actually contended" true
+    (Nub.Bufpool.exhaustions (Machine.pool caller) > 0)
+
+let slow_intf =
+  Idl.interface ~name:"Slow" ~version:1
+    [ Idl.proc "crunch" [ Idl.arg "n" Idl.T_int; Idl.arg ~mode:Idl.Var_out "r" Idl.T_int ] ]
+
+let test_busy_protocol () =
+  (* The server takes 300 ms; the caller retransmits every 40 ms with
+     please_ack and must receive Busy replies instead of triggering
+     re-execution or failure. *)
+  let w = World.create ~export_test:false () in
+  let executions = ref 0 in
+  Binder.export w.World.binder w.World.server_rt slow_intf
+    ~impls:
+      [|
+        (fun ctx args ->
+          incr executions;
+          Cpu_set.charge ctx ~cat:"runtime" ~label:"crunch body" (Time.ms 300);
+          match args with
+          | [ Marshal.V_int n; _ ] -> [ Marshal.V_int (Int32.mul n 2l) ]
+          | _ -> Rpc.Rpc_error.fail (Rpc.Rpc_error.Marshal_failure "crunch"));
+      |]
+    ~workers:2;
+  let binding =
+    Binder.import w.World.binder w.World.caller_rt ~name:"Slow" ~version:1
+      ~options:{ Runtime.retransmit_after = Time.ms 40; max_retries = 30 }
+      ()
+  in
+  let gate = Sim.Gate.create w.World.eng in
+  let result = ref [] in
+  run_caller w gate (fun client ctx ->
+      result := Runtime.call_by_name binding client ctx ~proc:"crunch" ~args:[ v_int 21; v_int 0 ]);
+  World.run_until_quiet w gate;
+  Alcotest.(check bool) "correct result after waiting" true (!result = [ v_int 42 ]);
+  Alcotest.(check int) "executed exactly once" 1 !executions;
+  Alcotest.(check bool) "busy replies sent" true (Runtime.busy_replies w.World.server_rt > 0);
+  Alcotest.(check bool) "caller retransmitted" true
+    (Runtime.retransmissions w.World.caller_rt > 0)
+
+let test_fragment_boundaries () =
+  let w = World.create () in
+  let binding = World.test_binding w () in
+  let gate = Sim.Gate.create w.World.eng in
+  let failures = ref [] in
+  run_caller w gate (fun client ctx ->
+      List.iter
+        (fun n ->
+          match
+            Runtime.call binding client ctx ~proc_idx:Workload.Test_interface.get_data_idx
+              ~args:[ v_int n; Marshal.V_bytes Bytes.empty ]
+          with
+          | [ Marshal.V_bytes b ]
+            when Bytes.length b = n && Bytes.equal b (Workload.Test_interface.pattern n) ->
+            ()
+          | _ -> failures := n :: !failures
+          | exception e ->
+            ignore e;
+            failures := n :: !failures)
+        (* result payload sizes around the 1440-byte fragment edge:
+           (4+2)-byte prefix means the on-wire result is n + small *)
+        [ 0; 1; 1433; 1434; 1435; 1440; 1441; 2867; 2868; 2869; 5000 ])
+      ;
+  World.run_until_quiet w gate;
+  Alcotest.(check (list int)) "all boundary sizes roundtrip" [] !failures
+
+let test_streaming_under_loss () =
+  let config = { Hw.Config.default with Hw.Config.streaming_results = true } in
+  let w = World.create ~caller_config:config ~server_config:config () in
+  let binding =
+    World.test_binding w ~options:{ Runtime.retransmit_after = Time.ms 30; max_retries = 50 } ()
+  in
+  let gate = Sim.Gate.create w.World.eng in
+  let ok = ref false in
+  run_caller w gate (fun client ctx ->
+      (* Drop one mid-stream fragment of the first response blast. *)
+      let dropped = ref false in
+      let seen_big = ref 0 in
+      Hw.Ether_link.set_fault_injector w.World.link
+        (Some
+           (fun f ->
+             if Bytes.length f > 1000 then begin
+               incr seen_big;
+               if !seen_big = 3 && not !dropped then begin
+                 dropped := true;
+                 Hw.Ether_link.Drop
+               end
+               else Hw.Ether_link.Deliver
+             end
+             else Hw.Ether_link.Deliver));
+      match
+        Runtime.call binding client ctx ~proc_idx:Workload.Test_interface.get_data_idx
+          ~args:[ v_int 10_000; Marshal.V_bytes Bytes.empty ]
+      with
+      | [ Marshal.V_bytes b ] ->
+        ok := Bytes.equal b (Workload.Test_interface.pattern 10_000)
+      | _ -> ());
+  World.run_until_quiet w gate;
+  Alcotest.(check bool) "streamed transfer recovered from loss" true !ok
+
+let test_traditional_demux_correctness () =
+  (* The §3.2 ablation path must be functionally identical: calls
+     complete (even under loss), only slower. *)
+  let config = { Hw.Config.default with Hw.Config.traditional_demux = true } in
+  let w = World.create ~caller_config:config ~server_config:config () in
+  let binding =
+    World.test_binding w ~options:{ Runtime.retransmit_after = Time.ms 25; max_retries = 60 } ()
+  in
+  let gate = Sim.Gate.create w.World.eng in
+  let ok = ref 0 in
+  run_caller w gate (fun client ctx ->
+      let rng = Sim.Rng.create ~seed:77 in
+      Hw.Ether_link.set_fault_injector w.World.link
+        (Some
+           (fun _ -> if Sim.Rng.bool rng ~p:0.1 then Hw.Ether_link.Drop else Hw.Ether_link.Deliver));
+      for _ = 1 to 10 do
+        match
+          Runtime.call binding client ctx ~proc_idx:Workload.Test_interface.max_arg_idx
+            ~args:[ Marshal.V_bytes (Workload.Test_interface.pattern 1440) ]
+        with
+        | [] -> incr ok
+        | _ -> ()
+      done);
+  World.run_until_quiet w gate;
+  Alcotest.(check int) "all calls correct through the datalink path" 10 !ok;
+  Alcotest.(check bool) "every frame went via the datalink thread" true
+    (Nub.Driver.frames_to_datalink (Machine.driver w.World.server)
+     = Nub.Driver.frames_received (Machine.driver w.World.server))
+
+let test_server_restart () =
+  let w = World.create () in
+  let binding =
+    World.test_binding w ~options:{ Runtime.retransmit_after = Time.ms 20; max_retries = 4 } ()
+  in
+  let gate = Sim.Gate.create w.World.eng in
+  let phases = ref [] in
+  run_caller w gate (fun client ctx ->
+      let null () =
+        match
+          Runtime.call binding client ctx ~proc_idx:Workload.Test_interface.null_idx ~args:[]
+        with
+        | [] -> `Ok
+        | _ -> `Bad
+        | exception Rpc.Rpc_error.Rpc (Rpc.Rpc_error.Call_failed _) -> `Failed
+      in
+      phases := [ null () ];
+      Machine.power_off w.World.server;
+      phases := null () :: !phases;
+      Machine.power_on w.World.server;
+      phases := null () :: !phases);
+  World.run_until_quiet w gate;
+  Alcotest.(check bool) "up, down, up again" true (List.rev !phases = [ `Ok; `Failed; `Ok ])
+
+let suite =
+  [
+    Alcotest.test_case "retained result GC" `Quick test_retained_result_gc;
+    Alcotest.test_case "pool exhaustion recovers" `Quick test_pool_exhaustion_recovers;
+    Alcotest.test_case "busy protocol for slow servers" `Quick test_busy_protocol;
+    Alcotest.test_case "fragment boundary sizes" `Quick test_fragment_boundaries;
+    Alcotest.test_case "streaming under loss" `Quick test_streaming_under_loss;
+    Alcotest.test_case "traditional demux correctness" `Quick test_traditional_demux_correctness;
+    Alcotest.test_case "server restart" `Quick test_server_restart;
+  ]

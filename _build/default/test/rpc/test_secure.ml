@@ -1,0 +1,233 @@
+(* The authenticated/secure-call hooks (§7): sealing, key checks,
+   tamper detection end-to-end. *)
+
+module Engine = Sim.Engine
+module Time = Sim.Time
+module Cpu_set = Hw.Cpu_set
+module Machine = Nub.Machine
+module Idl = Rpc.Idl
+module Marshal = Rpc.Marshal
+module Runtime = Rpc.Runtime
+module Binder = Rpc.Binder
+module Secure = Rpc.Secure
+module World = Workload.World
+
+let key = Secure.key_of_string "firefly-shared-secret"
+let wrong_key = Secure.key_of_string "not-the-secret"
+
+(* {1 Unit: seal/unseal} *)
+
+let test_roundtrip () =
+  let plain = Bytes.of_string "attack at dawn" in
+  let sealed = Secure.seal key ~seq:7 plain in
+  Alcotest.(check int) "overhead" (Bytes.length plain + Secure.overhead_bytes)
+    (Bytes.length sealed);
+  Alcotest.(check bool) "ciphertext differs" false
+    (Bytes.equal (Bytes.sub sealed 0 (Bytes.length plain)) plain);
+  match Secure.unseal key ~seq:7 sealed with
+  | Ok p -> Alcotest.(check bytes) "roundtrip" plain p
+  | Error e -> Alcotest.fail e
+
+let test_wrong_key () =
+  let sealed = Secure.seal key ~seq:1 (Bytes.of_string "secret") in
+  match Secure.unseal wrong_key ~seq:1 sealed with
+  | Ok _ -> Alcotest.fail "wrong key accepted"
+  | Error _ -> ()
+
+let test_replay_seq () =
+  let sealed = Secure.seal key ~seq:5 (Bytes.of_string "pay alice 5") in
+  match Secure.unseal key ~seq:6 sealed with
+  | Ok _ -> Alcotest.fail "replayed under different seq"
+  | Error _ -> ()
+
+let test_tamper () =
+  let sealed = Secure.seal key ~seq:2 (Bytes.of_string "amount=00100") in
+  Bytes.set sealed 8 (Char.chr (Char.code (Bytes.get sealed 8) lxor 1));
+  match Secure.unseal key ~seq:2 sealed with
+  | Ok _ -> Alcotest.fail "tampering undetected"
+  | Error _ -> ()
+
+let test_truncation () =
+  match Secure.unseal key ~seq:0 (Bytes.create 3) with
+  | Ok _ -> Alcotest.fail "truncated accepted"
+  | Error _ -> ()
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"seal/unseal roundtrip" ~count:200
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 2000)) small_int)
+    (fun (s, seq) ->
+      let plain = Bytes.of_string s in
+      match Secure.unseal key ~seq (Secure.seal key ~seq plain) with
+      | Ok p -> Bytes.equal p plain
+      | Error _ -> false)
+
+(* {1 End to end} *)
+
+let vault_intf =
+  Idl.interface ~name:"Vault" ~version:1
+    [
+      Idl.proc "deposit"
+        [ Idl.arg "amount" Idl.T_int; Idl.arg ~mode:Idl.Var_out "balance" Idl.T_int ];
+      Idl.proc "statement"
+        [ Idl.arg ~mode:Idl.Var_out "lines" (Idl.T_var_bytes 8000) ];
+    ]
+
+let make_impls () : Runtime.impl array =
+  let balance = ref 0l in
+  [|
+    (fun _ctx args ->
+      match args with
+      | [ Marshal.V_int amount; _ ] ->
+        balance := Int32.add !balance amount;
+        [ Marshal.V_int !balance ]
+      | _ -> Rpc.Rpc_error.fail (Rpc.Rpc_error.Marshal_failure "deposit"));
+    (fun _ctx _ -> [ Marshal.V_bytes (Bytes.make 5000 's') ]);
+  |]
+
+let with_vault ?caller_config ?server_config ?import_auth f =
+  let w = World.create ?caller_config ?server_config ~export_test:false () in
+  Binder.export w.World.binder w.World.server_rt vault_intf ~impls:(make_impls ()) ~workers:2
+    ~auth:key;
+  let binding =
+    Binder.import w.World.binder w.World.caller_rt ~name:"Vault" ~version:1
+      ~options:{ Runtime.retransmit_after = Time.ms 30; max_retries = 3 }
+      ?auth:import_auth ()
+  in
+  let out = ref None in
+  let gate = Sim.Gate.create w.World.eng in
+  Machine.spawn_thread w.World.caller ~name:"vault-client" (fun () ->
+      Cpu_set.with_cpu (Machine.cpus w.World.caller) (fun ctx ->
+          let client = Runtime.new_client w.World.caller_rt in
+          out := Some (f w binding client ctx));
+      Sim.Gate.open_ gate);
+  World.run_until_quiet w gate;
+  Option.get !out
+
+let deposit binding client ctx n =
+  Runtime.call_by_name binding client ctx ~proc:"deposit"
+    ~args:[ Marshal.V_int (Int32.of_int n); Marshal.V_int 0l ]
+
+let test_secured_call_roundtrip () =
+  let balances =
+    with_vault ~import_auth:key (fun _w binding client ctx ->
+        let first = deposit binding client ctx 100 in
+        let second = deposit binding client ctx 42 in
+        [ first; second ])
+  in
+  Alcotest.(check bool) "running balance over secured calls" true
+    (balances = [ [ Marshal.V_int 100l ]; [ Marshal.V_int 142l ] ])
+
+let test_secured_multi_packet () =
+  let out =
+    with_vault ~import_auth:key (fun _w binding client ctx ->
+        Runtime.call_by_name binding client ctx ~proc:"statement"
+          ~args:[ Marshal.V_bytes Bytes.empty ])
+  in
+  match out with
+  | [ Marshal.V_bytes b ] ->
+    Alcotest.(check int) "5000-byte secured result" 5000 (Bytes.length b);
+    Alcotest.(check bool) "content" true (Bytes.for_all (fun c -> c = 's') b)
+  | _ -> Alcotest.fail "bad result"
+
+let test_unauthenticated_rejected () =
+  let rejected =
+    with_vault (fun _w binding client ctx ->
+        try
+          ignore (deposit binding client ctx 100);
+          false
+        with Rpc.Rpc_error.Rpc (Rpc.Rpc_error.Call_failed msg) ->
+          String.length msg > 0)
+  in
+  Alcotest.(check bool) "keyless caller rejected" true rejected
+
+let test_wrong_key_rejected () =
+  let rejected =
+    with_vault ~import_auth:wrong_key (fun _w binding client ctx ->
+        try
+          ignore (deposit binding client ctx 100);
+          false
+        with Rpc.Rpc_error.Rpc (Rpc.Rpc_error.Call_failed _) -> true)
+  in
+  Alcotest.(check bool) "wrong key rejected" true rejected
+
+let test_local_calls_trusted () =
+  (* A keyed export still accepts same-machine (shared-memory) calls:
+     the paper's shared buffer pool already assumes machine-local
+     trust (§3.2). *)
+  let w = World.create ~export_test:false () in
+  Binder.export w.World.binder w.World.caller_rt vault_intf ~impls:(make_impls ()) ~workers:1
+    ~auth:key;
+  let binding = Binder.import w.World.binder w.World.caller_rt ~name:"Vault" ~version:1 () in
+  Alcotest.(check bool) "local binding" true (Runtime.is_local binding);
+  let gate = Sim.Gate.create w.World.eng in
+  let ok = ref false in
+  Machine.spawn_thread w.World.caller ~name:"local" (fun () ->
+      Cpu_set.with_cpu (Machine.cpus w.World.caller) (fun ctx ->
+          let client = Runtime.new_client w.World.caller_rt in
+          ok := deposit binding client ctx 7 = [ Marshal.V_int 7l ]);
+      Sim.Gate.open_ gate);
+  World.run_until_quiet w gate;
+  Alcotest.(check bool) "trusted local call passed" true !ok
+
+let test_integrity_without_udp_checksums () =
+  (* Even with UDP checksums off (§4.2.4), the authenticator catches a
+     corrupted secured call — end-to-end integrity moves up a layer.
+     An authentication failure is a hard error, not a retransmission. *)
+  let config = { Hw.Config.default with Hw.Config.udp_checksums = false } in
+  let caught =
+    with_vault ~caller_config:config ~server_config:config ~import_auth:key
+      (fun w binding client ctx ->
+        let corrupt_first_big =
+          let fired = ref false in
+          fun (f : Bytes.t) ->
+            if (not !fired) && Bytes.length f > 80 then begin
+              fired := true;
+              Hw.Ether_link.Corrupt_payload
+            end
+            else Hw.Ether_link.Deliver
+        in
+        Hw.Ether_link.set_fault_injector w.World.link (Some corrupt_first_big);
+        try
+          ignore (deposit binding client ctx 100);
+          false
+        with Rpc.Rpc_error.Rpc (Rpc.Rpc_error.Call_failed msg) ->
+          let has_sub s sub =
+            let n = String.length sub in
+            let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+            go 0
+          in
+          has_sub msg "authenticator")
+  in
+  Alcotest.(check bool) "authenticator caught corruption" true caught
+
+let test_secured_latency_cost () =
+  (* Sealing costs CPU on both ends; a secured deposit is measurably
+     slower than the cost model's plain call but the same order. *)
+  let lat =
+    with_vault ~import_auth:key (fun w binding client ctx ->
+        ignore (deposit binding client ctx 1);
+        let t0 = Engine.now w.World.eng in
+        ignore (deposit binding client ctx 1);
+        Time.diff (Engine.now w.World.eng) t0)
+  in
+  let us = Time.to_us lat in
+  Alcotest.(check bool) "slower than plain Null" true (us > 2700.);
+  Alcotest.(check bool) "but same order" true (us < 3600.)
+
+let suite =
+  [
+    Alcotest.test_case "seal/unseal roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "wrong key" `Quick test_wrong_key;
+    Alcotest.test_case "replay under different seq" `Quick test_replay_seq;
+    Alcotest.test_case "tamper detection" `Quick test_tamper;
+    Alcotest.test_case "truncation" `Quick test_truncation;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    Alcotest.test_case "secured call roundtrip" `Quick test_secured_call_roundtrip;
+    Alcotest.test_case "secured multi-packet result" `Quick test_secured_multi_packet;
+    Alcotest.test_case "unauthenticated caller rejected" `Quick test_unauthenticated_rejected;
+    Alcotest.test_case "wrong key rejected" `Quick test_wrong_key_rejected;
+    Alcotest.test_case "local calls trusted" `Quick test_local_calls_trusted;
+    Alcotest.test_case "integrity without UDP checksums" `Quick
+      test_integrity_without_udp_checksums;
+    Alcotest.test_case "secured latency cost" `Quick test_secured_latency_cost;
+  ]

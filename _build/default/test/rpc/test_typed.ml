@@ -1,0 +1,176 @@
+(* The typed stub layer: declared signatures become ordinary typed
+   OCaml functions on both sides of the wire. *)
+
+module Engine = Sim.Engine
+module Cpu_set = Hw.Cpu_set
+module Machine = Nub.Machine
+module Runtime = Rpc.Runtime
+module Binder = Rpc.Binder
+module Typed = Rpc.Typed
+module World = Workload.World
+open Rpc.Typed
+
+(* PROCEDURE Add(x, y: INTEGER; VAR OUT sum: INTEGER) *)
+let add = procedure "add" (param "x" int @-> param "y" int @-> returning (out1 (out "sum" int)))
+
+(* PROCEDURE Stats(xs: SEQUENCE OF LONGREAL;
+                   VAR OUT mean: LONGREAL; VAR OUT count: INTEGER) *)
+let stats =
+  procedure "stats"
+    (param "xs" (seq real ~max:64)
+    @-> returning (out2 (out "mean" real) (out "count" int)))
+
+(* PROCEDURE Describe(who: Text.T; score: INTEGER16; ok: BOOLEAN;
+                      VAR OUT verdict: Text.T) *)
+let describe =
+  procedure "describe"
+    (param "who" (text 32) @-> param "score" int16 @-> param "ok" bool
+    @-> returning (out1 (out "verdict" (text 128))))
+
+(* PROCEDURE Checksum(data: ARRAY OF CHAR; VAR OUT digest: INTEGER;
+                      VAR OUT echo: ARRAY OF CHAR) — bulk VAR IN + VAR OUT *)
+let checksum_proc =
+  procedure "checksum"
+    (param "data" (bytes ~max:4000)
+    @-> returning (out2 (out "digest" int) (out "echo" (bytes ~max:4000))))
+
+(* PROCEDURE Nothing() *)
+let nothing = procedure "nothing" (noarg (returning out0))
+
+(* PROCEDURE Midpoint(a, b: RECORD x, y: LONGREAL END;
+                      VAR OUT mid: RECORD x, y: LONGREAL END;
+                      VAR OUT quadrant: RECORD n: INTEGER; name: Text.T END) *)
+let point = pair real real
+
+let midpoint =
+  procedure "midpoint"
+    (param "a" point @-> param "b" point
+    @-> returning (out2 (out "mid" point) (out "quadrant" (pair int (text 16)))))
+
+let math_intf =
+  interface ~name:"TypedMath" ~version:2
+    [ P add; P stats; P describe; P checksum_proc; P nothing; P midpoint ]
+
+let side_effects = ref 0
+
+let implementations =
+  Typed.impls math_intf
+    [
+      I (add, fun x y -> x + y);
+      I
+        ( stats,
+          fun xs ->
+            let n = List.length xs in
+            ((if n = 0 then 0. else List.fold_left ( +. ) 0. xs /. float_of_int n), n) );
+      I
+        ( describe,
+          fun who score ok ->
+            Printf.sprintf "%s: %d (%s)" who score (if ok then "pass" else "fail") );
+      I
+        ( checksum_proc,
+          fun data ->
+            let d = ref 0 in
+            Bytes.iter (fun c -> d := (!d + Char.code c) land 0xffffff) data;
+            (!d, data) );
+      I (nothing, fun () -> incr side_effects);
+      I
+        ( midpoint,
+          fun (ax, ay) (bx, by) ->
+            let mx = (ax +. bx) /. 2. and my = (ay +. by) /. 2. in
+            let q =
+              match mx >= 0., my >= 0. with
+              | true, true -> (1, "NE")
+              | false, true -> (2, "NW")
+              | false, false -> (3, "SW")
+              | true, false -> (4, "SE")
+            in
+            ((mx, my), q) );
+    ]
+
+let with_world f =
+  let w = World.create ~export_test:false () in
+  Binder.export w.World.binder w.World.server_rt math_intf ~impls:implementations ~workers:4;
+  let binding = Binder.import w.World.binder w.World.caller_rt ~name:"TypedMath" ~version:2 () in
+  let out = ref None in
+  let gate = Sim.Gate.create w.World.eng in
+  Machine.spawn_thread w.World.caller ~name:"typed-caller" (fun () ->
+      Cpu_set.with_cpu (Machine.cpus w.World.caller) (fun ctx ->
+          let client = Runtime.new_client w.World.caller_rt in
+          out := Some (f binding client ctx));
+      Sim.Gate.open_ gate);
+  World.run_until_quiet w gate;
+  Option.get !out
+
+let test_simple_ints () =
+  let sum = with_world (fun b c ctx -> Typed.call b c ctx add 20 22) in
+  Alcotest.(check int) "typed add" 42 sum
+
+let test_multiple_outs () =
+  let mean, count = with_world (fun b c ctx -> Typed.call b c ctx stats [ 1.0; 2.0; 6.0 ]) in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 mean;
+  Alcotest.(check int) "count" 3 count
+
+let test_mixed_scalars () =
+  let verdict = with_world (fun b c ctx -> Typed.call b c ctx describe "mbrown" (-7) true) in
+  Alcotest.(check string) "verdict" "mbrown: -7 (pass)" verdict
+
+let test_bulk_both_ways () =
+  let data = Bytes.init 3000 (fun i -> Char.chr (i mod 251)) in
+  let digest, echo = with_world (fun b c ctx -> Typed.call b c ctx checksum_proc data) in
+  let expect = ref 0 in
+  Bytes.iter (fun c -> expect := (!expect + Char.code c) land 0xffffff) data;
+  Alcotest.(check int) "digest computed on real data" !expect digest;
+  Alcotest.(check bytes) "bulk echo" data echo
+
+let test_unit_procedure () =
+  side_effects := 0;
+  with_world (fun b c ctx ->
+      Typed.call b c ctx nothing ();
+      Typed.call b c ctx nothing ());
+  Alcotest.(check int) "side effects happened remotely" 2 !side_effects
+
+let test_records () =
+  let (mx, my), (qn, qname) =
+    with_world (fun b c ctx -> Typed.call b c ctx midpoint (-4.0, 2.0) (-2.0, 4.0))
+  in
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "midpoint" (-3.0, 3.0) (mx, my);
+  Alcotest.(check (pair int string)) "quadrant record" (2, "NW") (qn, qname)
+
+let test_range_check () =
+  Alcotest.(check bool) "oversize int rejected at the stub" true
+    (with_world (fun b c ctx ->
+         try
+           ignore (Typed.call b c ctx add max_int 1);
+           false
+         with Rpc.Rpc_error.Rpc (Rpc.Rpc_error.Marshal_failure _) -> true))
+
+let test_missing_impl_rejected () =
+  Alcotest.(check bool) "missing implementation detected" true
+    (try
+       ignore (Typed.impls math_intf [ I (add, fun x y -> x + y) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_partial_application () =
+  (* The stub is curried: partial application must not fire the call. *)
+  let result =
+    with_world (fun b c ctx ->
+        let add20 = Typed.call b c ctx add 20 in
+        let served_before = 0 in
+        ignore served_before;
+        (add20 1, add20 2))
+  in
+  Alcotest.(check (pair int int)) "curried stub reusable" (21, 22) result
+
+let suite =
+  [
+    Alcotest.test_case "int in, int out" `Quick test_simple_ints;
+    Alcotest.test_case "sequence in, two outs" `Quick test_multiple_outs;
+    Alcotest.test_case "mixed scalars and text" `Quick test_mixed_scalars;
+    Alcotest.test_case "bulk bytes both ways" `Quick test_bulk_both_ways;
+    Alcotest.test_case "unit procedure" `Quick test_unit_procedure;
+    Alcotest.test_case "record parameters and results" `Quick test_records;
+    Alcotest.test_case "range check at the stub" `Quick test_range_check;
+    Alcotest.test_case "missing implementation" `Quick test_missing_impl_rejected;
+    Alcotest.test_case "partial application" `Quick test_partial_application;
+  ]

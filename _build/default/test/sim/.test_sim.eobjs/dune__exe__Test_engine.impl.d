@@ -1,0 +1,1 @@
+test/sim/test_engine.ml: Alcotest Buffer List Printf Sim

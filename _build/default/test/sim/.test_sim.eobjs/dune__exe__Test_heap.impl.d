@@ -1,0 +1,1 @@
+test/sim/test_heap.ml: Alcotest List QCheck QCheck_alcotest Sim

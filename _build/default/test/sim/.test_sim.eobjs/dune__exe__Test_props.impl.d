@@ -1,0 +1,1 @@
+test/sim/test_props.ml: List QCheck QCheck_alcotest Sim

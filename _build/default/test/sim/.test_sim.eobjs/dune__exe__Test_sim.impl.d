@@ -1,0 +1,1 @@
+test/sim/test_sim.ml: Alcotest Test_engine Test_heap Test_props Test_stats_trace Test_sync Test_time

@@ -1,0 +1,1 @@
+test/sim/test_stats_trace.ml: Alcotest List Sim

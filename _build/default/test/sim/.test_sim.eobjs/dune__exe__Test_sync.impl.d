@@ -1,0 +1,1 @@
+test/sim/test_sync.ml: Alcotest List Sim

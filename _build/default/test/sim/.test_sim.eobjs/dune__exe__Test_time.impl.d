@@ -1,0 +1,1 @@
+test/sim/test_time.ml: Alcotest Sim

@@ -1,0 +1,73 @@
+module Heap = Sim.Heap
+
+let int_heap () = Heap.create ~leq:(fun (a : int) b -> a <= b)
+
+let test_basic () =
+  let h = int_heap () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  Heap.add h 3;
+  Heap.add h 1;
+  Heap.add h 2;
+  Alcotest.(check int) "size" 3 (Heap.size h);
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check int) "size after peek" 3 (Heap.size h);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Heap.pop h);
+  Alcotest.(check (option int)) "pop empty again" None (Heap.pop h)
+
+let test_clear () =
+  let h = int_heap () in
+  List.iter (Heap.add h) [ 5; 1; 9 ];
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h);
+  Heap.add h 7;
+  Alcotest.(check (option int)) "usable after clear" (Some 7) (Heap.pop h)
+
+let test_duplicates () =
+  let h = int_heap () in
+  List.iter (Heap.add h) [ 2; 2; 1; 2 ];
+  Alcotest.(check (list int)) "drain with dups" [ 1; 2; 2; 2 ] (Heap.to_sorted_list h);
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let prop_sorted_drain =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iter (Heap.add h) xs;
+      Heap.to_sorted_list h = List.sort compare xs)
+
+let prop_interleaved =
+  QCheck.Test.make ~name:"interleaved add/pop preserves order" ~count:200
+    QCheck.(list (pair int bool))
+    (fun ops ->
+      (* Replay adds and pops against a sorted-list reference model. *)
+      let h = int_heap () in
+      let model = ref [] in
+      List.for_all
+        (fun (x, is_add) ->
+          if is_add then begin
+            Heap.add h x;
+            model := List.sort compare (x :: !model);
+            true
+          end
+          else
+            match Heap.pop h, !model with
+            | None, [] -> true
+            | Some v, m :: rest ->
+              model := rest;
+              v = m
+            | _ -> false)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "basic operations" `Quick test_basic;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "duplicates" `Quick test_duplicates;
+    QCheck_alcotest.to_alcotest prop_sorted_drain;
+    QCheck_alcotest.to_alcotest prop_interleaved;
+  ]

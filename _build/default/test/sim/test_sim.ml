@@ -1,0 +1,10 @@
+let () =
+  Alcotest.run "sim"
+    [
+      ("time", Test_time.suite);
+      ("heap", Test_heap.suite);
+      ("engine", Test_engine.suite);
+      ("sync", Test_sync.suite);
+      ("stats-trace", Test_stats_trace.suite);
+      ("properties", Test_props.suite);
+    ]

@@ -1,0 +1,60 @@
+module Stats = Sim.Stats
+module Trace = Sim.Trace
+module Time = Sim.Time
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 4;
+  Alcotest.(check int) "value" 5 (Stats.Counter.value c);
+  Stats.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Stats.Counter.value c)
+
+let test_summary () =
+  let s = Stats.Summary.create () in
+  Alcotest.(check (float 0.)) "empty mean" 0. (Stats.Summary.mean s);
+  List.iter (Stats.Summary.observe s) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check int) "count" 4 (Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 4. (Stats.Summary.max s);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 1.25) (Stats.Summary.stddev s)
+
+let test_level () =
+  let at n = Time.of_ns_since_start n in
+  let l = Stats.Level.create ~initial:0. ~at:(at 0) in
+  Stats.Level.set l 2. ~at:(at 1_000_000_000);
+  Stats.Level.set l 1. ~at:(at 3_000_000_000);
+  (* 1s at 0, 2s at 2, 1s at 1 => integral 5 level-seconds over 4s. *)
+  Alcotest.(check (float 1e-9)) "integral" 5. (Stats.Level.integral l ~upto:(at 4_000_000_000));
+  Alcotest.(check (float 1e-9)) "average" 1.25 (Stats.Level.average l ~upto:(at 4_000_000_000));
+  Alcotest.(check (float 0.)) "current" 1. (Stats.Level.current l)
+
+let test_trace () =
+  let tr = Trace.create () in
+  let at n = Time.of_ns_since_start n in
+  Trace.add tr ~cat:"x" ~label:"ignored while off" ~site:"m" ~start_at:(at 0) ~stop_at:(at 5);
+  Alcotest.(check int) "disabled records nothing" 0 (List.length (Trace.spans tr));
+  Trace.set_enabled tr true;
+  Trace.add tr ~cat:"send" ~label:"checksum" ~site:"caller" ~start_at:(at 0) ~stop_at:(at 45_000);
+  Trace.add tr ~cat:"send" ~label:"checksum" ~site:"server" ~start_at:(at 50_000)
+    ~stop_at:(at 95_000);
+  Trace.add tr ~cat:"runtime" ~label:"starter" ~site:"caller" ~start_at:(at 100_000)
+    ~stop_at:(at 228_000);
+  Alcotest.(check int) "three spans" 3 (List.length (Trace.spans tr));
+  Alcotest.(check int) "sum by label" 90_000 (Time.to_ns (Trace.total tr ~label:"checksum"));
+  Alcotest.(check int) "filter by site" 45_000
+    (Time.to_ns (Trace.total tr ~label:"checksum" ~site:"caller"));
+  Alcotest.(check int) "filter by cat" 128_000 (Time.to_ns (Trace.total tr ~cat:"runtime"));
+  Alcotest.(check (list string))
+    "labels in order" [ "checksum"; "starter" ] (Trace.labels tr);
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.spans tr))
+
+let suite =
+  [
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "summary" `Quick test_summary;
+    Alcotest.test_case "level integral" `Quick test_level;
+    Alcotest.test_case "trace spans and filters" `Quick test_trace;
+  ]

@@ -1,0 +1,49 @@
+module Time = Sim.Time
+
+let span = Alcotest.testable Time.pp_span (fun a b -> Time.span_compare a b = 0)
+
+let test_units () =
+  Alcotest.(check int) "us in ns" 1_000 (Time.to_ns (Time.us 1));
+  Alcotest.(check int) "ms in ns" 1_000_000 (Time.to_ns (Time.ms 1));
+  Alcotest.(check int) "sec in ns" 1_000_000_000 (Time.to_ns (Time.sec 1));
+  Alcotest.check span "us_f rounds" (Time.ns 1_500) (Time.us_f 1.5);
+  Alcotest.check span "us_f tiny" (Time.ns 274) (Time.us_f 0.2743)
+
+let test_arithmetic () =
+  let t = Time.add Time.zero (Time.us 10) in
+  let t' = Time.add t (Time.us 5) in
+  Alcotest.check span "diff" (Time.us 5) (Time.diff t' t);
+  Alcotest.check span "negative diff" (Time.us (-5)) (Time.diff t t');
+  Alcotest.(check bool) "is_negative" true (Time.span_is_negative (Time.diff t t'));
+  Alcotest.check span "sum" (Time.us 30)
+    (Time.span_sum [ Time.us 10; Time.us 15; Time.us 5 ]);
+  Alcotest.check span "scale" (Time.us 5) (Time.span_scale 0.5 (Time.us 10))
+
+let test_comparisons () =
+  let a = Time.add Time.zero (Time.ns 1) in
+  let b = Time.add Time.zero (Time.ns 2) in
+  Alcotest.(check bool) "lt" true Time.(a < b);
+  Alcotest.(check bool) "le refl" true Time.(a <= a);
+  Alcotest.(check bool) "min" true (Time.equal a (Time.min a b));
+  Alcotest.(check bool) "max" true (Time.equal b (Time.max a b))
+
+let test_conversions () =
+  Alcotest.(check (float 1e-9)) "to_us" 1.5 (Time.to_us (Time.ns 1_500));
+  Alcotest.(check (float 1e-9)) "to_ms" 2.5 (Time.to_ms (Time.us 2_500));
+  Alcotest.(check (float 1e-9)) "to_sec" 0.25 (Time.to_sec (Time.ms 250));
+  Alcotest.(check int) "roundtrip" 777 (Time.since_start_ns (Time.of_ns_since_start 777))
+
+let test_pretty () =
+  Alcotest.(check string) "ns" "999ns" (Time.span_to_string (Time.ns 999));
+  Alcotest.(check string) "us" "45.00us" (Time.span_to_string (Time.us 45));
+  Alcotest.(check string) "ms" "2.660ms" (Time.span_to_string (Time.us 2_660));
+  Alcotest.(check string) "s" "26.610s" (Time.span_to_string (Time.ms 26_610))
+
+let suite =
+  [
+    Alcotest.test_case "unit constructors" `Quick test_units;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "conversions" `Quick test_conversions;
+    Alcotest.test_case "pretty printing" `Quick test_pretty;
+  ]

@@ -1,0 +1,1 @@
+test/wire/test_bytebuf.ml: Alcotest Bytes QCheck QCheck_alcotest Wire

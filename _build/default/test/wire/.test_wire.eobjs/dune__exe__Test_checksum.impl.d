@@ -1,0 +1,1 @@
+test/wire/test_checksum.ml: Alcotest Bytes Char List QCheck QCheck_alcotest Wire

@@ -1,0 +1,1 @@
+test/wire/test_hexdump.ml: Alcotest Bytes List String Wire

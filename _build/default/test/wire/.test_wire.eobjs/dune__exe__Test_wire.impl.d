@@ -1,0 +1,1 @@
+test/wire/test_wire.ml: Alcotest Test_bytebuf Test_checksum Test_hexdump

@@ -1,0 +1,1 @@
+test/wire/test_wire.mli:

@@ -1,0 +1,106 @@
+module W = Wire.Bytebuf.Writer
+module R = Wire.Bytebuf.Reader
+
+let test_write_read_roundtrip () =
+  let w = W.create 64 in
+  W.u8 w 0xab;
+  W.u16 w 0x1234;
+  W.u32 w 0xdeadbeefl;
+  W.string w "hello";
+  W.zeros w 3;
+  Alcotest.(check int) "length" (1 + 2 + 4 + 5 + 3) (W.length w);
+  let r = R.of_bytes (W.contents w) in
+  Alcotest.(check int) "u8" 0xab (R.u8 r);
+  Alcotest.(check int) "u16" 0x1234 (R.u16 r);
+  Alcotest.(check int32) "u32" 0xdeadbeefl (R.u32 r);
+  Alcotest.(check string) "string" "hello" (R.string r 5);
+  Alcotest.(check string) "zeros" "\000\000\000" (R.string r 3);
+  R.expect_end r
+
+let test_big_endian_layout () =
+  let w = W.create 8 in
+  W.u16 w 0x0102;
+  W.u32 w 0x03040506l;
+  Alcotest.(check string) "network byte order" "\x01\x02\x03\x04\x05\x06"
+    (Bytes.to_string (W.contents w))
+
+let test_patch () =
+  let w = W.create 8 in
+  W.u16 w 0;
+  W.u16 w 0xaaaa;
+  W.patch_u16 w ~pos:0 0x4242;
+  let r = R.of_bytes (W.contents w) in
+  Alcotest.(check int) "patched" 0x4242 (R.u16 r);
+  Alcotest.(check int) "untouched" 0xaaaa (R.u16 r);
+  Alcotest.(check bool) "patch past end rejected" true
+    (try
+       W.patch_u16 w ~pos:3 0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_overflow () =
+  let w = W.create 2 in
+  W.u16 w 7;
+  Alcotest.(check bool) "writer overflow" true
+    (try
+       W.u8 w 1;
+       false
+     with Wire.Bytebuf.Overflow _ -> true);
+  let r = R.of_bytes (Bytes.create 1) in
+  Alcotest.(check bool) "reader overflow" true
+    (try
+       ignore (R.u16 r);
+       false
+     with Wire.Bytebuf.Overflow _ -> true)
+
+let test_ranges () =
+  Alcotest.(check bool) "u8 range" true
+    (try
+       W.u8 (W.create 4) 256;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "u16 range" true
+    (try
+       W.u16 (W.create 4) (-1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_reader_window () =
+  let data = Bytes.of_string "abcdef" in
+  let r = R.of_bytes ~pos:2 ~len:3 data in
+  Alcotest.(check int) "remaining" 3 (R.remaining r);
+  Alcotest.(check string) "windowed" "cde" (R.string r 3);
+  Alcotest.(check int) "position relative" 3 (R.position r);
+  Alcotest.(check bool) "expect_end on trailing" true
+    (let r2 = R.of_bytes data in
+     try
+       R.expect_end r2;
+       false
+     with Wire.Bytebuf.Overflow _ -> true)
+
+let test_sub_and_skip () =
+  let w = W.create 16 in
+  W.sub w (Bytes.of_string "xxpayloadxx") ~pos:2 ~len:7;
+  let r = R.of_bytes (W.contents w) in
+  R.skip r 2;
+  Alcotest.(check string) "sub + skip" "yload" (R.string r 5)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"u16 roundtrip" ~count:500
+    QCheck.(int_bound 0xffff)
+    (fun v ->
+      let w = W.create 2 in
+      W.u16 w v;
+      R.u16 (R.of_bytes (W.contents w)) = v)
+
+let suite =
+  [
+    Alcotest.test_case "write/read roundtrip" `Quick test_write_read_roundtrip;
+    Alcotest.test_case "big-endian layout" `Quick test_big_endian_layout;
+    Alcotest.test_case "patch_u16" `Quick test_patch;
+    Alcotest.test_case "overflow" `Quick test_overflow;
+    Alcotest.test_case "range validation" `Quick test_ranges;
+    Alcotest.test_case "reader window" `Quick test_reader_window;
+    Alcotest.test_case "sub and skip" `Quick test_sub_and_skip;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

@@ -1,0 +1,87 @@
+module C = Wire.Checksum
+
+(* RFC 1071 worked example: the sum of 00-01 f2-03 f4-f5 f6-f7 is
+   ddf2 before complement, so the checksum is 220d. *)
+let test_rfc1071_example () =
+  let b = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  Alcotest.(check int) "running sum" 0xddf2 (C.sum b ~pos:0 ~len:8);
+  Alcotest.(check int) "checksum" 0x220d (C.checksum b ~pos:0 ~len:8)
+
+let test_odd_length () =
+  (* The trailing odd byte pads with zero on the right (high octet). *)
+  let b = Bytes.of_string "\x01\x02\x03" in
+  Alcotest.(check int) "odd tail" (0x0102 + 0x0300) (C.sum b ~pos:0 ~len:3)
+
+let test_zero_length () =
+  Alcotest.(check int) "empty sum" 0 (C.sum Bytes.empty ~pos:0 ~len:0);
+  Alcotest.(check int) "empty checksum" 0xffff (C.checksum Bytes.empty ~pos:0 ~len:0)
+
+let test_init_composes () =
+  let b = Bytes.of_string "\x12\x34\x56\x78\x9a\xbc" in
+  let whole = C.sum b ~pos:0 ~len:6 in
+  let part1 = C.sum b ~pos:0 ~len:4 in
+  let part2 = C.sum ~init:part1 b ~pos:4 ~len:2 in
+  Alcotest.(check int) "split sum equals whole" whole part2
+
+let test_bad_range () =
+  Alcotest.(check bool) "range checked" true
+    (try
+       ignore (C.sum (Bytes.create 4) ~pos:2 ~len:4);
+       false
+     with Invalid_argument _ -> true)
+
+let embed_checksum data ~at =
+  let b = Bytes.copy data in
+  Bytes.set_uint16_be b at 0;
+  let cks = C.checksum b ~pos:0 ~len:(Bytes.length b) in
+  Bytes.set_uint16_be b at cks;
+  b
+
+let gen_packet =
+  QCheck.Gen.(
+    let* n = int_range 2 256 in
+    let* n = return (n land lnot 1) in
+    (* even length with room for the field *)
+    let* bytes_list = list_size (return n) (int_bound 255) in
+    return (Bytes.init n (fun i -> Char.chr (List.nth bytes_list i))))
+
+let arb_packet = QCheck.make ~print:(fun b -> Wire.Hexdump.to_string b) gen_packet
+
+let prop_verify_of_valid =
+  QCheck.Test.make ~name:"verify accepts correctly-checksummed data" ~count:200 arb_packet
+    (fun data ->
+      let b = embed_checksum data ~at:0 in
+      C.verify b ~pos:0 ~len:(Bytes.length b))
+
+let prop_detects_single_flip =
+  QCheck.Test.make ~name:"verify rejects any single-byte corruption" ~count:200
+    QCheck.(pair arb_packet (int_bound 10_000))
+    (fun (data, r) ->
+      let b = embed_checksum data ~at:0 in
+      let n = Bytes.length b in
+      let i = r mod n in
+      let old = Char.code (Bytes.get b i) in
+      (* A single-byte change alters the ones-complement sum by at most
+         0xff00 in magnitude, which is never a multiple of 0xffff, so
+         every single-byte corruption must be detected. *)
+      let flip = (old + 1 + (r mod 255)) land 0xff in
+      QCheck.assume (flip <> old);
+      Bytes.set b i (Char.chr flip);
+      not (C.verify b ~pos:0 ~len:n))
+
+let prop_finish_idempotent_range =
+  QCheck.Test.make ~name:"checksum always fits 16 bits" ~count:200 arb_packet (fun b ->
+      let c = C.checksum b ~pos:0 ~len:(Bytes.length b) in
+      c >= 0 && c <= 0xffff)
+
+let suite =
+  [
+    Alcotest.test_case "RFC 1071 example" `Quick test_rfc1071_example;
+    Alcotest.test_case "odd length" `Quick test_odd_length;
+    Alcotest.test_case "zero length" `Quick test_zero_length;
+    Alcotest.test_case "init composes" `Quick test_init_composes;
+    Alcotest.test_case "bad range" `Quick test_bad_range;
+    QCheck_alcotest.to_alcotest prop_verify_of_valid;
+    QCheck_alcotest.to_alcotest prop_detects_single_flip;
+    QCheck_alcotest.to_alcotest prop_finish_idempotent_range;
+  ]

@@ -1,0 +1,40 @@
+let test_layout () =
+  let b = Bytes.of_string "Hello, world!\x00\x01\x02three more" in
+  let dump = Wire.Hexdump.to_string b in
+  let lines = String.split_on_char '\n' (String.trim dump) in
+  Alcotest.(check int) "two lines for 26 bytes" 2 (List.length lines);
+  let first = List.hd lines in
+  Alcotest.(check bool) "offset prefix" true (String.length first > 8 && String.sub first 0 8 = "00000000");
+  Alcotest.(check bool) "hex present" true
+    (let has_48 = ref false in
+     String.iteri (fun i c -> if c = '4' && i + 1 < String.length first && first.[i + 1] = '8' then has_48 := true) first;
+     !has_48);
+  Alcotest.(check bool) "ascii gutter" true (String.contains first '|');
+  (* The \x00\x01\x02 run lands at the end of the first line's gutter. *)
+  Alcotest.(check bool) "non-printable dotted" true
+    (let re_has s sub =
+       let n = String.length sub in
+       let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+       go 0
+     in
+     re_has first "...|")
+
+let test_window () =
+  let b = Bytes.of_string "0123456789" in
+  let dump = Wire.Hexdump.to_string ~pos:2 ~len:3 b in
+  Alcotest.(check bool) "windowed content" true
+    (let re_has s sub =
+       let n = String.length sub in
+       let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+       go 0
+     in
+     re_has dump "|234|")
+
+let test_empty () = Alcotest.(check string) "empty dump" "" (Wire.Hexdump.to_string Bytes.empty)
+
+let suite =
+  [
+    Alcotest.test_case "layout" `Quick test_layout;
+    Alcotest.test_case "window" `Quick test_window;
+    Alcotest.test_case "empty" `Quick test_empty;
+  ]

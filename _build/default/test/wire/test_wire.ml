@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "wire"
+    [
+      ("bytebuf", Test_bytebuf.suite);
+      ("checksum", Test_checksum.suite);
+      ("hexdump", Test_hexdump.suite);
+    ]
