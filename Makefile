@@ -1,0 +1,24 @@
+# Continuous-integration entry point: `make check` is what a CI job
+# runs — a clean build plus the full tier-1 test suite, including the
+# bounded-seed simulation-testing tier (test/check).
+
+.PHONY: all build test check sim-check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full CI gate.
+check: build test
+
+# Longer fault-plan exploration than the bounded tier-1 run; prints a
+# seed and a minimal fault plan on any invariant violation.
+sim-check: build
+	dune exec bin/firefly.exe -- check --seeds 100
+
+clean:
+	dune clean

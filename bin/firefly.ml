@@ -4,10 +4,12 @@
      firefly repro [ID...] [--quick]     regenerate paper tables
      firefly call  [options]             run an ad-hoc workload
      firefly trace [--proc P]            per-step breakdown of one call
+     firefly check [--seeds N]           seeded fault-plan exploration
 
    `firefly call` exposes the configuration knobs (§4.2's improvements,
    processor counts, loss injection...) so any what-if can be run from
-   the shell. *)
+   the shell; `firefly check` runs the deterministic simulation-testing
+   harness of library `check`. *)
 
 open Cmdliner
 
@@ -340,6 +342,85 @@ let profile_cmd =
        ~doc:"Aggregate CPU/bus time per fast-path step over a workload (a Table VI/VII view under load).")
     Term.(const run $ cfg_term $ proc $ threads $ calls)
 
+(* {1 firefly check} *)
+
+let check_cmd =
+  let run seeds base_seed threads calls payload bug fifo max_steps verbose =
+    if seeds < 1 then Error (`Msg "--seeds must be >= 1")
+    else if threads < 1 then Error (`Msg "--threads must be >= 1")
+    else if calls < 1 then Error (`Msg "--calls must be >= 1")
+    else if payload < 1 then Error (`Msg "--payload must be >= 1")
+    else if max_steps < 1 then Error (`Msg "--max-steps must be >= 1")
+    else begin
+    let config =
+      {
+        Check.Explorer.threads;
+        calls_per_thread = calls;
+        payload;
+        bug =
+          (match bug with
+          | "no-retransmit" -> Check.Explorer.No_retransmit
+          | _ -> Check.Explorer.No_bug);
+        tie_break = (if fifo then `Fifo else `Random);
+        max_steps;
+      }
+    in
+    let progress seed = if verbose then say "seed %d..." seed in
+    let summary = Check.Explorer.explore ~progress config ~base_seed ~seeds in
+    let failures = summary.Check.Explorer.failures in
+    say "%d seed(s) explored: %d invariant-violating run(s)" summary.Check.Explorer.seeds_run
+      (List.length failures);
+    List.iter
+      (fun o ->
+        say "";
+        Format.printf "%a@." Check.Explorer.pp_outcome o)
+      failures;
+    if failures <> [] then Stdlib.exit 1;
+    Ok ()
+    end
+  in
+  let seeds = Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Number of seeds to explore.") in
+  let base_seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"First seed.") in
+  let threads = Arg.(value & opt int 3 & info [ "threads" ] ~doc:"Caller threads per run.") in
+  let calls = Arg.(value & opt int 4 & info [ "calls" ] ~doc:"Calls per thread.") in
+  let payload =
+    Arg.(
+      value
+      & opt int 4000
+      & info [ "payload" ] ~docv:"BYTES" ~doc:"GetData result size for the bulk calls.")
+  in
+  let bug =
+    Arg.(
+      value
+      & opt (enum [ ("none", "none"); ("no-retransmit", "no-retransmit") ]) "none"
+      & info [ "bug" ]
+          ~doc:
+            "Intentionally cripple the protocol to demonstrate detection: $(b,no-retransmit) \
+             sets the caller's retry budget to zero.")
+  in
+  let fifo =
+    Arg.(
+      value
+      & flag
+      & info [ "fifo" ]
+          ~doc:"Use FIFO ordering for same-instant events instead of seeded random tie-breaking.")
+  in
+  let max_steps =
+    Arg.(value & opt int 6 & info [ "max-steps" ] ~doc:"Maximum fault-plan length.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print each seed as it runs.") in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Deterministic simulation testing: run seeded random fault plans against the \
+          two-Firefly world, checking protocol invariants (at-most-once execution, packet-pool \
+          conservation, monotonic virtual time, completion under recoverable faults).  On a \
+          violation, prints the seed and a shrunk minimal fault plan that replays it.")
+    Term.(
+      term_result ~usage:true
+        (const run $ seeds $ base_seed $ threads $ calls $ payload $ bug $ fifo $ max_steps
+        $ verbose))
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -347,4 +428,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "firefly" ~version:"1.0.0"
              ~doc:"A simulated reproduction of 'Performance of Firefly RPC' (SOSP 1989).")
-          [ list_cmd; repro_cmd; call_cmd; trace_cmd; profile_cmd ]))
+          [ list_cmd; repro_cmd; call_cmd; trace_cmd; profile_cmd; check_cmd ]))

@@ -1,0 +1,208 @@
+module Engine = Sim.Engine
+module Time = Sim.Time
+module Cpu_set = Hw.Cpu_set
+module Machine = Nub.Machine
+module Runtime = Rpc.Runtime
+module Marshal = Rpc.Marshal
+module World = Workload.World
+module Test_interface = Workload.Test_interface
+
+type bug = No_bug | No_retransmit
+
+type config = {
+  threads : int;
+  calls_per_thread : int;
+  payload : int;
+  bug : bug;
+  tie_break : [ `Fifo | `Random ];
+  max_steps : int;
+}
+
+let default_config =
+  {
+    threads = 3;
+    calls_per_thread = 4;
+    payload = 4000;
+    bug = No_bug;
+    tie_break = `Random;
+    max_steps = 6;
+  }
+
+type outcome = {
+  seed : int;
+  plan : Fault_plan.t;
+  violations : Invariant.violation list;
+  calls_ok : int;
+  calls_failed : int;
+  frames_carried : int;
+  events_executed : int;
+  spans : Sim.Trace.span list;
+}
+
+(* The workload must outlive any recoverable plan: the plan can kill at
+   most [max_steps] frames plus two per Duplicate, so a few dozen
+   retries cover it with margin. *)
+let call_options bug =
+  {
+    Runtime.retransmit_after = Time.ms 30;
+    max_retries = (match bug with No_retransmit -> 0 | No_bug -> 40);
+  }
+
+let workload_limit = Time.sec 120
+
+(* The retained-result GC window is 5 s and an abandoned server send
+   loop persists for max_retries * retransmit_after; 8 s covers both. *)
+let settle_window = Time.sec 8
+
+let run_plan ?(trace = false) config ~seed ~plan =
+  if config.threads < 1 then invalid_arg "Explorer.run_plan: threads must be >= 1";
+  let w = World.create ~seed ~tie_break:config.tie_break () in
+  let eng = w.World.eng in
+  let monitor = Invariant.attach w in
+  Fault_plan.install plan w;
+  if trace then Sim.Trace.set_enabled (Engine.trace eng) true;
+  let binding = World.test_binding w ~options:(call_options config.bug) () in
+  let gate = Sim.Gate.create eng in
+  let ok = ref 0 and failed = ref 0 and finished = ref 0 in
+  for _ = 1 to config.threads do
+    Machine.spawn_thread w.World.caller ~name:"check-caller" (fun () ->
+        Cpu_set.with_cpu (Machine.cpus w.World.caller) (fun ctx ->
+            let client = Runtime.new_client w.World.caller_rt in
+            for i = 1 to config.calls_per_thread do
+              (* Alternate minimum packets and multi-fragment bulk
+                 transfers so both protocol regimes face the plan. *)
+              let bulk = config.payload > 0 && i mod 2 = 0 in
+              let idx, args =
+                if bulk then
+                  ( Test_interface.get_data_idx,
+                    [
+                      Marshal.V_int (Int32.of_int config.payload); Marshal.V_bytes Bytes.empty;
+                    ] )
+                else (Test_interface.null_idx, [])
+              in
+              match Runtime.call binding client ctx ~proc_idx:idx ~args with
+              | outs ->
+                let good =
+                  match (bulk, outs) with
+                  | false, [] -> true
+                  | true, [ Marshal.V_bytes b ] ->
+                    Bytes.length b = config.payload
+                    && Bytes.equal b (Test_interface.pattern config.payload)
+                  | _ -> false
+                in
+                if good then incr ok
+                else
+                  Invariant.record monitor ~inv:"result-correctness"
+                    ~detail:
+                      (Printf.sprintf "call %d returned a wrong %s result" i
+                         (if bulk then "GetData" else "Null"))
+              | exception Rpc.Rpc_error.Rpc _ -> incr failed
+            done);
+        incr finished;
+        if !finished = config.threads then Sim.Gate.open_ gate)
+  done;
+  let stop_at = Time.add (Engine.now eng) workload_limit in
+  Engine.run_while eng (fun () ->
+      (not (Sim.Gate.is_open gate)) && Time.(Engine.now eng < stop_at));
+  if not (Sim.Gate.is_open gate) then
+    Invariant.record monitor ~inv:"completion"
+      ~detail:
+        (Printf.sprintf "workload stuck: %d of %d caller threads still running after %s"
+           (config.threads - !finished) config.threads
+           (Time.span_to_string workload_limit))
+  else begin
+    (* Let retransmission tails, delayed frames and the retained-result
+       GC settle before auditing the pools. *)
+    Engine.run_until eng (Time.add (Engine.now eng) settle_window);
+    Invariant.check_quiescence monitor
+  end;
+  if (not (Fault_plan.has_restart plan)) && !failed > 0 then
+    Invariant.record monitor ~inv:"completion"
+      ~detail:
+        (Printf.sprintf
+           "%d call(s) failed although the fault plan is recoverable (no restart step)" !failed);
+  if trace then Sim.Trace.set_enabled (Engine.trace eng) false;
+  {
+    seed;
+    plan;
+    violations = Invariant.violations monitor;
+    calls_ok = !ok;
+    calls_failed = !failed;
+    frames_carried = Hw.Ether_link.frames_carried w.World.link;
+    events_executed = Engine.events_executed eng;
+    spans = (if trace then Sim.Trace.spans (Engine.trace eng) else []);
+  }
+
+let run_seed config ~seed =
+  run_plan config ~seed ~plan:(Fault_plan.generate ~seed ~max_steps:config.max_steps ())
+
+let shrink config outcome =
+  if outcome.violations = [] then outcome
+  else begin
+    let attempt steps =
+      let o = run_plan config ~seed:outcome.seed ~plan:{ outcome.plan with steps } in
+      if o.violations = [] then None else Some o
+    in
+    let rec minimize best =
+      let steps = best.plan.Fault_plan.steps in
+      let rec try_remove i =
+        if i >= List.length steps then best
+        else
+          match attempt (List.filteri (fun j _ -> j <> i) steps) with
+          | Some smaller -> minimize smaller
+          | None -> try_remove (i + 1)
+      in
+      try_remove 0
+    in
+    minimize outcome
+  end
+
+type summary = { seeds_run : int; failures : outcome list }
+
+let explore ?progress config ~base_seed ~seeds =
+  if seeds < 1 then invalid_arg "Explorer.explore: seeds must be >= 1";
+  let failures = ref [] in
+  for k = 0 to seeds - 1 do
+    let seed = base_seed + k in
+    (match progress with
+    | Some f -> f seed
+    | None -> ());
+    let o = run_seed config ~seed in
+    if o.violations <> [] then begin
+      let minimal = shrink config o in
+      (* Re-run the minimal reproducer with tracing for the report. *)
+      let traced = run_plan ~trace:true config ~seed ~plan:minimal.plan in
+      failures := traced :: !failures
+    end
+  done;
+  { seeds_run = seeds; failures = List.rev !failures }
+
+let trace_tail = 40
+
+let pp_outcome fmt o =
+  let open Format in
+  fprintf fmt "@[<v>seed %d: %d violation(s), %d call(s) ok, %d failed cleanly@," o.seed
+    (List.length o.violations) o.calls_ok o.calls_failed;
+  List.iter (fun v -> fprintf fmt "  %s@," (Invariant.violation_to_string v)) o.violations;
+  fprintf fmt "%s" (Fault_plan.to_string o.plan);
+  fprintf fmt
+    "replay: firefly check --seed %d --seeds 1 (with the same workload flags); the same seed@,"
+    o.seed;
+  fprintf fmt "regenerates the full plan — the minimal plan above is its shrunk core@,";
+  (match List.filter (fun (s : Sim.Trace.span) -> s.Sim.Trace.cat <> "background") o.spans with
+  | [] -> ()
+  | spans ->
+    let n = List.length spans in
+    let tail =
+      if n <= trace_tail then spans
+      else List.filteri (fun i _ -> i >= n - trace_tail) spans
+    in
+    fprintf fmt "trace log (last %d of %d spans):@," (List.length tail) n;
+    List.iter
+      (fun (s : Sim.Trace.span) ->
+        fprintf fmt "  %10.1fus %-9s %-34s %8.1fus@,"
+          (Time.since_start_us s.Sim.Trace.start_at)
+          s.Sim.Trace.site s.Sim.Trace.label
+          (Time.to_us (Sim.Trace.duration s)))
+      tail);
+  fprintf fmt "@]"

@@ -1,0 +1,130 @@
+module Time = Sim.Time
+module Rng = Sim.Rng
+
+type action =
+  | Drop
+  | Corrupt
+  | Corrupt_payload
+  | Duplicate
+  | Delay_us of int
+
+type pred =
+  | Any
+  | Min_len of int
+  | Max_len of int
+
+type step =
+  | Frame_fault of { skip : int; pred : pred; action : action }
+  | Restart_server of { after_us : int; down_us : int }
+
+type t = { seed : int; steps : step list }
+
+(* {1 Generation} *)
+
+let gen_action rng =
+  match Rng.int rng 5 with
+  | 0 -> Drop
+  | 1 -> Corrupt
+  | 2 -> Corrupt_payload
+  | 3 -> Duplicate
+  | _ -> Delay_us (200 + Rng.int rng 40_000)
+
+let gen_pred rng =
+  match Rng.int rng 10 with
+  | 0 | 1 -> Min_len 200
+  | 2 | 3 -> Max_len 200
+  | _ -> Any
+
+let gen_step rng =
+  if Rng.int rng 100 < 15 then
+    Restart_server { after_us = 2_000 + Rng.int rng 150_000; down_us = 1_000 + Rng.int rng 60_000 }
+  else Frame_fault { skip = Rng.int rng 12; pred = gen_pred rng; action = gen_action rng }
+
+let generate ~seed ?(max_steps = 6) () =
+  if max_steps < 1 then invalid_arg "Fault_plan.generate: max_steps must be >= 1";
+  (* A distinct stream from the engine's: the plan must not change when
+     the workload draws differently, and vice versa. *)
+  let rng = Rng.create ~seed:(seed lxor 0x7f4a7c15) in
+  let n = 1 + Rng.int rng max_steps in
+  { seed; steps = List.init n (fun _ -> gen_step rng) }
+
+let has_restart t =
+  List.exists
+    (function
+      | Restart_server _ -> true
+      | Frame_fault _ -> false)
+    t.steps
+
+(* {1 Compilation} *)
+
+let matches pred frame =
+  match pred with
+  | Any -> true
+  | Min_len n -> Bytes.length frame >= n
+  | Max_len n -> Bytes.length frame < n
+
+let link_fault = function
+  | Drop -> Hw.Ether_link.Drop
+  | Corrupt -> Hw.Ether_link.Corrupt
+  | Corrupt_payload -> Hw.Ether_link.Corrupt_payload
+  | Duplicate -> Hw.Ether_link.Duplicate
+  | Delay_us us -> Hw.Ether_link.Delay (Time.us us)
+
+let install t (w : Workload.World.t) =
+  let frame_faults =
+    List.filter_map
+      (function
+        | Frame_fault { skip; pred; action } -> Some (ref skip, pred, action)
+        | Restart_server _ -> None)
+      t.steps
+  in
+  let remaining = ref frame_faults in
+  let injector frame =
+    match !remaining with
+    | [] -> Hw.Ether_link.Deliver
+    | (skip, pred, action) :: rest ->
+      if not (matches pred frame) then Hw.Ether_link.Deliver
+      else if !skip > 0 then begin
+        decr skip;
+        Hw.Ether_link.Deliver
+      end
+      else begin
+        remaining := rest;
+        link_fault action
+      end
+  in
+  Hw.Ether_link.set_fault_injector w.Workload.World.link (Some injector);
+  List.iter
+    (function
+      | Frame_fault _ -> ()
+      | Restart_server { after_us; down_us } ->
+        Sim.Engine.schedule w.Workload.World.eng ~after:(Time.us after_us) (fun () ->
+            Nub.Machine.restart w.Workload.World.server ~down_for:(Time.us down_us)))
+    t.steps
+
+(* {1 Printing} *)
+
+let action_to_string = function
+  | Drop -> "drop"
+  | Corrupt -> "corrupt"
+  | Corrupt_payload -> "corrupt-payload"
+  | Duplicate -> "duplicate"
+  | Delay_us us -> Printf.sprintf "delay %dus" us
+
+let pred_to_string = function
+  | Any -> "any frame"
+  | Min_len n -> Printf.sprintf "frames >= %dB" n
+  | Max_len n -> Printf.sprintf "frames < %dB" n
+
+let step_to_string = function
+  | Frame_fault { skip; pred; action } ->
+    Printf.sprintf "%s the next %s after skipping %d" (action_to_string action)
+      (pred_to_string pred) skip
+  | Restart_server { after_us; down_us } ->
+    Printf.sprintf "restart server at t=%dus, down for %dus" after_us down_us
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "fault plan (seed %d, %d steps):\n" t.seed (List.length t.steps));
+  List.iter (fun s -> Buffer.add_string b ("  - " ^ step_to_string s ^ "\n")) t.steps;
+  Buffer.contents b

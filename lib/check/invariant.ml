@@ -1,0 +1,72 @@
+module Engine = Sim.Engine
+module Time = Sim.Time
+module Machine = Nub.Machine
+
+type violation = { inv : string; detail : string }
+
+let violation_to_string v = Printf.sprintf "[%s] %s" v.inv v.detail
+
+type monitor = {
+  w : Workload.World.t;
+  mutable viols : violation list;  (* newest first *)
+  exec : (Rpc.Proto.Activity.t * int, int) Hashtbl.t;
+  mutable last_now : Time.t;
+  base_caller_bufs : int;
+  base_server_bufs : int;
+}
+
+let record_v m v = m.viols <- v :: m.viols
+let record m ~inv ~detail = record_v m { inv; detail }
+let violations m = List.rev m.viols
+
+let clock_watch_period = Time.ms 5
+
+let attach (w : Workload.World.t) =
+  let eng = w.Workload.World.eng in
+  let m =
+    {
+      w;
+      viols = [];
+      exec = Hashtbl.create 64;
+      last_now = Engine.now eng;
+      base_caller_bufs = Nub.Bufpool.in_use (Machine.pool w.Workload.World.caller);
+      base_server_bufs = Nub.Bufpool.in_use (Machine.pool w.Workload.World.server);
+    }
+  in
+  Rpc.Runtime.set_execution_probe w.Workload.World.server_rt
+    (Some
+       (fun act seq ->
+         let key = (act, seq) in
+         let n = (match Hashtbl.find_opt m.exec key with Some n -> n | None -> 0) + 1 in
+         Hashtbl.replace m.exec key n;
+         if n > 1 then
+           record m ~inv:"at-most-once"
+             ~detail:
+               (Format.asprintf "server executed %a seq %d %d times" Rpc.Proto.Activity.pp act
+                  seq n)));
+  let rec tick () =
+    let now = Engine.now eng in
+    if Time.compare now m.last_now < 0 then
+      record m ~inv:"monotonic-time"
+        ~detail:
+          (Printf.sprintf "clock moved backwards: %.3f -> %.3f us"
+             (Time.since_start_us m.last_now) (Time.since_start_us now));
+    m.last_now <- now;
+    Engine.schedule eng ~after:clock_watch_period tick
+  in
+  Engine.schedule eng tick;
+  m
+
+let check_pool m ~name ~base pool =
+  let now = Nub.Bufpool.in_use pool in
+  if now <> base then
+    record m ~inv:"bufpool-conservation"
+      ~detail:
+        (Printf.sprintf "%s pool holds %d buffers at quiescence, expected the baseline %d" name
+           now base)
+
+let check_quiescence m =
+  check_pool m ~name:"caller" ~base:m.base_caller_bufs
+    (Machine.pool m.w.Workload.World.caller);
+  check_pool m ~name:"server" ~base:m.base_server_bufs
+    (Machine.pool m.w.Workload.World.server)

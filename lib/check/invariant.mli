@@ -1,0 +1,40 @@
+(** The invariant registry: properties that must hold on every run of
+    the two-Firefly world, whatever the fault plan and event schedule.
+
+    A {!monitor} attaches probes to a freshly created
+    {!Workload.World.t} {e before} the workload runs:
+
+    - {b at-most-once}: no [(activity, seq)] call body executes twice on
+      the server (Birrell–Nelson duplicate suppression), observed with
+      {!Rpc.Runtime.set_execution_probe};
+    - {b monotonic-time}: the virtual clock never moves backwards,
+      sampled by a recurring engine event;
+    - {b bufpool-conservation}: at quiescence every packet buffer taken
+      from either machine's pool has been returned (checked against a
+      baseline snapshot by {!check_quiescence});
+    - {b completion} and {b result-correctness} are recorded by the
+      explorer's workload via {!record}: every call must either return
+      the right answer or raise a clean [Rpc_error] — and under a
+      recoverable-only fault plan it must not fail at all. *)
+
+type violation = { inv : string; detail : string }
+
+val violation_to_string : violation -> string
+
+type monitor
+
+val attach : Workload.World.t -> monitor
+(** Installs the execution probe on the world's server runtime, starts
+    the clock watcher, and snapshots the pool baselines.  Attach before
+    running any workload. *)
+
+val record : monitor -> inv:string -> detail:string -> unit
+(** Records a violation found outside the built-in probes. *)
+
+val check_quiescence : monitor -> unit
+(** Run once the workload is finished and the retained-result GC window
+    has passed: verifies both machines' packet pools are back at their
+    baseline occupancy. *)
+
+val violations : monitor -> violation list
+(** All violations recorded so far, oldest first. *)

@@ -48,6 +48,7 @@ type t = {
   rt_local_pool : local_worker Queue.t;
   rt_local_pending : local_call Queue.t;
   mutable rt_next_thread : int;
+  mutable rt_exec_probe : (Activity.t -> int -> unit) option;
   c_calls : Sim.Stats.Counter.t;
   c_served : Sim.Stats.Counter.t;
   c_retrans : Sim.Stats.Counter.t;
@@ -73,6 +74,7 @@ let create nd ~space =
       rt_local_pool = Queue.create ();
       rt_local_pending = Queue.create ();
       rt_next_thread = 1;
+      rt_exec_probe = None;
       c_calls = Sim.Stats.Counter.create ();
       c_served = Sim.Stats.Counter.create ();
       c_retrans = Sim.Stats.Counter.create ();
@@ -755,6 +757,9 @@ let handle_call t ctx entry (d : Node.delivery) ~opts =
     match collect_call_fragments t ctx entry ~opts ~first:d with
     | None -> sa.sa_working <- false (* caller went silent mid-call *)
     | Some payload ->
+      (match t.rt_exec_probe with
+      | Some probe -> probe h.Proto.activity seq
+      | None -> ());
       let outcome =
         dispatch t ctx ~intf_id:h.Proto.interface_id ~proc_idx:h.Proto.proc_idx ~payload
           ~secured:h.Proto.secured ~seq ~trusted:false
@@ -1023,6 +1028,7 @@ let call_by_name binding client ctx ~proc ~args =
 
 (* {1 Statistics} *)
 
+let set_execution_probe t probe = t.rt_exec_probe <- probe
 let calls_served t = Sim.Stats.Counter.value t.c_served
 let retransmissions t = Sim.Stats.Counter.value t.c_retrans
 let duplicates_suppressed t = Sim.Stats.Counter.value t.c_dups

@@ -115,3 +115,11 @@ val busy_replies : t -> int
 val server_activities : t -> int
 (** Activities with per-caller state currently retained at this
     server. *)
+
+val set_execution_probe : t -> (Proto.Activity.t -> int -> unit) option -> unit
+(** Instrumentation hook for the simulation-testing harness (library
+    [check]): the probe fires with the call's [(activity, seq)] each
+    time this runtime is about to execute a call body arriving over the
+    packet-exchange transport — duplicate-suppressed packets do not
+    fire it.  A second fire for the same pair is an at-most-once
+    violation.  [None] (the default) disables the hook. *)

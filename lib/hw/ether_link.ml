@@ -1,7 +1,7 @@
 module Engine = Sim.Engine
 module Time = Sim.Time
 
-type fault = Deliver | Drop | Corrupt | Corrupt_payload
+type fault = Deliver | Drop | Corrupt | Corrupt_payload | Duplicate | Delay of Sim.Time.span
 
 type station = {
   st_mac : Net.Mac.t;
@@ -18,6 +18,8 @@ type t = {
   bytes : Sim.Stats.Counter.t;
   dropped : Sim.Stats.Counter.t;
   corrupted : Sim.Stats.Counter.t;
+  duplicated : Sim.Stats.Counter.t;
+  delayed : Sim.Stats.Counter.t;
 }
 
 let create eng ~mbps =
@@ -32,6 +34,8 @@ let create eng ~mbps =
     bytes = Sim.Stats.Counter.create ();
     dropped = Sim.Stats.Counter.create ();
     corrupted = Sim.Stats.Counter.create ();
+    duplicated = Sim.Stats.Counter.create ();
+    delayed = Sim.Stats.Counter.create ();
   }
 
 let attach t ~mac ~on_frame_start =
@@ -96,11 +100,30 @@ let transmit t ~src frame =
           Sim.Stats.Counter.incr t.corrupted;
           deliver t ~src (corrupt_copy t frame ~lo:74) ~wire
         end
-        else deliver t ~src frame ~wire);
+        else deliver t ~src frame ~wire
+      | Duplicate ->
+        (* The frame arrives twice back to back, as if the controller
+           retransmitted it; the medium is occupied for both copies, so
+           the sender blocks for two frame times. *)
+        Sim.Stats.Counter.incr t.duplicated;
+        deliver t ~src frame ~wire;
+        Engine.delay t.eng (Time.span_add wire (interframe_gap t));
+        Sim.Stats.Counter.incr t.frames;
+        Sim.Stats.Counter.add t.bytes len;
+        deliver t ~src (Bytes.copy frame) ~wire
+      | Delay hold ->
+        if Time.span_is_negative hold then invalid_arg "Ether_link: negative Delay fault";
+        (* The frame sits in limbo (a congested bridge, a slow repeater)
+           and arrives [hold] later; the sender's occupancy is normal. *)
+        Sim.Stats.Counter.incr t.delayed;
+        let copy = Bytes.copy frame in
+        Engine.schedule t.eng ~after:hold (fun () -> deliver t ~src copy ~wire));
       Engine.delay t.eng (Time.span_add wire (interframe_gap t)))
 
 let frames_carried t = Sim.Stats.Counter.value t.frames
 let bytes_carried t = Sim.Stats.Counter.value t.bytes
 let frames_dropped t = Sim.Stats.Counter.value t.dropped
 let frames_corrupted t = Sim.Stats.Counter.value t.corrupted
+let frames_duplicated t = Sim.Stats.Counter.value t.duplicated
+let frames_delayed t = Sim.Stats.Counter.value t.delayed
 let utilization t ~upto = Sim.Resource.utilization t.medium ~upto

@@ -22,6 +22,13 @@ type fault =
       (** one byte past offset 74 flipped — guaranteed to hit RPC
           argument/result data, leaving all headers intact; delivers
           unmodified if the frame has no payload *)
+  | Duplicate
+      (** the frame arrives twice back to back; the sender occupies the
+          medium for both copies *)
+  | Delay of Sim.Time.span
+      (** the frame arrives the given span late (reordering past frames
+          sent after it); the sender's occupancy is unchanged.
+          [transmit] raises [Invalid_argument] on a negative span *)
 
 type station
 
@@ -56,4 +63,6 @@ val frames_carried : t -> int
 val bytes_carried : t -> int
 val frames_dropped : t -> int
 val frames_corrupted : t -> int
+val frames_duplicated : t -> int
+val frames_delayed : t -> int
 val utilization : t -> upto:Sim.Time.t -> float

@@ -75,6 +75,11 @@ let power_on t =
     t.attached <- true
   end
 
+let restart t ~down_for =
+  if Time.span_is_negative down_for then invalid_arg "Machine.restart: negative downtime";
+  power_off t;
+  Engine.schedule t.eng ~after:down_for (fun () -> power_on t)
+
 let average_busy_cpus t ~upto = Cpu_set.average_busy t.m_cpus ~upto
 let reset_start _ = ()
 

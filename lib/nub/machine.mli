@@ -45,6 +45,11 @@ val power_off : t -> unit
 val power_on : t -> unit
 (** Reattaches after {!power_off}. *)
 
+val restart : t -> down_for:Sim.Time.span -> unit
+(** {!power_off} now, {!power_on} after [down_for] of virtual time —
+    the machine-restart event of the fault-plan DSL (library [check]).
+    @raise Invalid_argument if [down_for] is negative. *)
+
 (** {1 Measurement} *)
 
 val average_busy_cpus : t -> upto:Sim.Time.t -> float

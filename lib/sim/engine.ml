@@ -1,4 +1,4 @@
-type event = { time : Time.t; seq : int; run : unit -> unit }
+type event = { time : Time.t; tie : int; seq : int; run : unit -> unit }
 
 type t = {
   mutable clock : Time.t;
@@ -7,6 +7,12 @@ type t = {
   mutable suspended : int;
   queue : event Heap.t;
   engine_rng : Rng.t;
+  (* [None] = FIFO ties (the historical order); [Some rng] draws a
+     random tie key per event, so same-instant events interleave in a
+     seed-controlled but arbitrary order.  The rng is separate from
+     [engine_rng] so schedule exploration does not perturb model
+     randomness (loss processes, idle-load gaps). *)
+  tie_rng : Rng.t option;
   engine_trace : Trace.t;
 }
 
@@ -23,9 +29,11 @@ type 'a waker = {
 
 exception Not_in_process
 
-let event_leq a b = Time.compare a.time b.time < 0 || (Time.equal a.time b.time && a.seq <= b.seq)
+let event_leq a b =
+  let c = Time.compare a.time b.time in
+  if c <> 0 then c < 0 else if a.tie <> b.tie then a.tie < b.tie else a.seq <= b.seq
 
-let create ?(seed = 42) () =
+let create ?(seed = 42) ?(tie_break = `Fifo) () =
   {
     clock = Time.zero;
     seq = 0;
@@ -33,6 +41,10 @@ let create ?(seed = 42) () =
     suspended = 0;
     queue = Heap.create ~leq:event_leq;
     engine_rng = Rng.create ~seed;
+    tie_rng =
+      (match tie_break with
+      | `Fifo -> None
+      | `Random -> Some (Rng.create ~seed:(seed lxor 0x5bd1e995)));
     engine_trace = Trace.create ();
   }
 
@@ -45,7 +57,12 @@ let suspended_count t = t.suspended
 let schedule_at t time run =
   if Time.compare time t.clock < 0 then invalid_arg "Engine.schedule_at: instant in the past";
   t.seq <- t.seq + 1;
-  Heap.add t.queue { time; seq = t.seq; run }
+  let tie =
+    match t.tie_rng with
+    | None -> 0
+    | Some rng -> Rng.int rng 0x3fffffff
+  in
+  Heap.add t.queue { time; tie; seq = t.seq; run }
 
 let schedule t ?(after = Time.zero_span) run =
   if Time.span_is_negative after then invalid_arg "Engine.schedule: negative delay";

@@ -7,7 +7,12 @@
     many of them in deterministic virtual-time order.
 
     Determinism: events scheduled for the same instant run in scheduling
-    order (FIFO), so a run is a pure function of the seed and the model.
+    order (FIFO) by default, so a run is a pure function of the seed and
+    the model.  With [~tie_break:`Random] same-instant events instead
+    run in a seed-controlled random order — still a pure function of the
+    seed, but one that explores schedule interleavings the FIFO order
+    freezes (the simulation-testing harness in library [check] uses this
+    to hunt ordering bugs).
 
     {!delay} and {!suspend} may only be called from inside a process
     (i.e. from a function started with {!spawn} or from a callback run by
@@ -23,9 +28,12 @@ type 'a waker
 exception Not_in_process
 (** Raised when {!delay} or {!suspend} is performed outside a process. *)
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?tie_break:[ `Fifo | `Random ] -> unit -> t
 (** [create ()] is a fresh engine with its clock at {!Time.zero}.
-    [seed] (default 42) seeds the engine's {!Rng.t}. *)
+    [seed] (default 42) seeds the engine's {!Rng.t}.  [tie_break]
+    (default [`Fifo]) selects the ordering of events scheduled for the
+    same instant: FIFO, or a random order drawn from a dedicated
+    generator (seeded from [seed], independent of {!rng}). *)
 
 val now : t -> Time.t
 (** [now t] is the current virtual instant.  Callable from anywhere. *)

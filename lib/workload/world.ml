@@ -16,8 +16,8 @@ type t = {
 }
 
 let create ?(caller_config = Config.default) ?(server_config = Config.default) ?(seed = 42)
-    ?(workers = 8) ?(idle_load = true) ?(export_test = true) () =
-  let eng = Engine.create ~seed () in
+    ?(tie_break = `Fifo) ?(workers = 8) ?(idle_load = true) ?(export_test = true) () =
+  let eng = Engine.create ~seed ~tie_break () in
   let link = Hw.Ether_link.create eng ~mbps:caller_config.Config.ethernet_mbps in
   let caller =
     Machine.create eng ~name:"caller" ~config:caller_config ~link ~station:1

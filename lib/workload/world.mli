@@ -18,12 +18,16 @@ val create :
   ?caller_config:Hw.Config.t ->
   ?server_config:Hw.Config.t ->
   ?seed:int ->
+  ?tie_break:[ `Fifo | `Random ] ->
   ?workers:int ->
   ?idle_load:bool ->
   ?export_test:bool ->
   unit ->
   t
-(** Both configs default to {!Hw.Config.default}; [workers] (default 8)
+(** [tie_break] (default [`Fifo]) is passed to {!Sim.Engine.create} —
+    the simulation-testing harness uses [`Random] to explore
+    same-instant event orderings.  Both configs default to
+    {!Hw.Config.default}; [workers] (default 8)
     server threads serve the Test interface; [idle_load] (default true)
     starts the background threads that draw ~0.15 CPUs.  [export_test]
     (default true) controls whether the Test interface is exported —

@@ -266,9 +266,21 @@ let test_registry_runs_everything () =
          not (List.mem e.Experiments.Registry.id [ "table1"; "table10"; "table11" ]))
        Experiments.Registry.all)
 
+let test_table1_deterministic () =
+  (* The whole pipeline — model, schedule, stats, rendering — must be a
+     pure function of the seed: two runs render byte-identical tables. *)
+  let render () =
+    match Experiments.Registry.find "table1" with
+    | None -> Alcotest.fail "table1 not registered"
+    | Some e ->
+      String.concat "\n" (List.map Report.Table.render (e.Experiments.Registry.run ~quick:true))
+  in
+  Alcotest.(check string) "same seed, byte-identical tables" (render ()) (render ())
+
 let suite =
   [
     Alcotest.test_case "Table I shape and bands" `Slow test_table1_shape;
+    Alcotest.test_case "Table I deterministic" `Slow test_table1_deterministic;
     Alcotest.test_case "CPU utilization note" `Slow test_cpu_utilization;
     Alcotest.test_case "Tables II-V marshalling" `Quick test_marshalling;
     Alcotest.test_case "Table VI traced breakdown" `Quick test_table6;

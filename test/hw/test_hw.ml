@@ -4,4 +4,5 @@ let () =
       ("timing", Test_timing.suite);
       ("cpu_set", Test_cpu_set.suite);
       ("link-deqna", Test_link_deqna.suite);
+      ("link-faults", Test_faults.suite);
     ]

@@ -30,6 +30,34 @@ let test_level () =
   Alcotest.(check (float 1e-9)) "average" 1.25 (Stats.Level.average l ~upto:(at 4_000_000_000));
   Alcotest.(check (float 0.)) "current" 1. (Stats.Level.current l)
 
+let test_summary_empty_guards () =
+  let s = Stats.Summary.create () in
+  Alcotest.check_raises "min on empty raises" (Invalid_argument "Stats.Summary.min: empty")
+    (fun () -> ignore (Stats.Summary.min s));
+  Alcotest.check_raises "max on empty raises" (Invalid_argument "Stats.Summary.max: empty")
+    (fun () -> ignore (Stats.Summary.max s));
+  Stats.Summary.observe s 7.;
+  Alcotest.(check (float 0.)) "single observation min" 7. (Stats.Summary.min s);
+  Alcotest.(check (float 0.)) "single observation max" 7. (Stats.Summary.max s);
+  Stats.Summary.reset s;
+  Alcotest.check_raises "guard restored by reset" (Invalid_argument "Stats.Summary.min: empty")
+    (fun () -> ignore (Stats.Summary.min s))
+
+let test_trace_empty () =
+  let tr = Trace.create () in
+  Alcotest.(check int) "total of empty trace is zero" 0 (Time.to_ns (Trace.total tr));
+  Alcotest.(check int) "filtered total of empty trace is zero" 0
+    (Time.to_ns (Trace.total tr ~cat:"send" ~label:"checksum" ~site:"caller"));
+  Alcotest.(check (list string)) "no labels" [] (Trace.labels tr);
+  Alcotest.(check (list string)) "no labels under a filter" [] (Trace.labels tr ~cat:"send");
+  (* Disabled (the default): adds are dropped, so the totals stay zero. *)
+  let at n = Time.of_ns_since_start n in
+  Trace.add tr ~cat:"send" ~label:"checksum" ~site:"caller" ~start_at:(at 0) ~stop_at:(at 9);
+  Alcotest.(check bool) "tracing off by default" false (Trace.enabled tr);
+  Alcotest.(check int) "still zero after dropped add" 0
+    (Time.to_ns (Trace.total tr ~cat:"send"));
+  Alcotest.(check (list string)) "still no labels" [] (Trace.labels tr)
+
 let test_trace () =
   let tr = Trace.create () in
   let at n = Time.of_ns_since_start n in
@@ -55,6 +83,8 @@ let suite =
   [
     Alcotest.test_case "counter" `Quick test_counter;
     Alcotest.test_case "summary" `Quick test_summary;
+    Alcotest.test_case "summary empty guards" `Quick test_summary_empty_guards;
     Alcotest.test_case "level integral" `Quick test_level;
+    Alcotest.test_case "trace empty and disabled" `Quick test_trace_empty;
     Alcotest.test_case "trace spans and filters" `Quick test_trace;
   ]

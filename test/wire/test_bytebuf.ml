@@ -93,6 +93,62 @@ let prop_roundtrip =
       W.u16 w v;
       R.u16 (R.of_bytes (W.contents w)) = v)
 
+(* {1 Whole-script roundtrip property} *)
+
+type op = Op_u8 of int | Op_u16 of int | Op_u32 of int32 | Op_str of string
+
+let op_size = function
+  | Op_u8 _ -> 1
+  | Op_u16 _ -> 2
+  | Op_u32 _ -> 4
+  | Op_str s -> String.length s
+
+let print_op = function
+  | Op_u8 v -> Printf.sprintf "u8 %#x" v
+  | Op_u16 v -> Printf.sprintf "u16 %#x" v
+  | Op_u32 v -> Printf.sprintf "u32 %#lx" v
+  | Op_str s -> Printf.sprintf "str %S" s
+
+let gen_op =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun v -> Op_u8 v) (int_bound 0xff);
+        map (fun v -> Op_u16 v) (int_bound 0xffff);
+        map (fun v -> Op_u32 (Int32.logxor (Int32.of_int v) 0x5a5a5a5al)) (int_bound 0x3fffffff);
+        map (fun s -> Op_str s) (string_size (int_bound 12));
+      ])
+
+let arb_script =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+    QCheck.Gen.(list_size (int_bound 24) gen_op)
+
+let prop_script_roundtrip =
+  QCheck.Test.make ~name:"any write script reads back verbatim" ~count:300 arb_script
+    (fun ops ->
+      let total = List.fold_left (fun a op -> a + op_size op) 0 ops in
+      let w = W.create total in
+      List.iter
+        (function
+          | Op_u8 v -> W.u8 w v
+          | Op_u16 v -> W.u16 w v
+          | Op_u32 v -> W.u32 w v
+          | Op_str s -> W.string w s)
+        ops;
+      let r = R.of_bytes (W.contents w) in
+      let ok =
+        List.for_all
+          (function
+            | Op_u8 v -> R.u8 r = v
+            | Op_u16 v -> R.u16 r = v
+            | Op_u32 v -> R.u32 r = v
+            | Op_str s -> R.string r (String.length s) = s)
+          ops
+      in
+      R.expect_end r;
+      ok && W.length w = total && R.position r = total)
+
 let suite =
   [
     Alcotest.test_case "write/read roundtrip" `Quick test_write_read_roundtrip;
@@ -103,4 +159,5 @@ let suite =
     Alcotest.test_case "reader window" `Quick test_reader_window;
     Alcotest.test_case "sub and skip" `Quick test_sub_and_skip;
     QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_script_roundtrip;
   ]

@@ -74,6 +74,42 @@ let prop_finish_idempotent_range =
       let c = C.checksum b ~pos:0 ~len:(Bytes.length b) in
       c >= 0 && c <= 0xffff)
 
+let gen_any_bytes =
+  (* Unlike [gen_packet], odd lengths and the empty buffer included —
+     the identities below must survive the odd-tail fold. *)
+  QCheck.Gen.(
+    let* n = int_range 0 257 in
+    let* bytes_list = list_size (return n) (int_bound 255) in
+    return (Bytes.init n (fun i -> Char.chr (List.nth bytes_list i))))
+
+let arb_any_bytes = QCheck.make ~print:(fun b -> Wire.Hexdump.to_string b) gen_any_bytes
+
+let prop_zero_padding_invariant =
+  (* RFC 1071: the sum of a message is unchanged by appended zero bytes
+     (an odd tail folds as the high octet, so the first pad byte
+     completes that word with a zero low octet). *)
+  QCheck.Test.make ~name:"appending zero bytes never changes the sum" ~count:300
+    QCheck.(pair arb_any_bytes (int_bound 8))
+    (fun (b, pad) ->
+      let n = Bytes.length b in
+      let padded = Bytes.make (n + pad) '\x00' in
+      Bytes.blit b 0 padded 0 n;
+      C.sum padded ~pos:0 ~len:(n + pad) = C.sum b ~pos:0 ~len:n
+      && C.checksum padded ~pos:0 ~len:(n + pad) = C.checksum b ~pos:0 ~len:n)
+
+let prop_incremental_equals_full =
+  (* Incremental update: summing a prefix and threading it through
+     [~init] for the suffix equals one pass over the whole range, for
+     any even split point (the stack sums pseudo-header and payload in
+     exactly this way). *)
+  QCheck.Test.make ~name:"incremental sum equals full recompute" ~count:300
+    QCheck.(pair arb_any_bytes (int_bound 10_000))
+    (fun (b, r) ->
+      let n = Bytes.length b in
+      let split = 2 * (r mod ((n / 2) + 1)) in
+      let prefix = C.sum b ~pos:0 ~len:split in
+      C.sum ~init:prefix b ~pos:split ~len:(n - split) = C.sum b ~pos:0 ~len:n)
+
 let suite =
   [
     Alcotest.test_case "RFC 1071 example" `Quick test_rfc1071_example;
@@ -84,4 +120,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_verify_of_valid;
     QCheck_alcotest.to_alcotest prop_detects_single_flip;
     QCheck_alcotest.to_alcotest prop_finish_idempotent_range;
+    QCheck_alcotest.to_alcotest prop_zero_padding_invariant;
+    QCheck_alcotest.to_alcotest prop_incremental_equals_full;
   ]
