@@ -17,7 +17,7 @@ let run_experiment ~quick (e : Experiments.Registry.entry) =
   say "";
   say "### %s — %s" e.Experiments.Registry.id e.Experiments.Registry.title;
   let t0 = Unix.gettimeofday () in
-  let tables = e.Experiments.Registry.run ~quick in
+  let tables = e.Experiments.Registry.run ~quick ~metrics:false in
   List.iter (fun t -> print_string (Report.Table.render t)) tables;
   say "  (computed in %.1fs of wall-clock)" (Unix.gettimeofday () -. t0)
 

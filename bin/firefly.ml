@@ -124,7 +124,7 @@ let list_cmd =
 (* {1 firefly repro} *)
 
 let repro_cmd =
-  let run quick ids =
+  let run quick metrics ids =
     let entries =
       match ids with
       | [] -> Experiments.Registry.all
@@ -140,14 +140,23 @@ let repro_cmd =
       (fun e ->
         say "";
         say "### %s — %s" e.Experiments.Registry.id e.Experiments.Registry.title;
-        List.iter (fun t -> print_string (Report.Table.render t)) (e.Experiments.Registry.run ~quick))
+        List.iter
+          (fun t -> print_string (Report.Table.render t))
+          (e.Experiments.Registry.run ~quick ~metrics))
       entries
   in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced call counts.") in
+  let metrics =
+    Arg.(
+      value
+      & flag
+      & info [ "metrics" ]
+          ~doc:"Add measured latency-percentile columns where supported (Table I).")
+  in
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
   Cmd.v
     (Cmd.info "repro" ~doc:"Regenerate the paper's tables (all, or the given IDs).")
-    Term.(const run $ quick $ ids)
+    Term.(const run $ quick $ metrics $ ids)
 
 (* {1 firefly call} *)
 
@@ -160,7 +169,7 @@ let proc_conv =
     ]
 
 let call_cmd =
-  let run flags proc threads calls bulk loss transport =
+  let run flags proc threads calls bulk loss transport metrics =
     let caller_config, server_config = configs flags in
     let proc =
       match bulk with
@@ -201,6 +210,16 @@ let call_cmd =
       let p q = Sim.Time.span_to_string (Workload.Driver.percentile o q) in
       say "latency:          p50 %s   p90 %s   p99 %s   max %s" (p 0.50) (p 0.90) (p 0.99)
         (p 1.0)
+    end;
+    if metrics then begin
+      say "";
+      let snap =
+        Obs.Metrics.Snapshot.take w.Workload.World.obs.Obs.Ctx.metrics
+          ~at:(Sim.Engine.now w.Workload.World.eng)
+      in
+      print_string
+        (Report.Table.render
+           (Obs.Metrics.Snapshot.to_table ~id:"metrics" ~title:"Metrics after the run" snap))
     end
   in
   let proc =
@@ -223,74 +242,79 @@ let call_cmd =
       & opt (enum [ ("auto", `Auto); ("udp", `Udp); ("decnet", `Decnet) ]) `Auto
       & info [ "transport" ] ~doc:"Bind-time transport: auto, udp or decnet.")
   in
+  let metrics =
+    Arg.(
+      value
+      & flag
+      & info [ "metrics" ] ~doc:"Print the full metrics-registry snapshot after the run.")
+  in
   Cmd.v
     (Cmd.info "call" ~doc:"Run an ad-hoc RPC workload under a chosen configuration.")
-    Term.(const run $ cfg_term $ proc $ threads $ calls $ bulk $ loss $ transport)
+    Term.(const run $ cfg_term $ proc $ threads $ calls $ bulk $ loss $ transport $ metrics)
 
 (* {1 firefly trace} *)
 
 let trace_cmd =
-  let run flags proc =
+  let run flags proc calls out =
     let caller_config, server_config = configs flags in
     let w =
       Workload.World.create ~caller_config ~server_config ~seed:flags.seed ~idle_load:false ()
     in
+    let latencies = Workload.Driver.run_traced w ~calls ~proc () in
+    (match latencies with
+    | [ l ] -> say "one warmed-up call: %s" (Sim.Time.span_to_string l)
+    | ls ->
+      let total = Sim.Time.span_sum ls in
+      say "%d warmed-up calls, mean %s" (List.length ls)
+        (Sim.Time.span_to_string
+           (Sim.Time.span_scale (1. /. float_of_int (List.length ls)) total)));
     let tr = Sim.Engine.trace w.Workload.World.eng in
-    let binding = Workload.World.test_binding w () in
-    let gate = Sim.Gate.create w.Workload.World.eng in
-    let latency = ref Sim.Time.zero_span in
-    Nub.Machine.spawn_thread w.Workload.World.caller ~name:"trace" (fun () ->
-        Hw.Cpu_set.with_cpu (Nub.Machine.cpus w.Workload.World.caller) (fun ctx ->
-            let client = Rpc.Runtime.new_client w.Workload.World.caller_rt in
-            let idx, args =
-              match proc with
-              | Workload.Driver.Null -> (Workload.Test_interface.null_idx, [])
-              | Workload.Driver.Max_result ->
-                (Workload.Test_interface.max_result_idx, [ Rpc.Marshal.V_bytes Bytes.empty ])
-              | Workload.Driver.Max_arg ->
-                ( Workload.Test_interface.max_arg_idx,
-                  [ Rpc.Marshal.V_bytes (Workload.Test_interface.pattern 1440) ] )
-              | Workload.Driver.Get_data n ->
-                ( Workload.Test_interface.get_data_idx,
-                  [ Rpc.Marshal.V_int (Int32.of_int n); Rpc.Marshal.V_bytes Bytes.empty ] )
-            in
-            let once () = ignore (Rpc.Runtime.call binding client ctx ~proc_idx:idx ~args) in
-            once ();
-            once ();
-            Sim.Trace.set_enabled tr true;
-            let t0 = Sim.Engine.now w.Workload.World.eng in
-            once ();
-            latency := Sim.Time.diff (Sim.Engine.now w.Workload.World.eng) t0;
-            Sim.Trace.set_enabled tr false);
-        Sim.Gate.open_ gate);
-    Workload.World.run_until_quiet w gate;
-    say "one warmed-up call: %s" (Sim.Time.span_to_string !latency);
-    say "";
-    say "%-10s %-9s %-38s %10s" "time(us)" "site" "step" "cost(us)";
     let spans =
       List.sort
         (fun a b -> Sim.Time.compare a.Sim.Trace.start_at b.Sim.Trace.start_at)
         (Sim.Trace.spans tr)
     in
-    let origin =
-      match spans with
-      | [] -> Sim.Time.zero
-      | s :: _ -> s.Sim.Trace.start_at
-    in
-    List.iter
-      (fun s ->
-        say "%-10.0f %-9s %-38s %10.1f"
-          (Sim.Time.to_us (Sim.Time.diff s.Sim.Trace.start_at origin))
-          s.Sim.Trace.site s.Sim.Trace.label
-          (Sim.Time.to_us (Sim.Trace.duration s)))
-      spans
+    match out with
+    | Some path ->
+      let journal = w.Workload.World.obs.Obs.Ctx.journal in
+      let json = Obs.Trace_export.chrome_trace ~journal ~spans () in
+      Obs.Trace_export.write_file ~path json;
+      say "wrote %d spans and %d journal events to %s" (List.length spans)
+        (Obs.Journal.length journal) path;
+      say "open it at https://ui.perfetto.dev or chrome://tracing"
+    | None ->
+      say "";
+      say "%-10s %-9s %-38s %10s" "time(us)" "site" "step" "cost(us)";
+      let origin =
+        match spans with
+        | [] -> Sim.Time.zero
+        | s :: _ -> s.Sim.Trace.start_at
+      in
+      List.iter
+        (fun s ->
+          say "%-10.0f %-9s %-38s %10.1f"
+            (Sim.Time.to_us (Sim.Time.diff s.Sim.Trace.start_at origin))
+            s.Sim.Trace.site s.Sim.Trace.label
+            (Sim.Time.to_us (Sim.Trace.duration s)))
+        spans
   in
   let proc =
     Arg.(value & opt proc_conv Workload.Driver.Null & info [ "proc" ] ~doc:"Procedure to trace.")
   in
+  let calls = Arg.(value & opt int 1 & info [ "calls" ] ~doc:"Warmed-up calls to trace.") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace-event (Perfetto) JSON file instead of the table.")
+  in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Print the per-step time breakdown of one call (Tables VI/VII).")
-    Term.(const run $ cfg_term $ proc)
+    (Cmd.info "trace"
+       ~doc:
+         "Trace warmed-up calls: print the per-step time breakdown (Tables VI/VII), or export \
+          a Perfetto/chrome://tracing JSON timeline with $(b,--out).")
+    Term.(const run $ cfg_term $ proc $ calls $ out)
 
 (* {1 firefly profile} *)
 

@@ -85,7 +85,19 @@ let create nd ~space =
   (* Packets the datalink demultiplexer could not hand to a parked
      worker queue here; a worker drains the backlog before re-parking. *)
   Node.set_slow_sink nd ~space (fun delivery -> Queue.push delivery t.rt_pending_slow);
+  let reg = (Machine.obs (machine t)).Obs.Ctx.metrics in
+  let site = Machine.name (machine t) in
+  let metric what = Printf.sprintf "rpc.s%d.%s" space what in
+  Obs.Metrics.Registry.register_counter reg ~site ~name:(metric "calls") t.c_calls;
+  Obs.Metrics.Registry.register_counter reg ~site ~name:(metric "served") t.c_served;
+  Obs.Metrics.Registry.register_counter reg ~site ~name:(metric "retransmissions") t.c_retrans;
+  Obs.Metrics.Registry.register_counter reg ~site ~name:(metric "duplicates") t.c_dups;
+  Obs.Metrics.Registry.register_counter reg ~site ~name:(metric "busy_rejects") t.c_busy;
   t
+
+let journal t ev =
+  let m = machine t in
+  Obs.Ctx.record (Machine.obs m) ~at:(Engine.now (Machine.engine m)) ~site:(Machine.name m) ev
 
 (* {1 Clients} *)
 
@@ -447,7 +459,9 @@ let call_ether client ctx (b : ether_binding) ~proc_idx ~args =
       end;
       if i < frags - 1 then
         await t ctx entry ~opts:b.be_opts
-          ~on_timeout:(fun () -> send_frag ~please_ack:true i)
+          ~on_timeout:(fun () ->
+            journal t (Obs.Journal.Retransmit { seq });
+            send_frag ~please_ack:true i)
           ~handle:(fun d ->
             let h = d.Node.d_hdr in
             match h.Proto.ptype with
@@ -467,7 +481,9 @@ let call_ether client ctx (b : ether_binding) ~proc_idx ~args =
       | None -> false
     in
     await t ctx entry ~opts:b.be_opts
-      ~on_timeout:(fun () -> send_frag ~please_ack:true (frags - 1))
+      ~on_timeout:(fun () ->
+        journal t (Obs.Journal.Retransmit { seq });
+        send_frag ~please_ack:true (frags - 1))
       ~handle:(fun d ->
         let h = d.Node.d_hdr in
         if h.Proto.seq <> seq then `Continue
@@ -488,6 +504,7 @@ let call_ether client ctx (b : ether_binding) ~proc_idx ~args =
               let ack =
                 { h with Proto.ptype = Proto.Ack; please_ack = false; data_len = 0 }
               in
+              journal t (Obs.Journal.Ack { seq });
               Node.send t.rt_node ~ctx ~dst:b.be_dst ~hdr:ack ~payload:Bytes.empty
                 ~payload_pos:0 ~payload_len:0
             end;
@@ -569,6 +586,7 @@ let send_to t ctx ~dst ~hdr ~payload =
 
 let resend_retained t ctx sa =
   Sim.Stats.Counter.incr t.c_dups;
+  journal t (Obs.Journal.Retransmit { seq = sa.sa_last_seq });
   match sa.sa_reply_to with
   | None -> ()
   | Some dst ->
@@ -587,6 +605,7 @@ let collect_call_fragments t ctx entry ~opts ~(first : Node.delivery) =
     let dst = first.Node.d_src in
     let frags = Hashtbl.create 4 in
     let ack i =
+      journal t (Obs.Journal.Ack { seq });
       send_to t ctx ~dst
         ~hdr:
           (header ~act:act_id ~seq ~space:h0.Proto.server_space

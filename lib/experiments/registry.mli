@@ -4,9 +4,11 @@
 type entry = {
   id : string;
   title : string;
-  run : quick:bool -> Report.Table.t list;
+  run : quick:bool -> metrics:bool -> Report.Table.t list;
       (** [quick] trades call counts for speed (used by tests); the
-          benchmark harness runs with [quick:false]. *)
+          benchmark harness runs with [quick:false].  [metrics] asks an
+          experiment for extra percentile columns where it supports
+          them (currently Table I); others ignore it. *)
 }
 
 val all : entry list

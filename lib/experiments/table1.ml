@@ -6,35 +6,54 @@ type row = {
   null_rps : float;
   maxr_seconds : float;
   maxr_mbps : float;
+  null_tail_ms : (float * float * float) option;
+      (* measured-only Null() p50/p90/p99, when requested *)
 }
+
+let paper_row threads null_seconds null_rps maxr_seconds maxr_mbps =
+  { threads; null_seconds; null_rps; maxr_seconds; maxr_mbps; null_tail_ms = None }
 
 let paper =
   [
-    { threads = 1; null_seconds = 26.61; null_rps = 375.; maxr_seconds = 63.47; maxr_mbps = 1.82 };
-    { threads = 2; null_seconds = 16.80; null_rps = 595.; maxr_seconds = 35.28; maxr_mbps = 3.28 };
-    { threads = 3; null_seconds = 16.26; null_rps = 615.; maxr_seconds = 27.28; maxr_mbps = 4.25 };
-    { threads = 4; null_seconds = 15.45; null_rps = 647.; maxr_seconds = 24.93; maxr_mbps = 4.65 };
-    { threads = 5; null_seconds = 15.11; null_rps = 662.; maxr_seconds = 24.69; maxr_mbps = 4.69 };
-    { threads = 6; null_seconds = 14.69; null_rps = 680.; maxr_seconds = 24.65; maxr_mbps = 4.70 };
-    { threads = 7; null_seconds = 13.49; null_rps = 741.; maxr_seconds = 24.72; maxr_mbps = 4.69 };
-    { threads = 8; null_seconds = 13.67; null_rps = 732.; maxr_seconds = 24.68; maxr_mbps = 4.69 };
+    paper_row 1 26.61 375. 63.47 1.82;
+    paper_row 2 16.80 595. 35.28 3.28;
+    paper_row 3 16.26 615. 27.28 4.25;
+    paper_row 4 15.45 647. 24.93 4.65;
+    paper_row 5 15.11 662. 24.69 4.69;
+    paper_row 6 14.69 680. 24.65 4.70;
+    paper_row 7 13.49 741. 24.72 4.69;
+    paper_row 8 13.67 732. 24.68 4.69;
   ]
 
-let measure_row ~calls threads =
+let measure_row ~calls ~metrics threads =
   let null = Exp_common.throughput ~threads ~calls ~proc:Driver.Null () in
   let maxr = Exp_common.throughput ~threads ~calls ~proc:Driver.Max_result () in
+  let null_tail_ms =
+    if metrics then
+      let p q = Sim.Time.to_ms (Driver.percentile null q) in
+      Some (p 0.5, p 0.9, p 0.99)
+    else None
+  in
   {
     threads;
     null_seconds = Exp_common.seconds_per_10000 null;
     null_rps = null.Driver.rpcs_per_sec;
     maxr_seconds = Exp_common.seconds_per_10000 maxr;
     maxr_mbps = maxr.Driver.megabits_per_sec;
+    null_tail_ms;
   }
 
-let run ?(calls = 10000) () = List.map (fun p -> measure_row ~calls p.threads) paper
+let run ?(calls = 10000) ?(metrics = false) () =
+  List.map (fun p -> measure_row ~calls ~metrics p.threads) paper
 
-let table ?calls () =
-  let measured = run ?calls () in
+let table ?calls ?(metrics = false) () =
+  let measured = run ?calls ~metrics () in
+  let tail_cells m =
+    match m.null_tail_ms with
+    | None -> []
+    | Some (p50, p90, p99) ->
+      [ Report.Table.cell_f p50; Report.Table.cell_f p90; Report.Table.cell_f p99 ]
+  in
   let rows =
     List.map2
       (fun p m ->
@@ -44,17 +63,22 @@ let table ?calls () =
           Report.Table.compare_cell ~paper:p.null_rps ~measured:m.null_rps;
           Report.Table.compare_cell ~paper:p.maxr_seconds ~measured:m.maxr_seconds;
           Report.Table.compare_cell ~paper:p.maxr_mbps ~measured:m.maxr_mbps;
-        ])
+        ]
+        @ tail_cells m)
       paper measured
   in
-  Report.Table.make ~id:"table1" ~title:"Time for 10000 RPCs (paper / measured)"
-    ~columns:
-      [ "threads"; "Null secs/10k"; "Null RPC/s"; "MaxResult secs/10k"; "MaxResult Mbit/s" ]
-    ~notes:
-      [
-        "paper: two 5-CPU Fireflies, private 10 Mbit/s Ethernet, IP/UDP with checksums";
-        "cells are paper-value / simulated-value (relative error)";
-      ]
+  let columns =
+    [ "threads"; "Null secs/10k"; "Null RPC/s"; "MaxResult secs/10k"; "MaxResult Mbit/s" ]
+    @ if metrics then [ "Null p50 ms"; "Null p90 ms"; "Null p99 ms" ] else []
+  in
+  let notes =
+    [
+      "paper: two 5-CPU Fireflies, private 10 Mbit/s Ethernet, IP/UDP with checksums";
+      "cells are paper-value / simulated-value (relative error)";
+    ]
+    @ if metrics then [ "pNN columns are measured-only Null() latency percentiles" ] else []
+  in
+  Report.Table.make ~id:"table1" ~title:"Time for 10000 RPCs (paper / measured)" ~columns ~notes
     rows
 
 let cpu_utilization_note ?(calls = 10000) () =

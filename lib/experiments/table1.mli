@@ -7,16 +7,21 @@ type row = {
   null_rps : float;
   maxr_seconds : float;
   maxr_mbps : float;
+  null_tail_ms : (float * float * float) option;
+      (** Null() p50/p90/p99 latency in ms — measured only, populated
+          when [metrics] was requested ([None] in [paper] rows) *)
 }
 
 val paper : row list
 
-val run : ?calls:int -> unit -> row list
+val run : ?calls:int -> ?metrics:bool -> unit -> row list
 (** [calls] (default 10000) is the per-configuration call budget; the
-    seconds columns are normalized to 10000 either way. *)
+    seconds columns are normalized to 10000 either way.  [metrics]
+    (default false) additionally computes the Null() latency tail. *)
 
-val table : ?calls:int -> unit -> Report.Table.t
-(** Paper-vs-measured, one row per thread count. *)
+val table : ?calls:int -> ?metrics:bool -> unit -> Report.Table.t
+(** Paper-vs-measured, one row per thread count; with [metrics], three
+    extra p50/p90/p99 columns. *)
 
 val cpu_utilization_note : ?calls:int -> unit -> string
 (** The §2.1 observation: CPUs used at maximum throughput (paper: ~1.2

@@ -14,24 +14,35 @@ type t = {
   q_any : int Engine.waker Queue.t;
   level : Sim.Stats.Level.t;
   cpu0_level : Sim.Stats.Level.t;
+  tracks : string array;  (* per-CPU trace track names, "cpu0".."cpuN-1" *)
 }
 
 type ctx = { set : t; affinity : affinity; mutable idx : int }
 
-let create eng ~site ~cpus =
+let create ?obs eng ~site ~cpus =
   if cpus < 1 then invalid_arg "Cpu_set.create: need at least one CPU";
   let now = Engine.now eng in
-  {
-    eng;
-    name = site;
-    n = cpus;
-    busy = Array.make cpus false;
-    q0_int = Queue.create ();
-    q0_thread = Queue.create ();
-    q_any = Queue.create ();
-    level = Sim.Stats.Level.create ~initial:0. ~at:now;
-    cpu0_level = Sim.Stats.Level.create ~initial:0. ~at:now;
-  }
+  let t =
+    {
+      eng;
+      name = site;
+      n = cpus;
+      busy = Array.make cpus false;
+      q0_int = Queue.create ();
+      q0_thread = Queue.create ();
+      q_any = Queue.create ();
+      level = Sim.Stats.Level.create ~initial:0. ~at:now;
+      cpu0_level = Sim.Stats.Level.create ~initial:0. ~at:now;
+      tracks = Array.init cpus (Printf.sprintf "cpu%d");
+    }
+  in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let reg = o.Obs.Ctx.metrics in
+    Obs.Metrics.Registry.register_level reg ~site ~name:"cpus.busy" t.level;
+    Obs.Metrics.Registry.register_level reg ~site ~name:"cpus.cpu0_busy" t.cpu0_level);
+  t
 
 let site t = t.name
 let cpu_count t = t.n
@@ -103,8 +114,8 @@ let charge ctx ~cat ~label d =
     let t = ctx.set in
     let start_at = Engine.now t.eng in
     Engine.delay t.eng d;
-    Sim.Trace.add (Engine.trace t.eng) ~cat ~label ~site:t.name ~start_at
-      ~stop_at:(Engine.now t.eng)
+    Sim.Trace.add ~track:t.tracks.(ctx.idx) (Engine.trace t.eng) ~cat ~label ~site:t.name
+      ~start_at ~stop_at:(Engine.now t.eng)
   end
 
 let cpu_index ctx = ctx.idx

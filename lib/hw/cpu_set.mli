@@ -19,7 +19,9 @@ type ctx
 type affinity = Any | Cpu0
 type priority = Interrupt | Thread
 
-val create : Sim.Engine.t -> site:string -> cpus:int -> t
+val create : ?obs:Obs.Ctx.t -> Sim.Engine.t -> site:string -> cpus:int -> t
+(** With [?obs], the set's busy-CPU levels are registered as
+    [cpus.busy] / [cpus.cpu0_busy] under [site]. *)
 
 val site : t -> string
 val cpu_count : t -> int

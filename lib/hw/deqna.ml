@@ -26,12 +26,19 @@ type t = {
   mutable credits : int;
   rx_done : Bytes.t Queue.t;
   mutable irq_asserted : bool;
+  mutable irq_raised_at : Time.t;
   mutable irq_handler : unit -> unit;
+  obs : Obs.Ctx.t option;
   c_tx : Sim.Stats.Counter.t;
   c_rx : Sim.Stats.Counter.t;
   c_overrun : Sim.Stats.Counter.t;
   c_no_buffer : Sim.Stats.Counter.t;
 }
+
+let journal t ev =
+  match t.obs with
+  | None -> ()
+  | Some o -> Obs.Ctx.record o ~at:(Engine.now t.eng) ~site:t.site ev
 
 let cut_through t = (Timing.config t.timing).Config.cut_through
 
@@ -44,6 +51,7 @@ let jitter t span =
 let raise_irq t =
   if not t.irq_asserted then begin
     t.irq_asserted <- true;
+    t.irq_raised_at <- Engine.now t.eng;
     let handler = t.irq_handler in
     Engine.spawn t.eng ~name:"deqna-irq" handler
   end
@@ -69,8 +77,9 @@ let on_frame_start t ~frame ~wire =
           enqueue_job t (Rx_drain { frame; ready_at }))
   end
 
-let trace_span t ~label ~start_at ~stop_at =
-  Sim.Trace.add (Engine.trace t.eng) ~cat:"send+receive" ~label ~site:t.site ~start_at ~stop_at
+let trace_span ?(track = "deqna") t ~label ~start_at ~stop_at =
+  Sim.Trace.add ~track (Engine.trace t.eng) ~cat:"send+receive" ~label ~site:t.site ~start_at
+    ~stop_at
 
 let use_qbus t span ~label =
   Sim.Resource.acquire t.qbus;
@@ -90,7 +99,8 @@ let transmit_traced t frame =
   let neg d = Time.span_scale (-1.) d in
   let wire_end = Time.add after (neg (Ether_link.interframe_span t.link)) in
   let wire_start = Time.add wire_end (neg wire) in
-  trace_span t ~label:"Transmission time on Ethernet" ~start_at:wire_start ~stop_at:wire_end
+  trace_span ~track:"wire" t ~label:"Transmission time on Ethernet" ~start_at:wire_start
+    ~stop_at:wire_end
 
 let do_tx t frame =
   let qspan = Timing.qbus_transmit t.timing ~bytes:(Bytes.length frame) in
@@ -111,6 +121,7 @@ let do_tx t frame =
     transmit_traced t frame
   end;
   Sim.Stats.Counter.incr t.c_tx;
+  journal t (Obs.Journal.Packet_tx { bytes = Bytes.length frame });
   Engine.delay t.eng (jitter t (Timing.deqna_tx_recovery t.timing))
 
 let do_rx_drain t frame ~ready_at =
@@ -129,6 +140,7 @@ let do_rx_drain t frame ~ready_at =
     t.staging_used <- t.staging_used - 1;
     Queue.push frame t.rx_done;
     Sim.Stats.Counter.incr t.c_rx;
+    journal t (Obs.Journal.Packet_rx { bytes = len });
     raise_irq t;
     Engine.delay t.eng (jitter t (Timing.deqna_rx_recovery t.timing ~bytes:len))
   end
@@ -148,7 +160,7 @@ let engine_loop t () =
   in
   loop ()
 
-let create eng timing ~link ~qbus ~mac ?site () =
+let create eng timing ~link ~qbus ~mac ?site ?obs () =
   let t =
     {
       eng;
@@ -165,13 +177,26 @@ let create eng timing ~link ~qbus ~mac ?site () =
       credits = 0;
       rx_done = Queue.create ();
       irq_asserted = false;
+      irq_raised_at = Time.zero;
       irq_handler = ignore;
+      obs;
       c_tx = Sim.Stats.Counter.create ();
       c_rx = Sim.Stats.Counter.create ();
       c_overrun = Sim.Stats.Counter.create ();
       c_no_buffer = Sim.Stats.Counter.create ();
     }
   in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let reg = o.Obs.Ctx.metrics in
+    let site = t.site in
+    Obs.Metrics.Registry.register_counter reg ~site ~name:"deqna.tx_frames" t.c_tx;
+    Obs.Metrics.Registry.register_counter reg ~site ~name:"deqna.rx_frames" t.c_rx;
+    Obs.Metrics.Registry.register_counter reg ~site ~name:"deqna.rx_overruns" t.c_overrun;
+    Obs.Metrics.Registry.register_counter reg ~site ~name:"deqna.rx_no_buffer" t.c_no_buffer;
+    Obs.Metrics.Registry.register_probe reg ~site ~name:"deqna.queue_depth" (fun () ->
+        float_of_int (Queue.length t.jobs + t.staging_used)));
   let station =
     Ether_link.attach link ~mac ~on_frame_start:(fun ~frame ~wire -> on_frame_start t ~frame ~wire)
   in
@@ -218,6 +243,7 @@ let interrupt_done t =
   t.irq_asserted <- false;
   if not (Queue.is_empty t.rx_done) then raise_irq t
 
+let last_irq_at t = t.irq_raised_at
 let tx_frames t = Sim.Stats.Counter.value t.c_tx
 let rx_frames t = Sim.Stats.Counter.value t.c_rx
 let rx_overruns t = Sim.Stats.Counter.value t.c_overrun

@@ -30,12 +30,15 @@ val create :
   qbus:Sim.Resource.t ->
   mac:Net.Mac.t ->
   ?site:string ->
+  ?obs:Obs.Ctx.t ->
   unit ->
   t
 (** [site] names the machine in trace spans (defaults to the MAC
     address); the controller records the Table VI hardware steps —
     QBus transfers and Ethernet transmission time — when tracing is
-    enabled. *)
+    enabled.  With [?obs], the frame counters and a queue-depth probe
+    are registered under [deqna.*] and every completed tx/rx frame is
+    journalled. *)
 
 val mac : t -> Net.Mac.t
 val station : t -> Ether_link.station
@@ -73,6 +76,10 @@ val take_rx : t -> Stdlib.Bytes.t option
 val interrupt_done : t -> unit
 (** Clears the interrupt line; re-raises immediately if completions
     arrived while the driver was finishing. *)
+
+val last_irq_at : t -> Sim.Time.t
+(** When the interrupt line was last asserted — the driver measures
+    interrupt service latency against this. *)
 
 (** {1 Statistics} *)
 

@@ -22,21 +22,37 @@ type t = {
   delayed : Sim.Stats.Counter.t;
 }
 
-let create eng ~mbps =
+let create ?obs eng ~mbps =
   if mbps <= 0. then invalid_arg "Ether_link.create: mbps must be positive";
-  {
-    eng;
-    mbps;
-    medium = Sim.Resource.create eng ~name:"ethernet" ~capacity:1;
-    stations = Hashtbl.create 8;
-    injector = None;
-    frames = Sim.Stats.Counter.create ();
-    bytes = Sim.Stats.Counter.create ();
-    dropped = Sim.Stats.Counter.create ();
-    corrupted = Sim.Stats.Counter.create ();
-    duplicated = Sim.Stats.Counter.create ();
-    delayed = Sim.Stats.Counter.create ();
-  }
+  let t =
+    {
+      eng;
+      mbps;
+      medium = Sim.Resource.create eng ~name:"ethernet" ~capacity:1;
+      stations = Hashtbl.create 8;
+      injector = None;
+      frames = Sim.Stats.Counter.create ();
+      bytes = Sim.Stats.Counter.create ();
+      dropped = Sim.Stats.Counter.create ();
+      corrupted = Sim.Stats.Counter.create ();
+      duplicated = Sim.Stats.Counter.create ();
+      delayed = Sim.Stats.Counter.create ();
+    }
+  in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let reg = o.Obs.Ctx.metrics in
+    let site = "ether" in
+    Obs.Metrics.Registry.register_counter reg ~site ~name:"link.frames" t.frames;
+    Obs.Metrics.Registry.register_counter reg ~site ~name:"link.bytes" t.bytes;
+    Obs.Metrics.Registry.register_counter reg ~site ~name:"link.dropped" t.dropped;
+    Obs.Metrics.Registry.register_counter reg ~site ~name:"link.corrupted" t.corrupted;
+    Obs.Metrics.Registry.register_counter reg ~site ~name:"link.duplicated" t.duplicated;
+    Obs.Metrics.Registry.register_counter reg ~site ~name:"link.delayed" t.delayed;
+    Obs.Metrics.Registry.register_probe reg ~site ~name:"link.utilization" (fun () ->
+        Sim.Resource.utilization t.medium ~upto:(Engine.now t.eng)));
+  t
 
 let attach t ~mac ~on_frame_start =
   if Hashtbl.mem t.stations mac then

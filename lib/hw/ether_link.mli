@@ -32,7 +32,9 @@ type fault =
 
 type station
 
-val create : Sim.Engine.t -> mbps:float -> t
+val create : ?obs:Obs.Ctx.t -> Sim.Engine.t -> mbps:float -> t
+(** With [?obs], the carried/fault counters and a medium-utilization
+    probe are registered under site ["ether"]. *)
 
 val attach :
   t -> mac:Net.Mac.t -> on_frame_start:(frame:Stdlib.Bytes.t -> wire:Sim.Time.span -> unit) -> station

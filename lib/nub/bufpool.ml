@@ -2,11 +2,12 @@ type t = {
   cap : int;
   mutable avail : int;
   failed : Sim.Stats.Counter.t;
+  on_exhausted : unit -> unit;
 }
 
-let create ~capacity =
+let create ?(on_exhausted = ignore) ~capacity () =
   if capacity < 1 then invalid_arg "Bufpool.create: capacity must be positive";
-  { cap = capacity; avail = capacity; failed = Sim.Stats.Counter.create () }
+  { cap = capacity; avail = capacity; failed = Sim.Stats.Counter.create (); on_exhausted }
 
 let capacity t = t.cap
 let available t = t.avail
@@ -18,6 +19,7 @@ let try_alloc t =
   end
   else begin
     Sim.Stats.Counter.incr t.failed;
+    t.on_exhausted ();
     false
   end
 

@@ -11,7 +11,10 @@
 
 type t
 
-val create : capacity:int -> t
+val create : ?on_exhausted:(unit -> unit) -> capacity:int -> unit -> t
+(** [on_exhausted] is called on every failed allocation (after the
+    exhaustion counter increments) — the hook the observability journal
+    hangs off without the pool depending on it. *)
 
 val capacity : t -> int
 val available : t -> int

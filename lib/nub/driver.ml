@@ -12,6 +12,8 @@ type t = {
   cpus : Cpu_set.t;
   deqna : Deqna.t;
   pool : Bufpool.t;
+  obs : Obs.Ctx.t option;
+  irq_hist : Obs.Metrics.Histogram.t option;
   mutable fast : ctx:Cpu_set.ctx -> frame:Bytes.t -> verdict;
   mutable datalink : ctx:Cpu_set.ctx -> frame:Bytes.t -> unit;
   datalink_q : Bytes.t Sim.Mailbox.t;
@@ -25,7 +27,18 @@ let cat = "send+receive"
 
 let charge ctx ~label span = Cpu_set.charge ctx ~cat ~label span
 
-let create eng timing ~cpus ~deqna ~pool =
+let journal t ev =
+  match t.obs with
+  | None -> ()
+  | Some o -> Obs.Ctx.record o ~at:(Engine.now t.eng) ~site:(Cpu_set.site t.cpus) ev
+
+let create ?obs eng timing ~cpus ~deqna ~pool =
+  let site = Cpu_set.site cpus in
+  let irq_hist =
+    Option.map
+      (fun o -> Obs.Metrics.Registry.histogram o.Obs.Ctx.metrics ~site ~name:"interrupt_latency_us")
+      obs
+  in
   let t =
     {
       eng;
@@ -33,6 +46,8 @@ let create eng timing ~cpus ~deqna ~pool =
       cpus;
       deqna;
       pool;
+      obs;
+      irq_hist;
       fast = (fun ~ctx:_ ~frame:_ -> To_datalink);
       datalink = (fun ~ctx:_ ~frame:_ -> ());
       datalink_q = Sim.Mailbox.create eng;
@@ -42,6 +57,14 @@ let create eng timing ~cpus ~deqna ~pool =
       c_irq = Sim.Stats.Counter.create ();
     }
   in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let reg = o.Obs.Ctx.metrics in
+    Obs.Metrics.Registry.register_counter reg ~site ~name:"driver.rx_frames" t.c_rx;
+    Obs.Metrics.Registry.register_counter reg ~site ~name:"driver.rx_to_datalink" t.c_slow;
+    Obs.Metrics.Registry.register_counter reg ~site ~name:"driver.rx_dropped" t.c_drop;
+    Obs.Metrics.Registry.register_counter reg ~site ~name:"driver.interrupts" t.c_irq);
   t
 
 let set_fast_handler t f = t.fast <- f
@@ -49,6 +72,14 @@ let set_datalink_handler t f = t.datalink <- f
 
 let interrupt_body t ctx =
   Sim.Stats.Counter.incr t.c_irq;
+  journal t Obs.Journal.Interrupt;
+  (* Interrupt service latency: from the controller asserting the line
+     to the handler actually running on CPU 0. *)
+  (match t.irq_hist with
+  | None -> ()
+  | Some h ->
+    Obs.Metrics.Histogram.observe_span h
+      (Time.diff (Engine.now t.eng) (Deqna.last_irq_at t.deqna)));
   charge ctx ~label:"General I/O interrupt handler" (Timing.io_interrupt t.timing);
   charge ctx ~label:"Uniprocessor interrupt entry" (Timing.uniproc_interrupt_entry t.timing);
   let rec drain () =
@@ -111,6 +142,7 @@ let send t ~ctx frame =
   Engine.schedule t.eng ~after:(Timing.ipi_latency t.timing) (fun () ->
       Engine.spawn t.eng ~name:"ipi" (fun () ->
           Cpu_set.with_cpu ~affinity:Cpu_set.Cpu0 ~priority:Cpu_set.Interrupt t.cpus (fun ctx ->
+              journal t Obs.Journal.Ipi;
               charge ctx ~label:"Uniprocessor interrupt entry"
                 (Timing.uniproc_interrupt_entry t.timing);
               charge ctx ~label:"Handle interprocessor interrupt" (Timing.ipi_handler t.timing);

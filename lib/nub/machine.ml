@@ -15,22 +15,40 @@ type t = {
   m_driver : Driver.t;
   link : Hw.Ether_link.t;
   m_ip : Net.Ipv4.Addr.t;
+  m_obs : Obs.Ctx.t;
   mutable idle_started : bool;
   mutable attached : bool;
 }
 
-let create eng ~name ~config ~link ~station ~ip ?(pool_buffers = 64) () =
+let create ?obs eng ~name ~config ~link ~station ~ip ?(pool_buffers = 64) () =
   let config =
     match Config.validate config with
     | Ok c -> c
     | Error e -> invalid_arg ("Machine.create: " ^ e)
   in
+  let m_obs = match obs with Some o -> o | None -> Obs.Ctx.create () in
   let tmg = Timing.create config in
-  let m_cpus = Cpu_set.create eng ~site:name ~cpus:config.Config.cpus in
-  let m_pool = Bufpool.create ~capacity:pool_buffers in
+  let m_cpus = Cpu_set.create ~obs:m_obs eng ~site:name ~cpus:config.Config.cpus in
+  let m_pool =
+    Bufpool.create
+      ~on_exhausted:(fun () ->
+        Obs.Ctx.record m_obs ~at:(Engine.now eng) ~site:name Obs.Journal.Bufpool_exhausted)
+      ~capacity:pool_buffers ()
+  in
   let qbus = Sim.Resource.create eng ~name:(name ^ "-qbus") ~capacity:1 in
-  let deqna = Hw.Deqna.create eng tmg ~link ~qbus ~mac:(Net.Mac.of_station station) ~site:name () in
-  let m_driver = Driver.create eng tmg ~cpus:m_cpus ~deqna ~pool:m_pool in
+  let deqna =
+    Hw.Deqna.create eng tmg ~link ~qbus ~mac:(Net.Mac.of_station station) ~site:name ~obs:m_obs ()
+  in
+  let m_driver = Driver.create ~obs:m_obs eng tmg ~cpus:m_cpus ~deqna ~pool:m_pool in
+  let reg = m_obs.Obs.Ctx.metrics in
+  Obs.Metrics.Registry.register_counter_fn reg ~site:name ~name:"bufpool.exhaustions" (fun () ->
+      Bufpool.exhaustions m_pool);
+  Obs.Metrics.Registry.register_probe reg ~site:name ~name:"bufpool.available" (fun () ->
+      float_of_int (Bufpool.available m_pool));
+  Obs.Metrics.Registry.register_probe reg ~site:name ~name:"bufpool.in_use" (fun () ->
+      float_of_int (Bufpool.in_use m_pool));
+  Obs.Metrics.Registry.register_probe reg ~site:name ~name:"qbus.utilization" (fun () ->
+      Sim.Resource.utilization qbus ~upto:(Engine.now eng));
   Driver.start m_driver ~rx_buffers:16;
   {
     eng;
@@ -43,6 +61,7 @@ let create eng ~name ~config ~link ~station ~ip ?(pool_buffers = 64) () =
     m_driver;
     link;
     m_ip = ip;
+    m_obs;
     idle_started = false;
     attached = true;
   }
@@ -57,7 +76,8 @@ let pool t = t.m_pool
 let mac t = Hw.Deqna.mac t.deqna
 let ip t = t.m_ip
 let link t = t.link
-let new_waiter t = Waiter.create t.eng t.tmg ~cpus:t.m_cpus
+let obs t = t.m_obs
+let new_waiter t = Waiter.create ~obs:t.m_obs t.eng t.tmg ~cpus:t.m_cpus
 
 let spawn_thread t ?name fn =
   let name = Option.value name ~default:(t.m_name ^ "-thread") in

@@ -8,6 +8,7 @@
 type t
 
 val create :
+  ?obs:Obs.Ctx.t ->
   Sim.Engine.t ->
   name:string ->
   config:Hw.Config.t ->
@@ -18,7 +19,10 @@ val create :
   unit ->
   t
 (** [pool_buffers] defaults to 64.  The driver takes 16 of them as
-    controller receive credits.
+    controller receive credits.  [obs] is the observability context the
+    machine's components publish into; omitted, the machine gets a
+    private one (reachable via {!obs}), so instrumentation is always on
+    but only shared when a world wires it so.
     @raise Invalid_argument if the configuration fails validation. *)
 
 val name : t -> string
@@ -31,6 +35,10 @@ val pool : t -> Bufpool.t
 val mac : t -> Net.Mac.t
 val ip : t -> Net.Ipv4.Addr.t
 val link : t -> Hw.Ether_link.t
+
+val obs : t -> Obs.Ctx.t
+(** The machine's observability context: its metrics registry and event
+    journal.  Shared with other machines when the creator passed one. *)
 
 val new_waiter : t -> Waiter.t
 

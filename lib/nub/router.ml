@@ -122,7 +122,7 @@ let create eng ~name ~config ~link_a ~station_a ~ip_a ~link_b ~station_b ~ip_b
     {
       eng;
       cpu = Cpu_set.create eng ~site:name ~cpus:1;
-      pool = Bufpool.create ~capacity:32;
+      pool = Bufpool.create ~capacity:32 ();
       pa = { deqna = mk link_a station_a (name ^ "-a"); p_ip = ip_a; arp = Hashtbl.create 8 };
       pb = { deqna = mk link_b station_b (name ^ "-b"); p_ip = ip_b; arp = Hashtbl.create 8 };
       routes = [];

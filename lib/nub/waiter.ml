@@ -9,9 +9,20 @@ type t = {
   cpus : Cpu_set.t;
   mutable pending : int;
   cv : Sim.Condvar.t;
+  obs : Obs.Ctx.t option;
+  wake_hist : Obs.Metrics.Histogram.t option;
+  mutable notified_at : Time.t option;
 }
 
-let create eng timing ~cpus = { eng; timing; cpus; pending = 0; cv = Sim.Condvar.create eng }
+let create ?obs eng timing ~cpus =
+  let wake_hist =
+    Option.map
+      (fun o ->
+        Obs.Metrics.Registry.histogram o.Obs.Ctx.metrics ~site:(Cpu_set.site cpus)
+          ~name:"wakeup_latency_us")
+      obs
+  in
+  { eng; timing; cpus; pending = 0; cv = Sim.Condvar.create eng; obs; wake_hist; notified_at = None }
 
 let busy_wait t = (Timing.config t.timing).Hw.Config.busy_wait
 
@@ -59,7 +70,14 @@ let wait_common t ctx ~timeout =
     (match outcome with
     | `Ok ->
       (* The woken thread pays to be dispatched onto a processor. *)
-      Cpu_set.charge ctx ~cat ~label:"Dispatch woken thread" (Timing.dispatch t.timing)
+      Cpu_set.charge ctx ~cat ~label:"Dispatch woken thread" (Timing.dispatch t.timing);
+      (* Wakeup latency: from the waker's notify to this thread running
+         again, dispatch included. *)
+      (match (t.wake_hist, t.notified_at) with
+      | Some h, Some at0 ->
+        Obs.Metrics.Histogram.observe_span h (Time.diff (Engine.now t.eng) at0)
+      | _ -> ());
+      t.notified_at <- None
     | `Timeout -> ());
     outcome
   end
@@ -72,6 +90,11 @@ let wait t ctx =
 let wait_timeout t ctx ~timeout = wait_common t ctx ~timeout:(Some timeout)
 
 let notify t ~waker =
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+    Obs.Ctx.record o ~at:(Engine.now t.eng) ~site:(Cpu_set.site t.cpus) Obs.Journal.Thread_wakeup);
+  if t.notified_at = None then t.notified_at <- Some (Engine.now t.eng);
   Cpu_set.charge waker ~cat ~label:"Wakeup RPC thread" (Timing.wakeup t.timing);
   Cpu_set.charge waker ~cat ~label:"Uniprocessor wakeup path"
     (Timing.uniproc_wakeup_extra t.timing);

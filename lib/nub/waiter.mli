@@ -19,7 +19,10 @@
 
 type t
 
-val create : Sim.Engine.t -> Hw.Timing.t -> cpus:Hw.Cpu_set.t -> t
+val create : ?obs:Obs.Ctx.t -> Sim.Engine.t -> Hw.Timing.t -> cpus:Hw.Cpu_set.t -> t
+(** With [?obs], each notify→running handoff is journalled as a thread
+    wakeup and its latency recorded in a [wakeup_latency_us]
+    histogram. *)
 
 val wait : t -> Hw.Cpu_set.ctx -> unit
 

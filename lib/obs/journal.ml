@@ -1,0 +1,62 @@
+type event =
+  | Packet_tx of { bytes : int }
+  | Packet_rx of { bytes : int }
+  | Retransmit of { seq : int }
+  | Ack of { seq : int }
+  | Interrupt
+  | Ipi
+  | Thread_wakeup
+  | Bufpool_exhausted
+  | Mark of string
+
+type entry = { at : Sim.Time.t; site : string; ev : event }
+
+type t = {
+  cap : int;
+  ring : entry array;
+  mutable start : int;  (* index of the oldest entry *)
+  mutable len : int;
+  mutable n_dropped : int;
+  mutable n_total : int;
+}
+
+let dummy = { at = Sim.Time.zero; site = ""; ev = Mark "" }
+
+let create ?(capacity = 8192) () =
+  if capacity < 1 then invalid_arg "Obs.Journal.create: capacity must be >= 1";
+  { cap = capacity; ring = Array.make capacity dummy; start = 0; len = 0; n_dropped = 0; n_total = 0 }
+
+let record t ~at ~site ev =
+  let e = { at; site; ev } in
+  if t.len < t.cap then begin
+    t.ring.((t.start + t.len) mod t.cap) <- e;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.ring.(t.start) <- e;
+    t.start <- (t.start + 1) mod t.cap;
+    t.n_dropped <- t.n_dropped + 1
+  end;
+  t.n_total <- t.n_total + 1
+
+let entries t = List.init t.len (fun i -> t.ring.((t.start + i) mod t.cap))
+let length t = t.len
+let total t = t.n_total
+let dropped t = t.n_dropped
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.n_dropped <- 0;
+  t.n_total <- 0
+
+let event_label = function
+  | Packet_tx _ -> "packet tx"
+  | Packet_rx _ -> "packet rx"
+  | Retransmit _ -> "retransmit"
+  | Ack _ -> "ack"
+  | Interrupt -> "interrupt"
+  | Ipi -> "ipi"
+  | Thread_wakeup -> "thread wakeup"
+  | Bufpool_exhausted -> "bufpool exhausted"
+  | Mark s -> s

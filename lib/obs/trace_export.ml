@@ -1,0 +1,144 @@
+let span_track (s : Sim.Trace.span) = if s.track = "" then "main" else s.track
+
+(* Sites in sorted order, numbered from 1. *)
+let site_pids ~spans ~entries =
+  let sites = Hashtbl.create 8 in
+  List.iter (fun (s : Sim.Trace.span) -> Hashtbl.replace sites s.site ()) spans;
+  List.iter (fun (e : Journal.entry) -> Hashtbl.replace sites e.site ()) entries;
+  let sorted = List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) sites []) in
+  List.mapi (fun i site -> (site, i + 1)) sorted
+
+(* Per-site thread lanes: "main" first when present, the rest sorted;
+   tid 0 is reserved for the journal's "events" lane. *)
+let site_tids ~spans site =
+  let tracks = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Sim.Trace.span) -> if String.equal s.site site then Hashtbl.replace tracks (span_track s) ())
+    spans;
+  let names = Hashtbl.fold (fun k () acc -> k :: acc) tracks [] in
+  let main, rest = List.partition (String.equal "main") names in
+  let ordered = main @ List.sort String.compare rest in
+  List.mapi (fun i track -> (track, i + 1)) ordered
+
+let num n = Json.Num (float_of_int n)
+
+let metadata ~what ~pid ?tid ~name () =
+  let fields =
+    [ ("name", Json.Str what); ("ph", Json.Str "M"); ("pid", num pid) ]
+    @ (match tid with Some t -> [ ("tid", num t) ] | None -> [])
+    @ [ ("args", Json.Obj [ ("name", Json.Str name) ]) ]
+  in
+  Json.Obj fields
+
+let span_event ~pid ~tid (s : Sim.Trace.span) =
+  Json.Obj
+    [
+      ("name", Json.Str s.label);
+      ("cat", Json.Str s.cat);
+      ("ph", Json.Str "X");
+      ("ts", Json.Num (Sim.Time.since_start_us s.start_at));
+      ("dur", Json.Num (Sim.Time.to_us (Sim.Trace.duration s)));
+      ("pid", num pid);
+      ("tid", num tid);
+    ]
+
+let instant_args = function
+  | Journal.Packet_tx { bytes } | Journal.Packet_rx { bytes } -> [ ("bytes", num bytes) ]
+  | Journal.Retransmit { seq } | Journal.Ack { seq } -> [ ("seq", num seq) ]
+  | _ -> []
+
+let instant_event ~pid (e : Journal.entry) =
+  Json.Obj
+    ([
+       ("name", Json.Str (Journal.event_label e.ev));
+       ("ph", Json.Str "i");
+       ("ts", Json.Num (Sim.Time.since_start_us e.at));
+       ("pid", num pid);
+       ("tid", num 0);
+       ("s", Json.Str "t");
+     ]
+    @ match instant_args e.ev with [] -> [] | args -> [ ("args", Json.Obj args) ])
+
+let counter_event ~pid ~name ~ts args =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "C");
+      ("ts", Json.Num ts);
+      ("pid", num pid);
+      ("args", Json.Obj args);
+    ]
+
+(* Derive counter tracks from the journal: cumulative tx/rx packet
+   counts per site, and a retransmit count where any occurred. *)
+let counter_events ~pids entries =
+  let tx = Hashtbl.create 8 and rx = Hashtbl.create 8 and rt = Hashtbl.create 8 in
+  let bump tbl site = Hashtbl.replace tbl site (1 + Option.value ~default:0 (Hashtbl.find_opt tbl site)) in
+  let get tbl site = Option.value ~default:0 (Hashtbl.find_opt tbl site) in
+  List.filter_map
+    (fun (e : Journal.entry) ->
+      match List.assoc_opt e.site pids with
+      | None -> None
+      | Some pid -> (
+        let ts = Sim.Time.since_start_us e.at in
+        match e.ev with
+        | Packet_tx _ | Packet_rx _ ->
+          (match e.ev with
+          | Packet_tx _ -> bump tx e.site
+          | _ -> bump rx e.site);
+          Some
+            (counter_event ~pid ~name:"packets" ~ts
+               [ ("tx", num (get tx e.site)); ("rx", num (get rx e.site)) ])
+        | Retransmit _ ->
+          bump rt e.site;
+          Some (counter_event ~pid ~name:"retransmits" ~ts [ ("count", num (get rt e.site)) ])
+        | _ -> None))
+    entries
+
+let chrome_trace ?journal ~spans () =
+  let entries = match journal with None -> [] | Some j -> Journal.entries j in
+  let pids = site_pids ~spans ~entries in
+  let tids_by_site = List.map (fun (site, _) -> (site, site_tids ~spans site)) pids in
+  let has_entries site = List.exists (fun (e : Journal.entry) -> String.equal e.site site) entries in
+  let meta =
+    List.concat_map
+      (fun (site, pid) ->
+        metadata ~what:"process_name" ~pid ~name:site ()
+        :: (if has_entries site then [ metadata ~what:"thread_name" ~pid ~tid:0 ~name:"events" () ]
+            else [])
+        @ List.map
+            (fun (track, tid) -> metadata ~what:"thread_name" ~pid ~tid ~name:track ())
+            (Option.value ~default:[] (List.assoc_opt site tids_by_site)))
+      pids
+  in
+  let span_events =
+    List.map
+      (fun (s : Sim.Trace.span) ->
+        let pid = Option.value ~default:0 (List.assoc_opt s.site pids) in
+        let tid =
+          Option.value ~default:0
+            (Option.bind (List.assoc_opt s.site tids_by_site) (List.assoc_opt (span_track s)))
+        in
+        span_event ~pid ~tid s)
+      spans
+  in
+  let instants =
+    List.filter_map
+      (fun (e : Journal.entry) ->
+        Option.map (fun pid -> instant_event ~pid e) (List.assoc_opt e.site pids))
+      entries
+  in
+  let counters = counter_events ~pids entries in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (meta @ span_events @ instants @ counters));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_file ~path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n')

@@ -1,0 +1,20 @@
+(** Chrome trace-event (Perfetto) export.
+
+    Renders {!Sim.Trace} spans and a {!Journal} as a Chrome trace-event
+    JSON object — the format understood by [ui.perfetto.dev] and
+    [chrome://tracing].  Each simulated {e site} (machine, wire) becomes
+    a process; each {e track} within a site (cpu0..cpuN, the DEQNA, the
+    wire) becomes a thread lane; journal events appear as instants on a
+    dedicated "events" lane; and cumulative packet/retransmit counts
+    from the journal become counter tracks.  Virtual nanoseconds map to
+    the format's microsecond [ts]/[dur] fields, so the viewer's ruler
+    reads in real (simulated) time. *)
+
+val chrome_trace : ?journal:Journal.t -> spans:Sim.Trace.span list -> unit -> Json.t
+(** The full [{"traceEvents": [...], "displayTimeUnit": "ms"}] object.
+    Deterministic: sites and tracks are numbered in sorted order and
+    events are emitted in a fixed order, so equal inputs render to
+    byte-identical JSON. *)
+
+val write_file : path:string -> Json.t -> unit
+(** Writes the JSON (plus a trailing newline) to [path]. *)

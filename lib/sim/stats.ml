@@ -9,26 +9,32 @@ module Counter = struct
 end
 
 module Summary = struct
+  (* Welford's online algorithm: the naive sum-of-squares formula loses
+     all significant digits when the spread is small relative to the
+     magnitude (e.g. microsecond jitter on samples near 1e9). *)
   type t = {
     mutable n : int;
     mutable total : float;
-    mutable total_sq : float;
+    mutable mean_ : float;
+    mutable m2 : float;  (* sum of squared deviations from the mean *)
     mutable lo : float;
     mutable hi : float;
   }
 
-  let create () = { n = 0; total = 0.; total_sq = 0.; lo = infinity; hi = neg_infinity }
+  let create () = { n = 0; total = 0.; mean_ = 0.; m2 = 0.; lo = infinity; hi = neg_infinity }
 
   let observe t x =
     t.n <- t.n + 1;
     t.total <- t.total +. x;
-    t.total_sq <- t.total_sq +. (x *. x);
+    let d = x -. t.mean_ in
+    t.mean_ <- t.mean_ +. (d /. float_of_int t.n);
+    t.m2 <- t.m2 +. (d *. (x -. t.mean_));
     if x < t.lo then t.lo <- x;
     if x > t.hi then t.hi <- x
 
   let count t = t.n
   let sum t = t.total
-  let mean t = if t.n = 0 then 0. else t.total /. float_of_int t.n
+  let mean t = if t.n = 0 then 0. else t.mean_
 
   let min t =
     if t.n = 0 then invalid_arg "Stats.Summary.min: empty";
@@ -41,15 +47,14 @@ module Summary = struct
   let stddev t =
     if t.n < 2 then 0.
     else
-      let n = float_of_int t.n in
-      let m = t.total /. n in
-      let var = (t.total_sq /. n) -. (m *. m) in
+      let var = t.m2 /. float_of_int t.n in
       if var <= 0. then 0. else sqrt var
 
   let reset t =
     t.n <- 0;
     t.total <- 0.;
-    t.total_sq <- 0.;
+    t.mean_ <- 0.;
+    t.m2 <- 0.;
     t.lo <- infinity;
     t.hi <- neg_infinity
 end
@@ -64,9 +69,14 @@ module Level = struct
 
   let create ~initial ~at = { start_at = at; level = initial; changed_at = at; area = 0. }
 
+  (* An out-of-order timestamp (earlier than the last change) must not
+     rewind the integral: the segment already accumulated stands, and
+     the change takes effect at [changed_at]. *)
   let accumulate t ~upto =
-    t.area <- t.area +. (t.level *. Time.to_sec (Time.diff upto t.changed_at));
-    t.changed_at <- upto
+    if Time.compare upto t.changed_at > 0 then begin
+      t.area <- t.area +. (t.level *. Time.to_sec (Time.diff upto t.changed_at));
+      t.changed_at <- upto
+    end
 
   let set t v ~at =
     accumulate t ~upto:at;
@@ -75,7 +85,8 @@ module Level = struct
   let current t = t.level
 
   let integral t ~upto =
-    t.area +. (t.level *. Time.to_sec (Time.diff upto t.changed_at))
+    if Time.compare upto t.changed_at <= 0 then t.area
+    else t.area +. (t.level *. Time.to_sec (Time.diff upto t.changed_at))
 
   let average t ~upto =
     let dur = Time.to_sec (Time.diff upto t.start_at) in

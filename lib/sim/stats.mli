@@ -26,7 +26,10 @@ module Summary : sig
   (** [min]/[max] raise [Invalid_argument] when empty. *)
 
   val stddev : t -> float
-  (** Population standard deviation; 0. with fewer than two samples. *)
+  (** Population standard deviation; 0. with fewer than two samples.
+      Computed with Welford's online algorithm, so it stays accurate for
+      samples with a large common offset (small jitter around a big
+      mean), where the sum-of-squares formula cancels catastrophically. *)
 
   val reset : t -> unit
 end
@@ -37,12 +40,20 @@ module Level : sig
   type t
 
   val create : initial:float -> at:Time.t -> t
+
   val set : t -> float -> at:Time.t -> unit
+  (** Timestamps are expected to be monotone.  A [set] whose [at] lies
+      before the latest recorded change does not rewind the integral:
+      the already-accumulated area stands and the new value takes effect
+      from the time of the latest change. *)
+
   val current : t -> float
+
   val integral : t -> upto:Time.t -> float
   (** [integral t ~upto] is the integral of the level over time, in
       level-seconds, including the segment from the last change to
-      [upto]. *)
+      [upto].  An [upto] at or before the last change returns the area
+      accumulated so far (never less). *)
 
   val average : t -> upto:Time.t -> float
   (** Integral divided by total observed duration; 0. if no time has

@@ -2,21 +2,40 @@ type span = {
   cat : string;
   label : string;
   site : string;
+  track : string;
   start_at : Time.t;
   stop_at : Time.t;
 }
 
-type t = { mutable on : bool; mutable recorded : span list (* newest first *) }
+type t = {
+  mutable on : bool;
+  mutable recorded : span list; (* newest first *)
+  mutable count : int;
+  mutable capacity : int option;
+  mutable n_dropped : int;
+}
 
-let create () = { on = false; recorded = [] }
+let create ?capacity () = { on = false; recorded = []; count = 0; capacity; n_dropped = 0 }
 let enabled t = t.on
 let set_enabled t b = t.on <- b
+let set_capacity t c = t.capacity <- c
 
-let add t ~cat ~label ~site ~start_at ~stop_at =
-  if t.on then t.recorded <- { cat; label; site; start_at; stop_at } :: t.recorded
+let add ?(track = "") t ~cat ~label ~site ~start_at ~stop_at =
+  if t.on then
+    match t.capacity with
+    | Some cap when t.count >= cap -> t.n_dropped <- t.n_dropped + 1
+    | _ ->
+      t.recorded <- { cat; label; site; track; start_at; stop_at } :: t.recorded;
+      t.count <- t.count + 1
 
-let clear t = t.recorded <- []
+let clear t =
+  t.recorded <- [];
+  t.count <- 0;
+  t.n_dropped <- 0
+
 let spans t = List.rev t.recorded
+let length t = t.count
+let dropped t = t.n_dropped
 let duration s = Time.diff s.stop_at s.start_at
 
 let matches ?site ?cat ?label s =

@@ -14,24 +14,53 @@ type span = {
   cat : string;  (** coarse grouping, e.g. ["send+receive"] or ["runtime"] *)
   label : string;  (** the paper's step name, e.g. ["wakeup RPC thread"] *)
   site : string;  (** machine/entity the time was spent on *)
+  track : string;
+      (** sub-entity within the site the time was spent on — a CPU
+          ("cpu0"), the controller ("deqna"), the wire ("wire"); [""]
+          when unattributed.  Drives per-track lanes in the Perfetto
+          export ({!Obs.Trace_export}). *)
   start_at : Time.t;
   stop_at : Time.t;
 }
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the number of retained spans; omitted (the
+    default) means unbounded, the historical behaviour. *)
 
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
-val add : t -> cat:string -> label:string -> site:string -> start_at:Time.t -> stop_at:Time.t -> unit
-(** Records a span; a no-op while tracing is disabled. *)
+val set_capacity : t -> int option -> unit
+(** Bounds (or, with [None], unbounds) retention for subsequent {!add}s;
+    already-recorded spans are kept even if they exceed a new bound. *)
+
+val add :
+  ?track:string ->
+  t ->
+  cat:string ->
+  label:string ->
+  site:string ->
+  start_at:Time.t ->
+  stop_at:Time.t ->
+  unit
+(** Records a span; a no-op while tracing is disabled.  When a capacity
+    is set and already reached, the span is discarded and counted in
+    {!dropped} — the earliest spans are retained, which is what a
+    latency accounting of the first call(s) wants. *)
 
 val clear : t -> unit
+(** Drops all recorded spans and resets the {!dropped} counter. *)
 
 val spans : t -> span list
 (** All recorded spans, in recording order. *)
+
+val length : t -> int
+(** Number of retained spans. *)
+
+val dropped : t -> int
+(** Spans discarded because the capacity bound was reached. *)
 
 val duration : span -> Time.span
 

@@ -16,14 +16,22 @@ type outcome = {
   retransmissions : int;
   mean_latency : Time.span;
   latencies : Time.span array;
+  sorted_latencies : Time.span array Lazy.t;
 }
+
+let sort_lazily latencies =
+  lazy
+    (let sorted = Array.copy latencies in
+     Array.sort Time.span_compare sorted;
+     sorted)
 
 let percentile o p =
   let n = Array.length o.latencies in
   if n = 0 then invalid_arg "Driver.percentile: no samples";
   if p < 0. || p > 1. then invalid_arg "Driver.percentile: p outside [0,1]";
-  let sorted = Array.copy o.latencies in
-  Array.sort Time.span_compare sorted;
+  (* Sorted once per outcome; the latency-tail experiments query four
+     percentiles per row. *)
+  let sorted = Lazy.force o.sorted_latencies in
   sorted.(min (n - 1) (int_of_float (Float.of_int n *. p)))
 
 let payload_bytes = function
@@ -96,6 +104,12 @@ let run (w : World.t) ?options ?transport ~threads ~calls ~proc () =
   let elapsed = Time.diff finished_at started_at in
   let secs = Time.to_sec elapsed in
   let bits = float_of_int (calls * payload_bytes proc * 8) in
+  let latencies = Array.of_list (List.rev !samples) in
+  let hist =
+    Obs.Metrics.Registry.histogram w.World.obs.Obs.Ctx.metrics ~site:"caller"
+      ~name:"rpc.latency_us"
+  in
+  Array.iter (Obs.Metrics.Histogram.observe_span hist) latencies;
   {
     threads;
     calls;
@@ -109,8 +123,41 @@ let run (w : World.t) ?options ?transport ~threads ~calls ~proc () =
       (if calls > 0 then
          Time.us_f (Time.to_us elapsed *. float_of_int threads /. float_of_int calls)
        else Time.zero_span);
-    latencies = Array.of_list (List.rev !samples);
+    latencies;
+    sorted_latencies = sort_lazily latencies;
   }
+
+(* One thread, warmed up, then [calls] sequential calls with the engine
+   trace (and a fresh journal window) covering exactly the timed calls.
+   Shared by [firefly trace] and the Perfetto-export test. *)
+let run_traced (w : World.t) ?options ?(warmup = 2) ~calls ~proc () =
+  let binding = World.test_binding w ?options () in
+  let gate = Sim.Gate.create w.World.eng in
+  let latencies = ref [] in
+  Machine.spawn_thread w.World.caller ~name:"traced-call" (fun () ->
+      Cpu_set.with_cpu (Machine.cpus w.World.caller) (fun ctx ->
+          let client = Rpc.Runtime.new_client w.World.caller_rt in
+          let once () =
+            ignore
+              (Rpc.Runtime.call binding client ctx ~proc_idx:(proc_idx proc) ~args:(args_of proc))
+          in
+          (* Warm the path: binding established, server threads parked. *)
+          for _ = 1 to warmup do
+            once ()
+          done;
+          Obs.Journal.clear w.World.obs.Obs.Ctx.journal;
+          let tr = Engine.trace w.World.eng in
+          Sim.Trace.clear tr;
+          Sim.Trace.set_enabled tr true;
+          for _ = 1 to calls do
+            let t0 = Engine.now w.World.eng in
+            once ();
+            latencies := Time.diff (Engine.now w.World.eng) t0 :: !latencies
+          done;
+          Sim.Trace.set_enabled tr false);
+      Sim.Gate.open_ gate);
+  World.run_until_quiet w gate;
+  List.rev !latencies
 
 let measure_single_call (w : World.t) ?options ~proc () =
   let binding = World.test_binding w ?options () in

@@ -18,11 +18,15 @@ type outcome = {
   retransmissions : int;
   mean_latency : Sim.Time.span;  (** elapsed × threads / calls *)
   latencies : Sim.Time.span array;  (** per-call, in completion order *)
+  sorted_latencies : Sim.Time.span array Lazy.t;
+      (** [latencies] sorted ascending, computed at most once — the
+          backing store for {!percentile} queries *)
 }
 
 val percentile : outcome -> float -> Sim.Time.span
 (** [percentile o 0.99] — nearest-rank percentile of the per-call
-    latencies.  @raise Invalid_argument on an empty outcome or p
+    latencies.  The samples are sorted once per outcome (lazily), not
+    per query.  @raise Invalid_argument on an empty outcome or p
     outside [0, 1]. *)
 
 val payload_bytes : proc -> int
@@ -38,6 +42,22 @@ val run :
   outcome
 (** Runs the workload to completion on the world's engine (which must
     not have been run to a later time already). *)
+
+val run_traced :
+  World.t ->
+  ?options:Rpc.Runtime.call_options ->
+  ?warmup:int ->
+  calls:int ->
+  proc:proc ->
+  unit ->
+  Sim.Time.span list
+(** One caller thread makes [warmup] (default 2) untimed calls, then
+    [calls] sequential timed calls with the engine's span trace enabled
+    and the world's event journal cleared at the window start — so the
+    trace and journal cover exactly the timed calls.  Returns the
+    per-call latencies; read the spans from [Sim.Engine.trace] and the
+    journal from the world's {!Obs.Ctx.t} afterwards.  Drives
+    [firefly trace] and the Perfetto exporter. *)
 
 val measure_single_call :
   World.t -> ?options:Rpc.Runtime.call_options -> proc:proc -> unit -> Sim.Time.span

@@ -13,18 +13,20 @@ type t = {
   server_node : Rpc.Node.t;
   caller_rt : Rpc.Runtime.t;
   server_rt : Rpc.Runtime.t;
+  obs : Obs.Ctx.t;
 }
 
 let create ?(caller_config = Config.default) ?(server_config = Config.default) ?(seed = 42)
-    ?(tie_break = `Fifo) ?(workers = 8) ?(idle_load = true) ?(export_test = true) () =
+    ?(tie_break = `Fifo) ?(workers = 8) ?(idle_load = true) ?(export_test = true) ?obs () =
+  let obs = match obs with Some o -> o | None -> Obs.Ctx.create () in
   let eng = Engine.create ~seed ~tie_break () in
-  let link = Hw.Ether_link.create eng ~mbps:caller_config.Config.ethernet_mbps in
+  let link = Hw.Ether_link.create ~obs eng ~mbps:caller_config.Config.ethernet_mbps in
   let caller =
-    Machine.create eng ~name:"caller" ~config:caller_config ~link ~station:1
+    Machine.create ~obs eng ~name:"caller" ~config:caller_config ~link ~station:1
       ~ip:(Net.Ipv4.Addr.of_string "16.0.0.1") ()
   in
   let server =
-    Machine.create eng ~name:"server" ~config:server_config ~link ~station:2
+    Machine.create ~obs eng ~name:"server" ~config:server_config ~link ~station:2
       ~ip:(Net.Ipv4.Addr.of_string "16.0.0.2") ()
   in
   let caller_node = Rpc.Node.create caller in
@@ -40,14 +42,14 @@ let create ?(caller_config = Config.default) ?(server_config = Config.default) ?
     Machine.start_idle_load caller;
     Machine.start_idle_load server
   end;
-  { eng; link; binder; caller; server; caller_node; server_node; caller_rt; server_rt }
+  { eng; link; binder; caller; server; caller_node; server_node; caller_rt; server_rt; obs }
 
 let test_binding t ?options ?transport () =
   Rpc.Binder.import t.binder t.caller_rt ~name:"Test" ~version:1 ?options ?transport ()
 
 let add_machine t ~name ~config ~station ~ip =
   let m =
-    Machine.create t.eng ~name ~config ~link:t.link ~station
+    Machine.create ~obs:t.obs t.eng ~name ~config ~link:t.link ~station
       ~ip:(Net.Ipv4.Addr.of_string ip) ()
   in
   let node = Rpc.Node.create m in

@@ -12,6 +12,7 @@ type t = {
   server_node : Rpc.Node.t;
   caller_rt : Rpc.Runtime.t;
   server_rt : Rpc.Runtime.t;
+  obs : Obs.Ctx.t;  (** shared by both machines and the link *)
 }
 
 val create :
@@ -22,6 +23,7 @@ val create :
   ?workers:int ->
   ?idle_load:bool ->
   ?export_test:bool ->
+  ?obs:Obs.Ctx.t ->
   unit ->
   t
 (** [tie_break] (default [`Fifo]) is passed to {!Sim.Engine.create} —

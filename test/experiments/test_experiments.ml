@@ -250,7 +250,7 @@ let test_streaming () =
 let test_registry_runs_everything () =
   List.iter
     (fun e ->
-      let tables = e.Experiments.Registry.run ~quick:true in
+      let tables = e.Experiments.Registry.run ~quick:true ~metrics:false in
       Alcotest.(check bool)
         (e.Experiments.Registry.id ^ " produces tables")
         true
@@ -266,6 +266,29 @@ let test_registry_runs_everything () =
          not (List.mem e.Experiments.Registry.id [ "table1"; "table10"; "table11" ]))
        Experiments.Registry.all)
 
+let test_table1_metrics_columns () =
+  let t = Experiments.Table1.table ~calls:120 ~metrics:true () in
+  Alcotest.(check int) "metrics adds three percentile columns" 8
+    (List.length t.Report.Table.columns);
+  Alcotest.(check (list string))
+    "tail columns named" [ "Null p50 ms"; "Null p90 ms"; "Null p99 ms" ]
+    (List.filteri (fun i _ -> i >= 5) t.Report.Table.columns);
+  List.iter
+    (fun row -> Alcotest.(check int) "every row fills every column" 8 (List.length row))
+    t.Report.Table.rows;
+  (* Percentiles are ordered in every row, and plausibly sized. *)
+  List.iter
+    (fun r ->
+      match r.Experiments.Table1.null_tail_ms with
+      | None -> Alcotest.fail "metrics run must fill null_tail_ms"
+      | Some (p50, p90, p99) ->
+        Alcotest.(check bool) "p50 <= p90 <= p99" true (p50 <= p90 && p90 <= p99);
+        Alcotest.(check bool) "tail in a plausible band" true (p50 > 0.5 && p99 < 100.))
+    (Experiments.Table1.run ~calls:120 ~metrics:true ());
+  (* Without metrics the table keeps its original five columns. *)
+  let plain = Experiments.Table1.table ~calls:120 () in
+  Alcotest.(check int) "plain table unchanged" 5 (List.length plain.Report.Table.columns)
+
 let test_table1_deterministic () =
   (* The whole pipeline — model, schedule, stats, rendering — must be a
      pure function of the seed: two runs render byte-identical tables. *)
@@ -273,7 +296,7 @@ let test_table1_deterministic () =
     match Experiments.Registry.find "table1" with
     | None -> Alcotest.fail "table1 not registered"
     | Some e ->
-      String.concat "\n" (List.map Report.Table.render (e.Experiments.Registry.run ~quick:true))
+      String.concat "\n" (List.map Report.Table.render (e.Experiments.Registry.run ~quick:true ~metrics:false))
   in
   Alcotest.(check string) "same seed, byte-identical tables" (render ()) (render ())
 
@@ -281,6 +304,7 @@ let suite =
   [
     Alcotest.test_case "Table I shape and bands" `Slow test_table1_shape;
     Alcotest.test_case "Table I deterministic" `Slow test_table1_deterministic;
+    Alcotest.test_case "Table I metrics columns" `Quick test_table1_metrics_columns;
     Alcotest.test_case "CPU utilization note" `Slow test_cpu_utilization;
     Alcotest.test_case "Tables II-V marshalling" `Quick test_marshalling;
     Alcotest.test_case "Table VI traced breakdown" `Quick test_table6;

@@ -13,7 +13,7 @@ let ip = Net.Ipv4.Addr.of_string
 (* {1 Bufpool} *)
 
 let test_bufpool () =
-  let p = Bufpool.create ~capacity:3 in
+  let p = Bufpool.create ~capacity:3 () in
   Alcotest.(check int) "available" 3 (Bufpool.available p);
   Alcotest.(check bool) "alloc 1" true (Bufpool.try_alloc p);
   Alcotest.(check bool) "alloc 2" true (Bufpool.try_alloc p);

@@ -1,0 +1,260 @@
+(* Tests for the observability layer: JSON, histograms, the metrics
+   registry and snapshots, the event journal, and the end-to-end
+   Chrome-trace export of a real two-Firefly run. *)
+
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+module Journal = Obs.Journal
+module Time = Sim.Time
+
+let at n = Time.of_ns_since_start n
+
+(* {1 Json} *)
+
+let test_json_emit () =
+  let j =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd");
+        ("i", Json.Num 42.);
+        ("f", Json.Num 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("a", Json.Arr [ Json.Num 0.; Json.Num (-3.) ]);
+      ]
+  in
+  Alcotest.(check string)
+    "compact deterministic rendering"
+    {|{"s":"a\"b\\c\nd","i":42,"f":1.5,"b":true,"n":null,"a":[0,-3]}|} (Json.to_string j)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("nested", Json.Arr [ Json.Obj [ ("x", Json.Num 1e-3) ]; Json.Str "tab\there" ]);
+        ("neg", Json.Num (-2.25));
+        ("flags", Json.Arr [ Json.Bool false; Json.Null ]);
+      ]
+  in
+  match Json.parse (Json.to_string j) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j' -> Alcotest.(check string) "round-trips" (Json.to_string j) (Json.to_string j')
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+    | Error _ -> ()
+  in
+  List.iter bad [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated" ]
+
+(* {1 Histogram} *)
+
+let test_histogram_percentiles () =
+  let h = Metrics.Histogram.create () in
+  Alcotest.check_raises "empty percentile raises"
+    (Invalid_argument "Obs.Metrics.Histogram.percentile: empty") (fun () ->
+      ignore (Metrics.Histogram.percentile h 0.5));
+  for i = 1 to 1000 do
+    Metrics.Histogram.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Metrics.Histogram.count h);
+  let within q expected =
+    let v = Metrics.Histogram.percentile h q in
+    let rel = abs_float (v -. expected) /. expected in
+    if rel > 0.1 then Alcotest.failf "p%.0f = %.1f, expected ~%.1f" (q *. 100.) v expected
+  in
+  (* Log buckets grow by ~9%, so quantiles are within one bucket. *)
+  within 0.5 500.;
+  within 0.9 900.;
+  within 0.99 990.;
+  Alcotest.(check (float 0.)) "p100 is the exact max" 1000. (Metrics.Histogram.percentile h 1.);
+  Alcotest.(check (float 0.)) "max_value" 1000. (Metrics.Histogram.max_value h);
+  Metrics.Histogram.observe h (-5.);
+  Alcotest.(check int) "negative samples clamp to zero, still counted" 1001
+    (Metrics.Histogram.count h)
+
+(* {1 Registry and snapshots} *)
+
+let test_registry_snapshot_diff () =
+  let reg = Metrics.Registry.create () in
+  let c = Metrics.Registry.counter reg ~site:"caller" ~name:"rpc.calls" in
+  let h = Metrics.Registry.histogram reg ~site:"caller" ~name:"rpc.latency_us" in
+  let g = ref 7. in
+  Metrics.Registry.register_probe reg ~site:"server" ~name:"queue.depth" (fun () -> !g);
+  Sim.Stats.Counter.add c 10;
+  Metrics.Histogram.observe h 100.;
+  let s0 = Metrics.Snapshot.take reg ~at:(at 0) in
+  Sim.Stats.Counter.add c 5;
+  Metrics.Histogram.observe h 200.;
+  g := 9.;
+  let s1 = Metrics.Snapshot.take reg ~at:(at 1_000_000) in
+  let d = Metrics.Snapshot.diff s1 s0 in
+  (match Metrics.Snapshot.find d ~site:"caller" ~name:"rpc.calls" with
+  | Some (Metrics.Snapshot.Count n) -> Alcotest.(check int) "counter diff" 5 n
+  | _ -> Alcotest.fail "counter row missing");
+  (match Metrics.Snapshot.find d ~site:"caller" ~name:"rpc.latency_us" with
+  | Some (Metrics.Snapshot.Dist { count; sum; _ }) ->
+    Alcotest.(check int) "dist count diff" 1 count;
+    Alcotest.(check (float 1e-9)) "dist sum diff" 200. sum
+  | _ -> Alcotest.fail "histogram row missing");
+  (match Metrics.Snapshot.find d ~site:"server" ~name:"queue.depth" with
+  | Some (Metrics.Snapshot.Gauge v) -> Alcotest.(check (float 0.)) "gauge takes later" 9. v
+  | _ -> Alcotest.fail "gauge row missing");
+  (* Kind mismatch on get-or-create is an error. *)
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument
+       "Obs.Metrics.Registry: caller/rpc.calls already bound to a different instrument kind") (fun () ->
+      ignore (Metrics.Registry.histogram reg ~site:"caller" ~name:"rpc.calls"))
+
+let test_snapshot_rendering_deterministic () =
+  let build () =
+    let reg = Metrics.Registry.create () in
+    (* Registration order differs between the two builds; rows must not. *)
+    let names = [ "b.two"; "a.one"; "c.three" ] in
+    List.iter
+      (fun n -> Sim.Stats.Counter.add (Metrics.Registry.counter reg ~site:"m" ~name:n) 3)
+      names;
+    Metrics.Snapshot.take reg ~at:(at 42)
+  in
+  let reg2 = Metrics.Registry.create () in
+  List.iter
+    (fun n -> Sim.Stats.Counter.add (Metrics.Registry.counter reg2 ~site:"m" ~name:n) 3)
+    [ "c.three"; "a.one"; "b.two" ];
+  let s1 = build () in
+  let s2 = Metrics.Snapshot.take reg2 ~at:(at 42) in
+  Alcotest.(check string) "CSV is order-independent" (Metrics.Snapshot.to_csv s1)
+    (Metrics.Snapshot.to_csv s2);
+  Alcotest.(check string) "table render is order-independent"
+    (Report.Table.render (Metrics.Snapshot.to_table s1))
+    (Report.Table.render (Metrics.Snapshot.to_table s2));
+  let csv = Metrics.Snapshot.to_csv s1 in
+  (match String.split_on_char '\n' csv with
+  | header :: _ -> Alcotest.(check string) "csv header" "site,name,kind,value,extra" header
+  | [] -> Alcotest.fail "empty csv")
+
+(* {1 Journal} *)
+
+let test_journal_ring () =
+  let j = Journal.create ~capacity:3 () in
+  Alcotest.(check int) "empty" 0 (Journal.length j);
+  Journal.record j ~at:(at 1) ~site:"a" (Journal.Packet_tx { bytes = 64 });
+  Journal.record j ~at:(at 2) ~site:"a" (Journal.Packet_rx { bytes = 64 });
+  Journal.record j ~at:(at 3) ~site:"b" Journal.Interrupt;
+  Journal.record j ~at:(at 4) ~site:"b" (Journal.Retransmit { seq = 9 });
+  Journal.record j ~at:(at 5) ~site:"b" Journal.Thread_wakeup;
+  Alcotest.(check int) "ring holds capacity" 3 (Journal.length j);
+  Alcotest.(check int) "total counts everything" 5 (Journal.total j);
+  Alcotest.(check int) "dropped counts overwrites" 2 (Journal.dropped j);
+  let sites = List.map (fun e -> e.Journal.site) (Journal.entries j) in
+  Alcotest.(check (list string)) "oldest dropped first" [ "b"; "b"; "b" ] sites;
+  (match Journal.entries j with
+  | { Journal.ev = Journal.Interrupt; at = t; _ } :: _ ->
+    Alcotest.(check int) "oldest retained entry" 3 (Time.since_start_ns t)
+  | _ -> Alcotest.fail "unexpected oldest entry");
+  Journal.clear j;
+  Alcotest.(check int) "clear empties" 0 (Journal.length j);
+  Alcotest.(check int) "clear resets dropped" 0 (Journal.dropped j);
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Obs.Journal.create: capacity must be >= 1") (fun () ->
+      ignore (Journal.create ~capacity:0 ()))
+
+(* {1 Driver percentile caching} *)
+
+let test_percentile_repeated_queries () =
+  let w = Workload.World.create ~idle_load:false () in
+  let o = Workload.Driver.run w ~threads:2 ~calls:30 ~proc:Workload.Driver.Null () in
+  let p1 = Workload.Driver.percentile o 0.9 in
+  (* Repeated and interleaved queries answer from the same sorted
+     array; the outcome's visible state never changes. *)
+  let p2 = Workload.Driver.percentile o 0.9 in
+  Alcotest.(check int) "repeated query is stable" (Time.to_ns p1) (Time.to_ns p2);
+  let p50 = Workload.Driver.percentile o 0.5 in
+  let p99 = Workload.Driver.percentile o 0.99 in
+  let p100 = Workload.Driver.percentile o 1.0 in
+  Alcotest.(check bool) "p50 <= p90" true (Time.span_compare p50 p1 <= 0);
+  Alcotest.(check bool) "p90 <= p99" true (Time.span_compare p1 p99 <= 0);
+  Alcotest.(check bool) "p99 <= p100" true (Time.span_compare p99 p100 <= 0);
+  let sorted = Lazy.force o.Workload.Driver.sorted_latencies in
+  Alcotest.(check int) "p100 is the slowest call" 0
+    (Time.span_compare p100 sorted.(Array.length sorted - 1));
+  (* The original completion-order array is untouched by sorting. *)
+  Alcotest.(check int) "latencies length unchanged" 30 (Array.length o.Workload.Driver.latencies)
+
+(* {1 End-to-end Chrome trace export} *)
+
+let test_chrome_trace_export () =
+  let w = Workload.World.create ~idle_load:false () in
+  let latencies = Workload.Driver.run_traced w ~calls:1 ~proc:Workload.Driver.Null () in
+  Alcotest.(check int) "one timed call" 1 (List.length latencies);
+  let spans = Sim.Trace.spans (Sim.Engine.trace w.Workload.World.eng) in
+  Alcotest.(check bool) "spans recorded" true (List.length spans > 0);
+  let journal = w.Workload.World.obs.Obs.Ctx.journal in
+  Alcotest.(check bool) "journal has events" true (Journal.length journal > 0);
+  let json = Obs.Trace_export.chrome_trace ~journal ~spans () in
+  let text = Json.to_string json in
+  (* The export must parse back as JSON... *)
+  let parsed =
+    match Json.parse text with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "export is not valid JSON: %s" e
+  in
+  let events =
+    match Json.member "traceEvents" parsed with
+    | Some a -> Json.items a
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "has events" true (events <> []);
+  let ph e = Option.value ~default:"" (Option.bind (Json.member "ph" e) Json.str) in
+  (* ...with duration spans from at least two machines (pids)... *)
+  let span_pids =
+    List.filter_map
+      (fun e -> if ph e = "X" then Option.bind (Json.member "pid" e) Json.num else None)
+      events
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "spans from >= 2 machines" true (List.length span_pids >= 2);
+  (* ...named caller and server via metadata... *)
+  let process_names =
+    List.filter_map
+      (fun e ->
+        if
+          ph e = "M"
+          && Option.bind (Json.member "name" e) Json.str = Some "process_name"
+        then Option.bind (Json.member "args" e) (fun a -> Option.bind (Json.member "name" a) Json.str)
+        else None)
+      events
+  in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) (m ^ " is a process") true (List.mem m process_names))
+    [ "caller"; "server" ];
+  (* ...at least one counter track... *)
+  let counters = List.filter (fun e -> ph e = "C") events in
+  Alcotest.(check bool) "has a counter track" true (counters <> []);
+  (* ...and the export is deterministic. *)
+  let again = Json.to_string (Obs.Trace_export.chrome_trace ~journal ~spans ()) in
+  Alcotest.(check string) "byte-identical re-export" text again
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "emit" `Quick test_json_emit;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "registry snapshot diff" `Quick test_registry_snapshot_diff;
+          Alcotest.test_case "deterministic rendering" `Quick
+            test_snapshot_rendering_deterministic;
+        ] );
+      ("journal", [ Alcotest.test_case "bounded ring" `Quick test_journal_ring ]);
+      ( "driver",
+        [ Alcotest.test_case "percentile caching" `Quick test_percentile_repeated_queries ] );
+      ( "export",
+        [ Alcotest.test_case "chrome trace end-to-end" `Quick test_chrome_trace_export ] );
+    ]

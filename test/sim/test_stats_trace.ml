@@ -30,6 +30,43 @@ let test_level () =
   Alcotest.(check (float 1e-9)) "average" 1.25 (Stats.Level.average l ~upto:(at 4_000_000_000));
   Alcotest.(check (float 0.)) "current" 1. (Stats.Level.current l)
 
+let test_summary_welford () =
+  (* Catastrophic cancellation regression: a naive sum-of-squares
+     accumulator loses all precision when the mean dwarfs the spread.
+     Samples 1e9, 1e9+1, 1e9+2 have population stddev sqrt(2/3). *)
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.observe s) [ 1e9; 1e9 +. 1.; 1e9 +. 2. ];
+  Alcotest.(check (float 1e-9)) "mean at large offset" (1e9 +. 1.) (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-6)) "stddev at large offset" (sqrt (2. /. 3.))
+    (Stats.Summary.stddev s);
+  (* Same spread near zero gives the same stddev. *)
+  let s0 = Stats.Summary.create () in
+  List.iter (Stats.Summary.observe s0) [ 0.; 1.; 2. ];
+  Alcotest.(check (float 1e-12)) "offset-invariant" (Stats.Summary.stddev s0)
+    (Stats.Summary.stddev s);
+  (* Constant samples: exactly zero, never NaN. *)
+  let c = Stats.Summary.create () in
+  List.iter (Stats.Summary.observe c) [ 5.; 5.; 5.; 5. ];
+  Alcotest.(check (float 0.)) "constant samples" 0. (Stats.Summary.stddev c)
+
+let test_level_out_of_order () =
+  let at n = Time.of_ns_since_start n in
+  let l = Stats.Level.create ~initial:1. ~at:(at 0) in
+  Stats.Level.set l 3. ~at:(at 2_000_000_000);
+  (* A set with a timestamp before the last change must not subtract
+     area: it only switches the current level. *)
+  Stats.Level.set l 2. ~at:(at 1_000_000_000);
+  Alcotest.(check (float 0.)) "current follows the late set" 2. (Stats.Level.current l);
+  (* Queries at or before the last change return the accumulated area
+     (2 level-seconds from the first segment), never less. *)
+  Alcotest.(check (float 1e-9)) "integral clamped at changed_at" 2.
+    (Stats.Level.integral l ~upto:(at 1_500_000_000));
+  (* 1s more at level 2 after the clamp point. *)
+  Alcotest.(check (float 1e-9)) "integral resumes past changed_at" 4.
+    (Stats.Level.integral l ~upto:(at 3_000_000_000));
+  Alcotest.(check (float 1e-9)) "average over full window" (4. /. 3.)
+    (Stats.Level.average l ~upto:(at 3_000_000_000))
+
 let test_summary_empty_guards () =
   let s = Stats.Summary.create () in
   Alcotest.check_raises "min on empty raises" (Invalid_argument "Stats.Summary.min: empty")
@@ -79,12 +116,64 @@ let test_trace () =
   Trace.clear tr;
   Alcotest.(check int) "cleared" 0 (List.length (Trace.spans tr))
 
+let test_trace_capacity () =
+  let at n = Time.of_ns_since_start n in
+  let tr = Trace.create ~capacity:2 () in
+  Trace.set_enabled tr true;
+  Trace.add tr ~cat:"c" ~label:"a" ~site:"m" ~start_at:(at 0) ~stop_at:(at 10);
+  Trace.add tr ~cat:"c" ~label:"b" ~site:"m" ~start_at:(at 10) ~stop_at:(at 20);
+  Trace.add tr ~cat:"c" ~label:"c" ~site:"m" ~start_at:(at 20) ~stop_at:(at 30);
+  Trace.add tr ~cat:"c" ~label:"d" ~site:"m" ~start_at:(at 30) ~stop_at:(at 40);
+  Alcotest.(check int) "capacity bounds retained spans" 2 (Trace.length tr);
+  Alcotest.(check int) "overflow is counted" 2 (Trace.dropped tr);
+  (* The earliest spans are the ones kept. *)
+  Alcotest.(check (list string)) "earliest spans retained" [ "a"; "b" ] (Trace.labels tr);
+  Trace.clear tr;
+  Alcotest.(check int) "clear resets dropped" 0 (Trace.dropped tr);
+  Trace.add tr ~cat:"c" ~label:"e" ~site:"m" ~start_at:(at 50) ~stop_at:(at 60);
+  Alcotest.(check int) "records again after clear" 1 (Trace.length tr);
+  (* An unbounded trace never drops. *)
+  let unb = Trace.create () in
+  Trace.set_enabled unb true;
+  for i = 0 to 99 do
+    Trace.add unb ~cat:"c" ~label:"x" ~site:"m" ~start_at:(at i) ~stop_at:(at (i + 1))
+  done;
+  Alcotest.(check int) "unbounded keeps everything" 100 (Trace.length unb);
+  Alcotest.(check int) "unbounded drops nothing" 0 (Trace.dropped unb)
+
+let test_trace_filter_combos () =
+  let at n = Time.of_ns_since_start n in
+  let tr = Trace.create () in
+  Trace.set_enabled tr true;
+  Trace.add tr ~cat:"send" ~label:"checksum" ~site:"caller" ~start_at:(at 0) ~stop_at:(at 10);
+  Trace.add tr ~cat:"send" ~label:"checksum" ~site:"server" ~start_at:(at 0) ~stop_at:(at 20);
+  Trace.add tr ~cat:"recv" ~label:"checksum" ~site:"caller" ~start_at:(at 0) ~stop_at:(at 40);
+  Trace.add tr ~cat:"recv" ~label:"dispatch" ~site:"server" ~start_at:(at 0) ~stop_at:(at 80);
+  Alcotest.(check int) "no filter sums all" 150 (Time.to_ns (Trace.total tr));
+  Alcotest.(check int) "cat+site" 10 (Time.to_ns (Trace.total tr ~cat:"send" ~site:"caller"));
+  Alcotest.(check int) "cat+label" 40 (Time.to_ns (Trace.total tr ~cat:"recv" ~label:"checksum"));
+  Alcotest.(check int) "site+label" 50 (Time.to_ns (Trace.total tr ~site:"caller" ~label:"checksum"));
+  Alcotest.(check int) "all three filters" 20
+    (Time.to_ns (Trace.total tr ~cat:"send" ~site:"server" ~label:"checksum"));
+  Alcotest.(check int) "filter matching nothing" 0
+    (Time.to_ns (Trace.total tr ~cat:"send" ~label:"dispatch"));
+  Alcotest.(check (list string)) "labels unfiltered" [ "checksum"; "dispatch" ] (Trace.labels tr);
+  Alcotest.(check (list string)) "labels by cat" [ "checksum" ] (Trace.labels tr ~cat:"send");
+  Alcotest.(check (list string))
+    "labels by the other cat" [ "checksum"; "dispatch" ]
+    (Trace.labels tr ~cat:"recv");
+  Alcotest.(check (list string)) "labels under a cat matching nothing" [] (Trace.labels tr ~cat:"?")
+
 let suite =
   [
     Alcotest.test_case "counter" `Quick test_counter;
     Alcotest.test_case "summary" `Quick test_summary;
+    Alcotest.test_case "summary welford stability" `Quick test_summary_welford;
     Alcotest.test_case "summary empty guards" `Quick test_summary_empty_guards;
     Alcotest.test_case "level integral" `Quick test_level;
+    Alcotest.test_case "level out-of-order timestamps" `Quick test_level_out_of_order;
     Alcotest.test_case "trace empty and disabled" `Quick test_trace_empty;
     Alcotest.test_case "trace spans and filters" `Quick test_trace;
+    Alcotest.test_case "trace capacity bound" `Quick test_trace_capacity;
+    Alcotest.test_case "trace filter combinations" `Quick test_trace_filter_combos;
   ]
