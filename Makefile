@@ -2,7 +2,7 @@
 # runs — a clean build plus the full tier-1 test suite, including the
 # bounded-seed simulation-testing tier (test/check).
 
-.PHONY: all build test check sim-check clean
+.PHONY: all build test check sim-check sim-matrix clean
 
 all: build
 
@@ -19,6 +19,11 @@ check: build test
 # seed and a minimal fault plan on any invariant violation.
 sim-check: build
 	dune exec bin/firefly.exe -- check --seeds 100
+
+# The CI sweep: seeded fault plans against every cell of the
+# configuration matrix, dumping shrunk plans + traces on failure.
+sim-matrix: build
+	dune exec bin/firefly.exe -- check --matrix --seeds 5 --out-dir check-failures
 
 clean:
 	dune clean

@@ -188,7 +188,7 @@ let call_cmd =
     end;
     let options =
       if loss > 0. then
-        Some { Rpc.Runtime.retransmit_after = Sim.Time.ms 50; max_retries = 100 }
+        Some { Rpc.Runtime.retransmit_after = Sim.Time.ms 50; max_retries = 100; backoff = None }
       else None
     in
     let o = Workload.Driver.run w ?options ~transport ~threads ~calls ~proc () in
@@ -369,11 +369,12 @@ let profile_cmd =
 (* {1 firefly check} *)
 
 let check_cmd =
-  let run seeds base_seed threads calls payload bug fifo max_steps verbose =
+  let run seeds base_seed threads calls payload bug fifo max_steps matrix uniproc streaming
+      secured out_dir verbose =
     if seeds < 1 then Error (`Msg "--seeds must be >= 1")
     else if threads < 1 then Error (`Msg "--threads must be >= 1")
     else if calls < 1 then Error (`Msg "--calls must be >= 1")
-    else if payload < 1 then Error (`Msg "--payload must be >= 1")
+    else if payload < 0 then Error (`Msg "--payload must be >= 0")
     else if max_steps < 1 then Error (`Msg "--max-steps must be >= 1")
     else begin
     let config =
@@ -387,10 +388,23 @@ let check_cmd =
           | _ -> Check.Explorer.No_bug);
         tie_break = (if fifo then `Fifo else `Random);
         max_steps;
+        uniproc;
+        streaming;
+        secured;
       }
     in
-    let progress seed = if verbose then say "seed %d..." seed in
-    let summary = Check.Explorer.explore ~progress config ~base_seed ~seeds in
+    let summary =
+      if matrix then begin
+        let progress cell seed =
+          if verbose then say "[%s] seed %d..." (Check.Explorer.cell_to_string cell) seed
+        in
+        Check.Explorer.explore_matrix ~progress config ~base_seed ~seeds_per_cell:seeds
+      end
+      else begin
+        let progress seed = if verbose then say "seed %d..." seed in
+        Check.Explorer.explore ~progress config ~base_seed ~seeds
+      end
+    in
     let failures = summary.Check.Explorer.failures in
     say "%d seed(s) explored: %d invariant-violating run(s)" summary.Check.Explorer.seeds_run
       (List.length failures);
@@ -399,11 +413,35 @@ let check_cmd =
         say "";
         Format.printf "%a@." Check.Explorer.pp_outcome o)
       failures;
+    (* Artifacts for CI: the shrunk plan (replayable text) and a
+       Perfetto trace of the minimal reproducer, one pair per seed. *)
+    (match out_dir with
+    | Some dir when failures <> [] ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter
+        (fun (o : Check.Explorer.outcome) ->
+          let base = Filename.concat dir (Printf.sprintf "seed-%d" o.Check.Explorer.seed) in
+          let oc = open_out (base ^ "-plan.txt") in
+          Format.fprintf
+            (Format.formatter_of_out_channel oc)
+            "%a@." Check.Explorer.pp_outcome o;
+          close_out oc;
+          Obs.Trace_export.write_file ~path:(base ^ "-trace.json")
+            (Obs.Trace_export.chrome_trace ~spans:o.Check.Explorer.spans ());
+          say "artifacts: %s-plan.txt, %s-trace.json" base base)
+        failures
+    | Some _ | None -> ());
     if failures <> [] then Stdlib.exit 1;
     Ok ()
     end
   in
-  let seeds = Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Number of seeds to explore.") in
+  let seeds =
+    Arg.(
+      value
+      & opt int 20
+      & info [ "seeds" ]
+          ~doc:"Number of seeds to explore (with $(b,--matrix): seeds per matrix cell).")
+  in
   let base_seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"First seed.") in
   let threads = Arg.(value & opt int 3 & info [ "threads" ] ~doc:"Caller threads per run.") in
   let calls = Arg.(value & opt int 4 & info [ "calls" ] ~doc:"Calls per thread.") in
@@ -432,6 +470,38 @@ let check_cmd =
   let max_steps =
     Arg.(value & opt int 6 & info [ "max-steps" ] ~doc:"Maximum fault-plan length.")
   in
+  let matrix =
+    Arg.(
+      value
+      & flag
+      & info [ "matrix" ]
+          ~doc:
+            "Sweep the full configuration matrix — uniprocessor/multiprocessor, \
+             stop-and-wait/streaming results, clear/secured calls, three payload regimes — \
+             running $(b,--seeds) fault plans in each of the 24 cells.  Overrides \
+             $(b,--uniproc), $(b,--streaming), $(b,--secured) and $(b,--payload).")
+  in
+  let uniproc =
+    Arg.(value & flag & info [ "uniproc" ] ~doc:"Run single-CPU machines (with the section-5 scheduling fix).")
+  in
+  let streaming =
+    Arg.(
+      value
+      & flag
+      & info [ "streaming" ] ~doc:"Stream result fragments without per-fragment acks.")
+  in
+  let secured =
+    Arg.(value & flag & info [ "secured" ] ~doc:"Seal every call under a shared key.")
+  in
+  let out_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:
+            "On failure, write each shrunk plan and its Perfetto trace into $(docv) \
+             (created if missing).")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print each seed as it runs.") in
   Cmd.v
     (Cmd.info "check"
@@ -443,7 +513,7 @@ let check_cmd =
     Term.(
       term_result ~usage:true
         (const run $ seeds $ base_seed $ threads $ calls $ payload $ bug $ fifo $ max_steps
-        $ verbose))
+        $ matrix $ uniproc $ streaming $ secured $ out_dir $ verbose))
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -29,7 +29,7 @@ let run ~checksums =
   let config = { Hw.Config.default with Hw.Config.udp_checksums = checksums } in
   let w = World.create ~caller_config:config ~server_config:config ~seed:23 () in
   Hw.Ether_link.set_fault_injector w.World.link (faulty_injector (Engine.rng w.World.eng));
-  let options = { Rpc.Runtime.retransmit_after = Time.ms 25; max_retries = 200 } in
+  let options = { Rpc.Runtime.retransmit_after = Time.ms 25; max_retries = 200; backoff = None } in
   let binding = World.test_binding w ~options () in
   let gate = Sim.Gate.create w.World.eng in
   let ok = ref 0 and corrupted = ref 0 in

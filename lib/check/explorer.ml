@@ -16,6 +16,9 @@ type config = {
   bug : bug;
   tie_break : [ `Fifo | `Random ];
   max_steps : int;
+  uniproc : bool;
+  streaming : bool;
+  secured : bool;
 }
 
 let default_config =
@@ -26,6 +29,9 @@ let default_config =
     bug = No_bug;
     tie_break = `Random;
     max_steps = 6;
+    uniproc = false;
+    streaming = false;
+    secured = false;
   }
 
 type outcome = {
@@ -46,6 +52,7 @@ let call_options bug =
   {
     Runtime.retransmit_after = Time.ms 30;
     max_retries = (match bug with No_retransmit -> 0 | No_bug -> 40);
+    backoff = None;
   }
 
 let workload_limit = Time.sec 120
@@ -54,14 +61,23 @@ let workload_limit = Time.sec 120
    loop persists for max_retries * retransmit_after; 8 s covers both. *)
 let settle_window = Time.sec 8
 
+(* The shared key for secured-cell runs; distribution is out of band in
+   the real system, a constant here. *)
+let matrix_key = lazy (Rpc.Secure.key_of_string "check-harness")
+
 let run_plan ?(trace = false) config ~seed ~plan =
   if config.threads < 1 then invalid_arg "Explorer.run_plan: threads must be >= 1";
-  let w = World.create ~seed ~tie_break:config.tie_break () in
+  let base = if config.uniproc then Hw.Config.uniprocessor else Hw.Config.default in
+  let mc = { base with Hw.Config.streaming_results = config.streaming } in
+  let auth = if config.secured then Some (Lazy.force matrix_key) else None in
+  let w =
+    World.create ~caller_config:mc ~server_config:mc ~seed ~tie_break:config.tie_break ?auth ()
+  in
   let eng = w.World.eng in
   let monitor = Invariant.attach w in
   Fault_plan.install plan w;
   if trace then Sim.Trace.set_enabled (Engine.trace eng) true;
-  let binding = World.test_binding w ~options:(call_options config.bug) () in
+  let binding = World.test_binding w ~options:(call_options config.bug) ?auth () in
   let gate = Sim.Gate.create eng in
   let ok = ref 0 and failed = ref 0 and finished = ref 0 in
   for _ = 1 to config.threads do
@@ -176,6 +192,63 @@ let explore ?progress config ~base_seed ~seeds =
     end
   done;
   { seeds_run = seeds; failures = List.rev !failures }
+
+(* {1 The configuration matrix} *)
+
+type cell = { m_uniproc : bool; m_streaming : bool; m_secured : bool; m_payload : int }
+
+(* 0 = all-minimum-packet calls, 1000 = one-fragment bulk results,
+   4000 = multi-fragment (stop-and-wait or streaming) bulk results. *)
+let matrix_payloads = [ 0; 1000; 4000 ]
+
+let matrix_cells =
+  List.concat_map
+    (fun m_uniproc ->
+      List.concat_map
+        (fun m_streaming ->
+          List.concat_map
+            (fun m_secured ->
+              List.map
+                (fun m_payload -> { m_uniproc; m_streaming; m_secured; m_payload })
+                matrix_payloads)
+            [ false; true ])
+        [ false; true ])
+    [ false; true ]
+
+let cell_to_string c =
+  Printf.sprintf "%s %s %s payload=%d"
+    (if c.m_uniproc then "uniproc" else "multiproc")
+    (if c.m_streaming then "streaming" else "stop-and-wait")
+    (if c.m_secured then "secured" else "clear")
+    c.m_payload
+
+let apply_cell config c =
+  {
+    config with
+    uniproc = c.m_uniproc;
+    streaming = c.m_streaming;
+    secured = c.m_secured;
+    payload = c.m_payload;
+  }
+
+let explore_matrix ?progress config ~base_seed ~seeds_per_cell =
+  if seeds_per_cell < 1 then invalid_arg "Explorer.explore_matrix: seeds_per_cell must be >= 1";
+  let failures = ref [] in
+  let run = ref 0 in
+  List.iteri
+    (fun i cell ->
+      let cfg = apply_cell config cell in
+      let s =
+        explore
+          ?progress:(Option.map (fun f seed -> f cell seed) progress)
+          cfg
+          ~base_seed:(base_seed + (i * seeds_per_cell))
+          ~seeds:seeds_per_cell
+      in
+      run := !run + s.seeds_run;
+      failures := !failures @ s.failures)
+    matrix_cells;
+  { seeds_run = !run; failures = !failures }
 
 let trace_tail = 40
 

@@ -29,11 +29,15 @@ type config = {
   bug : bug;
   tie_break : [ `Fifo | `Random ];
   max_steps : int;  (** fault-plan length bound *)
+  uniproc : bool;  (** single-CPU machines ({!Hw.Config.uniprocessor}) *)
+  streaming : bool;  (** §4.2.6 streamed result fragments, no per-fragment acks *)
+  secured : bool;  (** §7 sealed calls under a shared key *)
 }
 
 val default_config : config
 (** 3 threads × 4 calls, 4000-byte bulk payload, no bug, [`Random]
-    tie-breaking, plans of up to 6 steps. *)
+    tie-breaking, plans of up to 6 steps, multiprocessor, stop-and-wait,
+    unsecured. *)
 
 type outcome = {
   seed : int;
@@ -65,6 +69,31 @@ type summary = { seeds_run : int; failures : outcome list (** shrunk, traced *) 
 val explore : ?progress:(int -> unit) -> config -> base_seed:int -> seeds:int -> summary
 (** Runs seeds [base_seed .. base_seed + seeds - 1]; [progress] is
     called with each seed before its run. *)
+
+(** {1 The configuration matrix}
+
+    A systematic sweep of the protocol's operating regimes: every
+    combination of processor count, result streaming, call security and
+    payload regime faces its own batch of seeded fault plans.  Payloads
+    cover all-minimum-packet calls (0), single-fragment results (1000)
+    and multi-fragment results (4000). *)
+
+type cell = { m_uniproc : bool; m_streaming : bool; m_secured : bool; m_payload : int }
+
+val matrix_cells : cell list
+(** The 24 cells: 2 × 2 × 2 configurations × 3 payload regimes. *)
+
+val cell_to_string : cell -> string
+
+val apply_cell : config -> cell -> config
+(** The base config with the cell's four axes substituted in. *)
+
+val explore_matrix :
+  ?progress:(cell -> int -> unit) -> config -> base_seed:int -> seeds_per_cell:int -> summary
+(** [explore] over every cell of {!matrix_cells} (cell [i] uses seeds
+    [base_seed + i * seeds_per_cell ...]), taking [config] as the
+    template for everything the cell does not fix.  [summary.seeds_run]
+    totals every run across the matrix. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** Human-readable failure report: seed, minimal plan, violations, a

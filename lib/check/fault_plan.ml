@@ -7,6 +7,7 @@ type action =
   | Corrupt_payload
   | Duplicate
   | Delay_us of int
+  | Reorder
 
 type pred =
   | Any
@@ -16,17 +17,19 @@ type pred =
 type step =
   | Frame_fault of { skip : int; pred : pred; action : action }
   | Restart_server of { after_us : int; down_us : int }
+  | Crash_restart of { skip : int; pred : pred; down_us : int }
 
 type t = { seed : int; steps : step list }
 
 (* {1 Generation} *)
 
 let gen_action rng =
-  match Rng.int rng 5 with
+  match Rng.int rng 6 with
   | 0 -> Drop
   | 1 -> Corrupt
   | 2 -> Corrupt_payload
   | 3 -> Duplicate
+  | 4 -> Reorder
   | _ -> Delay_us (200 + Rng.int rng 40_000)
 
 let gen_pred rng =
@@ -36,9 +39,14 @@ let gen_pred rng =
   | _ -> Any
 
 let gen_step rng =
-  if Rng.int rng 100 < 15 then
+  match Rng.int rng 100 with
+  | n when n < 10 ->
     Restart_server { after_us = 2_000 + Rng.int rng 150_000; down_us = 1_000 + Rng.int rng 60_000 }
-  else Frame_fault { skip = Rng.int rng 12; pred = gen_pred rng; action = gen_action rng }
+  | n when n < 18 ->
+    (* Mid-call crash: the server dies the instant a frame of the
+       exchange is on the wire, not at some arbitrary clock tick. *)
+    Crash_restart { skip = Rng.int rng 12; pred = gen_pred rng; down_us = 1_000 + Rng.int rng 60_000 }
+  | _ -> Frame_fault { skip = Rng.int rng 12; pred = gen_pred rng; action = gen_action rng }
 
 let generate ~seed ?(max_steps = 6) () =
   if max_steps < 1 then invalid_arg "Fault_plan.generate: max_steps must be >= 1";
@@ -51,7 +59,7 @@ let generate ~seed ?(max_steps = 6) () =
 let has_restart t =
   List.exists
     (function
-      | Restart_server _ -> true
+      | Restart_server _ | Crash_restart _ -> true
       | Frame_fault _ -> false)
     t.steps
 
@@ -69,36 +77,59 @@ let link_fault = function
   | Corrupt_payload -> Hw.Ether_link.Corrupt_payload
   | Duplicate -> Hw.Ether_link.Duplicate
   | Delay_us us -> Hw.Ether_link.Delay (Time.us us)
+  | Reorder -> Hw.Ether_link.Reorder
+
+(* A frame-triggered step compiled for the injector: let [skip] matching
+   frames pass, then fire. *)
+type trigger = { tr_skip : int ref; tr_pred : pred; tr_fire : unit -> Hw.Ether_link.fault }
 
 let install t (w : Workload.World.t) =
-  let frame_faults =
+  let eng = w.Workload.World.eng in
+  let triggers =
     List.filter_map
       (function
-        | Frame_fault { skip; pred; action } -> Some (ref skip, pred, action)
+        | Frame_fault { skip; pred; action } ->
+          Some { tr_skip = ref skip; tr_pred = pred; tr_fire = (fun () -> link_fault action) }
+        | Crash_restart { skip; pred; down_us } ->
+          Some
+            {
+              tr_skip = ref skip;
+              tr_pred = pred;
+              tr_fire =
+                (fun () ->
+                  (* Deliver the triggering frame, then kill the server
+                     immediately after the link releases it — the crash
+                     lands mid-exchange.  The restart must not run from
+                     inside the transmitting thread (it is holding the
+                     medium), hence the zero-delay event. *)
+                  Sim.Engine.schedule eng ~after:(Time.us 0) (fun () ->
+                      Nub.Machine.restart w.Workload.World.server ~down_for:(Time.us down_us));
+                  Hw.Ether_link.Deliver);
+            }
         | Restart_server _ -> None)
       t.steps
   in
-  let remaining = ref frame_faults in
+  let remaining = ref triggers in
   let injector frame =
     match !remaining with
     | [] -> Hw.Ether_link.Deliver
-    | (skip, pred, action) :: rest ->
-      if not (matches pred frame) then Hw.Ether_link.Deliver
-      else if !skip > 0 then begin
-        decr skip;
+    | tr :: rest ->
+      if not (matches tr.tr_pred frame) then Hw.Ether_link.Deliver
+      else if !(tr.tr_skip) > 0 then begin
+        decr tr.tr_skip;
         Hw.Ether_link.Deliver
       end
       else begin
         remaining := rest;
-        link_fault action
+        tr.tr_fire ()
       end
   in
   Hw.Ether_link.set_fault_injector w.Workload.World.link (Some injector);
   List.iter
     (function
-      | Frame_fault _ -> ()
+      | Frame_fault _ | Crash_restart _ -> ()
       | Restart_server { after_us; down_us } ->
-        Sim.Engine.schedule w.Workload.World.eng ~after:(Time.us after_us) (fun () ->
+        Sim.Engine.schedule eng ~after:(Time.us after_us) (fun () ->
             Nub.Machine.restart w.Workload.World.server ~down_for:(Time.us down_us)))
     t.steps
 
@@ -110,6 +141,7 @@ let action_to_string = function
   | Corrupt_payload -> "corrupt-payload"
   | Duplicate -> "duplicate"
   | Delay_us us -> Printf.sprintf "delay %dus" us
+  | Reorder -> "reorder"
 
 let pred_to_string = function
   | Any -> "any frame"
@@ -122,6 +154,9 @@ let step_to_string = function
       (pred_to_string pred) skip
   | Restart_server { after_us; down_us } ->
     Printf.sprintf "restart server at t=%dus, down for %dus" after_us down_us
+  | Crash_restart { skip; pred; down_us } ->
+    Printf.sprintf "crash server on the next %s after skipping %d, down for %dus"
+      (pred_to_string pred) skip down_us
 
 let to_string t =
   let b = Buffer.create 256 in

@@ -18,6 +18,7 @@ type action =
   | Corrupt_payload
   | Duplicate
   | Delay_us of int  (** hold the frame for this many microseconds *)
+  | Reorder  (** the frame is overtaken by the next one on the segment *)
 
 type pred =
   | Any
@@ -32,6 +33,12 @@ type step =
   | Restart_server of { after_us : int; down_us : int }
       (** Power the server machine off [after_us] into the run and back
           on [down_us] later. *)
+  | Crash_restart of { skip : int; pred : pred; down_us : int }
+      (** Frame-triggered mid-call crash: let [skip] frames matching
+          [pred] pass, deliver the next matching frame normally, then
+          power the server off the instant the link releases it — so the
+          crash lands {e inside} a packet exchange rather than at an
+          arbitrary clock tick — and back on [down_us] later. *)
 
 type t = { seed : int; steps : step list }
 
@@ -40,8 +47,8 @@ val generate : seed:int -> ?max_steps:int -> unit -> t
     seed always yields the same plan. *)
 
 val has_restart : t -> bool
-(** [true] iff the plan contains a [Restart_server] step — the only
-    step kind that justifies a failed call. *)
+(** [true] iff the plan contains a [Restart_server] or [Crash_restart]
+    step — the only step kinds that justify a failed call. *)
 
 val install : t -> Workload.World.t -> unit
 (** Compiles the plan onto the world: sets the Ethernet fault injector

@@ -65,8 +65,23 @@ let check_pool m ~name ~base pool =
         (Printf.sprintf "%s pool holds %d buffers at quiescence, expected the baseline %d" name
            now base)
 
+let check_node m ~name node =
+  let sinks = Rpc.Node.fragment_sinks node in
+  if sinks <> 0 then
+    record m ~inv:"no-leaked-sinks"
+      ~detail:
+        (Printf.sprintf "%s node has %d fragment sink(s) registered at quiescence" name sinks);
+  let callers = Rpc.Node.outstanding_callers node in
+  if callers <> 0 then
+    record m ~inv:"no-stuck-threads"
+      ~detail:
+        (Printf.sprintf "%s node has %d outstanding caller registration(s) at quiescence" name
+           callers)
+
 let check_quiescence m =
   check_pool m ~name:"caller" ~base:m.base_caller_bufs
     (Machine.pool m.w.Workload.World.caller);
   check_pool m ~name:"server" ~base:m.base_server_bufs
-    (Machine.pool m.w.Workload.World.server)
+    (Machine.pool m.w.Workload.World.server);
+  check_node m ~name:"caller" m.w.Workload.World.caller_node;
+  check_node m ~name:"server" m.w.Workload.World.server_node

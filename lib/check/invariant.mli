@@ -12,6 +12,12 @@
     - {b bufpool-conservation}: at quiescence every packet buffer taken
       from either machine's pool has been returned (checked against a
       baseline snapshot by {!check_quiescence});
+    - {b no-leaked-sinks}: at quiescence no fragment sink remains
+      registered in either node's call table — a leftover sink means a
+      worker or caller died mid-transfer without cleaning up;
+    - {b no-stuck-threads}: at quiescence no activity still holds a
+      caller registration — a leftover entry means a caller thread is
+      wedged inside a call that will never finish;
     - {b completion} and {b result-correctness} are recorded by the
       explorer's workload via {!record}: every call must either return
       the right answer or raise a clean [Rpc_error] — and under a
@@ -34,7 +40,8 @@ val record : monitor -> inv:string -> detail:string -> unit
 val check_quiescence : monitor -> unit
 (** Run once the workload is finished and the retained-result GC window
     has passed: verifies both machines' packet pools are back at their
-    baseline occupancy. *)
+    baseline occupancy, and that neither node's call table retains a
+    fragment sink or an outstanding-caller registration. *)
 
 val violations : monitor -> violation list
 (** All violations recorded so far, oldest first. *)

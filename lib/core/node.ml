@@ -48,6 +48,8 @@ let register_caller t act entry =
 let unregister_caller t act = Hashtbl.remove t.callers act
 let register_fragment_sink t act entry = Hashtbl.replace t.frag_sinks act entry
 let unregister_fragment_sink t act = Hashtbl.remove t.frag_sinks act
+let fragment_sinks t = Hashtbl.length t.frag_sinks
+let outstanding_callers t = Hashtbl.length t.callers
 
 let worker_pool t space =
   match Hashtbl.find_opt t.worker_pools space with

@@ -50,6 +50,16 @@ val register_fragment_sink : t -> Proto.Activity.t -> Entry.t -> unit
 
 val unregister_fragment_sink : t -> Proto.Activity.t -> unit
 
+val fragment_sinks : t -> int
+(** Number of fragment sinks currently registered.  Nonzero at
+    quiescence means a worker leaked its sink — an invariant the
+    simulation-testing harness audits. *)
+
+val outstanding_callers : t -> int
+(** Number of activities with a registered outstanding call.  Nonzero at
+    quiescence means a caller thread is stuck or leaked its
+    registration. *)
+
 val join_worker_pool : t -> space:int -> Entry.t -> unit
 (** Parks an idle server worker where the interrupt handler can find it
     (FIFO per address space). *)

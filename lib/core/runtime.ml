@@ -246,10 +246,32 @@ let dispatch t ctx ~intf_id ~proc_idx ~payload ~secured ~seq ~trusted :
 
 (* {1 Bindings} *)
 
-type call_options = { retransmit_after : Time.span; max_retries : int }
+type backoff = { multiplier : float; max_interval : Time.span }
+
+type call_options = {
+  retransmit_after : Time.span;
+  max_retries : int;
+  backoff : backoff option;
+}
 
 let default_options t =
-  { retransmit_after = (Machine.config (machine t)).Hw.Config.retransmit_after; max_retries = 10 }
+  {
+    retransmit_after = (Machine.config (machine t)).Hw.Config.retransmit_after;
+    max_retries = 10;
+    backoff = None;
+  }
+
+(* The retransmission interval sequence of [opts]: fixed at
+   [retransmit_after] by default (the paper's 600 ms), or growing by
+   [multiplier] per silent period up to [max_interval] when backoff is
+   enabled. *)
+let next_interval opts cur =
+  match opts.backoff with
+  | None -> opts.retransmit_after
+  | Some b ->
+    if b.multiplier < 1. then invalid_arg "Runtime: backoff multiplier must be >= 1";
+    let grown = Time.span_scale b.multiplier cur in
+    if Time.span_compare grown b.max_interval > 0 then b.max_interval else grown
 
 type ether_binding = {
   be_dst : Frames.endpoint;
@@ -361,7 +383,8 @@ exception Give_up of string
 let await t ctx entry ~opts ~on_timeout ~handle =
   let eng = engine t in
   let retries = ref 0 in
-  let deadline = ref (Time.add (Engine.now eng) opts.retransmit_after) in
+  let interval = ref opts.retransmit_after in
+  let deadline = ref (Time.add (Engine.now eng) !interval) in
   let rec loop () =
     match Node.Entry.inbox_pop entry with
     | Some d -> (
@@ -370,7 +393,8 @@ let await t ctx entry ~opts ~on_timeout ~handle =
       | `Continue -> loop ()
       | `Progress ->
         retries := 0;
-        deadline := Time.add (Engine.now eng) opts.retransmit_after;
+        interval := opts.retransmit_after;
+        deadline := Time.add (Engine.now eng) !interval;
         loop ())
     | None ->
       let now = Engine.now eng in
@@ -387,7 +411,8 @@ let await t ctx entry ~opts ~on_timeout ~handle =
         else begin
           Sim.Stats.Counter.incr t.c_retrans;
           on_timeout ();
-          deadline := Time.add (Engine.now eng) opts.retransmit_after;
+          interval := next_interval opts !interval;
+          deadline := Time.add (Engine.now eng) !interval;
           loop ()
         end
       end
@@ -421,12 +446,17 @@ let call_ether client ctx (b : ether_binding) ~proc_idx ~args =
   in
   let len = Bytes.length payload in
   let frags = fragment_count t len in
-  alloc_bufs t ctx frags;
-  (* Transporter: send the call packet(s), wait for the result. *)
-  charge_rt ctx ~label:"Transporter (send call pkt)" (Timing.transporter_send tmg);
   let act = client.cl_act in
   let entry = Node.new_entry t.rt_node in
   Node.register_caller t.rt_node act entry;
+  (* Every exit — result, clean failure, or an unexpected exception in
+     the unmarshalling path — must unregister the call and return the
+     packet buffers, or the activity wedges and the pool leaks. *)
+  Fun.protect ~finally:(fun () -> Node.unregister_caller t.rt_node act) @@ fun () ->
+  alloc_bufs t ctx frags;
+  Fun.protect ~finally:(fun () -> free_bufs t frags) @@ fun () ->
+  (* Transporter: send the call packet(s), wait for the result. *)
+  charge_rt ctx ~label:"Transporter (send call pkt)" (Timing.transporter_send tmg);
   let hdr_for ?please_ack ptype frag_idx =
     header ?please_ack ~secured ~act ~seq ~space:b.be_space ~intf_id:b.be_id ~proc_idx ~frag_idx
       ~frag_count:frags ptype
@@ -441,10 +471,6 @@ let call_ether client ctx (b : ether_binding) ~proc_idx ~args =
     (* The caller's send path through trap return and scheduler is
        longer on a uniprocessor (§5, calibrated against Table X). *)
     charge_rt ctx ~label:"Uniprocessor send path" (Timing.uniproc_caller_send_extra tmg)
-  in
-  let cleanup () =
-    Node.unregister_caller t.rt_node act;
-    free_bufs t frags
   in
   try
     (* Fragments of a multi-packet call go stop-and-wait: each but the
@@ -492,6 +518,19 @@ let call_ether client ctx (b : ether_binding) ~proc_idx ~args =
           | Proto.Busy | Proto.Ack -> `Progress
           | Proto.Error_reply ->
             raise (Give_up ("server: " ^ Bytes.to_string d.Node.d_payload))
+          | Proto.Result
+            when h.Proto.frag_count < 1
+                 || h.Proto.frag_idx < 0
+                 || h.Proto.frag_idx >= h.Proto.frag_count
+                 || (match !result_count with
+                    | Some n -> h.Proto.frag_count <> n
+                    | None -> false) ->
+            (* A fragment whose index is out of range, or whose claimed
+               fragment count disagrees with the fragments already
+               received (a corrupted or forged retransmission), must not
+               poison the reassembly: drop it and keep waiting for a
+               consistent retransmission. *)
+            `Continue
           | Proto.Result ->
             result_count := Some h.Proto.frag_count;
             if h.Proto.secured then result_secured := true;
@@ -537,15 +576,8 @@ let call_ether client ctx (b : ether_binding) ~proc_idx ~args =
     Marshal.charge_args tmg ctx Marshal.Caller_side Marshal.In_result_packet p full;
     (* Ender: return the result packet to the free pool. *)
     charge_rt ctx ~label:"Ender" (Timing.ender tmg);
-    cleanup ();
     extract_outs p full
-  with
-  | Give_up msg ->
-    cleanup ();
-    Rpc_error.fail (Rpc_error.Call_failed msg)
-  | Rpc_error.Rpc _ as e ->
-    cleanup ();
-    raise e
+  with Give_up msg -> Rpc_error.fail (Rpc_error.Call_failed msg)
 
 (* {1 The Ethernet transport — server side} *)
 
@@ -585,12 +617,15 @@ let send_to t ctx ~dst ~hdr ~payload =
     ~payload_len:(Bytes.length payload)
 
 let resend_retained t ctx sa =
-  Sim.Stats.Counter.incr t.c_dups;
-  journal t (Obs.Journal.Retransmit { seq = sa.sa_last_seq });
+  (* Count the duplicate and journal a retransmission only when result
+     packets actually go back out: with no reply endpoint, or with the
+     retained packets already reclaimed by the GC, nothing is sent. *)
   match sa.sa_reply_to with
-  | None -> ()
-  | Some dst ->
+  | Some dst when sa.sa_retained <> [] ->
+    Sim.Stats.Counter.incr t.c_dups;
+    journal t (Obs.Journal.Retransmit { seq = sa.sa_last_seq });
     List.iter (fun (hdr, payload) -> send_to t ctx ~dst ~hdr ~payload) sa.sa_retained
+  | Some _ | None -> ()
 
 (* Collect the remaining fragments of a multi-packet call, sending a
    stop-and-wait ack for each but the last.  Returns the assembled
@@ -598,7 +633,8 @@ let resend_retained t ctx sa =
 let collect_call_fragments t ctx entry ~opts ~(first : Node.delivery) =
   let h0 = first.Node.d_hdr in
   let n = h0.Proto.frag_count in
-  if n = 1 then Some first.Node.d_payload
+  if n < 1 then None (* malformed first fragment: drop the call *)
+  else if n = 1 then Some first.Node.d_payload
   else begin
     let act_id = h0.Proto.activity in
     let seq = h0.Proto.seq in
@@ -615,7 +651,19 @@ let collect_call_fragments t ctx entry ~opts ~(first : Node.delivery) =
     in
     let store (d : Node.delivery) =
       let h = d.Node.d_hdr in
-      if h.Proto.ptype = Proto.Call && h.Proto.seq = seq then begin
+      (* Trust nothing from the wire: the fragment must belong to this
+         call, agree with the first fragment's count, and carry an
+         in-range index.  An out-of-range index stored blindly once let
+         [Hashtbl.length] reach [n] with fragment [i < n] missing, so
+         reassembly raised an uncaught [Not_found], killed the worker
+         and leaked the fragment sink. *)
+      if
+        h.Proto.ptype = Proto.Call
+        && h.Proto.seq = seq
+        && h.Proto.frag_count = n
+        && h.Proto.frag_idx >= 0
+        && h.Proto.frag_idx < n
+      then begin
         if not (Hashtbl.mem frags h.Proto.frag_idx) then
           Hashtbl.replace frags h.Proto.frag_idx d.Node.d_payload;
         (* (Re-)ack every fragment but the last, covering lost acks. *)
@@ -626,6 +674,9 @@ let collect_call_fragments t ctx entry ~opts ~(first : Node.delivery) =
     in
     ignore (store first);
     Node.register_fragment_sink t.rt_node act_id entry;
+    (* The sink must come down on every exit, including an exception in
+       the ack path, or later fragments wedge a parked worker. *)
+    Fun.protect ~finally:(fun () -> Node.unregister_fragment_sink t.rt_node act_id) @@ fun () ->
     let eng = engine t in
     let timeouts = ref 0 in
     let deadline = ref (Time.add (Engine.now eng) opts.retransmit_after) in
@@ -650,11 +701,12 @@ let collect_call_fragments t ctx entry ~opts ~(first : Node.delivery) =
        done;
        let buf = Buffer.create (n * 256) in
        for i = 0 to n - 1 do
-         Buffer.add_bytes buf (Hashtbl.find frags i)
+         match Hashtbl.find_opt frags i with
+         | Some payload -> Buffer.add_bytes buf payload
+         | None -> raise Exit (* unreachable once indexes are validated *)
        done;
        result := Some (Buffer.to_bytes buf)
      with Exit -> ());
-    Node.unregister_fragment_sink t.rt_node act_id;
     !result
   end
 
@@ -693,6 +745,19 @@ let send_result t ctx entry ~opts ~(sa : server_act) ~dst ~(h0 : Proto.header)
   if need_acks then Node.register_fragment_sink t.rt_node act_id entry;
   let eng = engine t in
   let abandoned = ref false in
+  let retained = ref false in
+  (* Whatever happens in the send loop — including an exception from the
+     transport — the fragment sink comes down and, unless the packets
+     were retained for duplicate suppression, the buffers go back to the
+     pool and the activity stops being "working". *)
+  Fun.protect
+    ~finally:(fun () ->
+      if need_acks then Node.unregister_fragment_sink t.rt_node act_id;
+      if not !retained then begin
+        free_bufs t frags;
+        sa.sa_working <- false
+      end)
+  @@ fun () ->
   for i = 0 to frags - 1 do
     if not !abandoned then begin
       let fragment = slice i in
@@ -730,12 +795,7 @@ let send_result t ctx entry ~opts ~(sa : server_act) ~dst ~(h0 : Proto.header)
       end
     end
   done;
-  if need_acks then Node.unregister_fragment_sink t.rt_node act_id;
-  if !abandoned then begin
-    free_bufs t frags;
-    sa.sa_working <- false
-  end
-  else begin
+  if not !abandoned then begin
     (* Retain for retransmission; the buffers stay allocated until the
        activity's next call or the retain GC. *)
     sa.sa_retained <- List.init frags (fun i -> (hdr_of i, slice i));
@@ -743,7 +803,8 @@ let send_result t ctx entry ~opts ~(sa : server_act) ~dst ~(h0 : Proto.header)
     sa.sa_reply_to <- Some dst;
     sa.sa_last_seq <- h0.Proto.seq;
     sa.sa_working <- false;
-    schedule_retain_gc t sa
+    schedule_retain_gc t sa;
+    retained := true
   end
 
 let handle_call t ctx entry (d : Node.delivery) ~opts =
@@ -850,6 +911,9 @@ let call_local client ctx (server : t) intf ~proc_idx ~args =
   charge_rt ctx ~label:"Calling stub (call & return)" (Timing.calling_stub tmg);
   charge_rt ctx ~label:"Starter (local)" (Timing.local_starter tmg);
   alloc_bufs t ctx 1;
+  (* One pool buffer models the local call packet; it must return to the
+     pool even when marshalling or the server's reply raises. *)
+  Fun.protect ~finally:(fun () -> free_bufs t 1) @@ fun () ->
   let payload = encode_payload p Marshal.In_call_packet args (payload_bound p) in
   Marshal.charge_args tmg ctx Marshal.Caller_side Marshal.In_call_packet p args;
   charge_rt ctx ~label:"Transporter send (local)" (Timing.local_transporter_send tmg);
@@ -875,13 +939,11 @@ let call_local client ctx (server : t) intf ~proc_idx ~args =
   match outcome with
   | Error msg ->
     charge_rt ctx ~label:"Ender (local)" (Timing.local_ender tmg);
-    free_bufs t 1;
     Rpc_error.fail (Rpc_error.Call_failed ("server: " ^ msg))
   | Ok result_payload ->
     let full = Marshal.decode_args (R.of_bytes result_payload) Marshal.In_result_packet p in
     Marshal.charge_args tmg ctx Marshal.Caller_side Marshal.In_result_packet p full;
     charge_rt ctx ~label:"Ender (local)" (Timing.local_ender tmg);
-    free_bufs t 1;
     extract_outs p full
 
 (* {1 RPC over DECNet}

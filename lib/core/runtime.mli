@@ -53,14 +53,26 @@ val export : ?auth:Secure.key -> t -> Idl.interface -> impls:impl array -> worke
 
 (** {1 Caller side} *)
 
+type backoff = {
+  multiplier : float;  (** growth per timeout; must be [>= 1.] *)
+  max_interval : Sim.Time.span;  (** cap on the retransmission interval *)
+}
+(** Capped exponential backoff for the retransmission interval.  After
+    each timeout the interval is multiplied by [multiplier] (clamped to
+    [max_interval]); any sign of progress from the server — a fragment
+    ack, a Busy — resets it to [retransmit_after]. *)
+
 type call_options = {
   retransmit_after : Sim.Time.span;  (** first result-wait timeout *)
   max_retries : int;  (** give up (Call_failed) after this many *)
+  backoff : backoff option;
+      (** [None] (the default) keeps the paper's fixed interval, so the
+          Table I / Table X reproductions are unchanged *)
 }
 
 val default_options : t -> call_options
 (** [retransmit_after] from the machine configuration (the paper's
-    recovery took ~600 ms), 10 retries. *)
+    recovery took ~600 ms), 10 retries, no backoff. *)
 
 type binding
 

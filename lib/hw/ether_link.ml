@@ -1,12 +1,21 @@
 module Engine = Sim.Engine
 module Time = Sim.Time
 
-type fault = Deliver | Drop | Corrupt | Corrupt_payload | Duplicate | Delay of Sim.Time.span
+type fault =
+  | Deliver
+  | Drop
+  | Corrupt
+  | Corrupt_payload
+  | Duplicate
+  | Delay of Sim.Time.span
+  | Reorder
 
 type station = {
   st_mac : Net.Mac.t;
   on_frame_start : frame:Bytes.t -> wire:Time.span -> unit;
 }
+
+type held_frame = { hf_src : Net.Mac.t; hf_frame : Bytes.t; hf_wire : Time.span }
 
 type t = {
   eng : Engine.t;
@@ -14,12 +23,15 @@ type t = {
   medium : Sim.Resource.t;
   stations : (Net.Mac.t, station) Hashtbl.t;
   mutable injector : (Bytes.t -> fault) option;
+  mutable held : held_frame option;
+  mutable held_gen : int;
   frames : Sim.Stats.Counter.t;
   bytes : Sim.Stats.Counter.t;
   dropped : Sim.Stats.Counter.t;
   corrupted : Sim.Stats.Counter.t;
   duplicated : Sim.Stats.Counter.t;
   delayed : Sim.Stats.Counter.t;
+  reordered : Sim.Stats.Counter.t;
 }
 
 let create ?obs eng ~mbps =
@@ -31,12 +43,15 @@ let create ?obs eng ~mbps =
       medium = Sim.Resource.create eng ~name:"ethernet" ~capacity:1;
       stations = Hashtbl.create 8;
       injector = None;
+      held = None;
+      held_gen = 0;
       frames = Sim.Stats.Counter.create ();
       bytes = Sim.Stats.Counter.create ();
       dropped = Sim.Stats.Counter.create ();
       corrupted = Sim.Stats.Counter.create ();
       duplicated = Sim.Stats.Counter.create ();
       delayed = Sim.Stats.Counter.create ();
+      reordered = Sim.Stats.Counter.create ();
     }
   in
   (match obs with
@@ -50,6 +65,7 @@ let create ?obs eng ~mbps =
     Obs.Metrics.Registry.register_counter reg ~site ~name:"link.corrupted" t.corrupted;
     Obs.Metrics.Registry.register_counter reg ~site ~name:"link.duplicated" t.duplicated;
     Obs.Metrics.Registry.register_counter reg ~site ~name:"link.delayed" t.delayed;
+    Obs.Metrics.Registry.register_counter reg ~site ~name:"link.reordered" t.reordered;
     Obs.Metrics.Registry.register_probe reg ~site ~name:"link.utilization" (fun () ->
         Sim.Resource.utilization t.medium ~upto:(Engine.now t.eng)));
   t
@@ -80,6 +96,10 @@ let corrupt_copy t frame ~lo =
   end;
   b
 
+(* A reordered frame not overtaken within this span is delivered anyway,
+   so a lone trailing frame cannot vanish into the hold buffer. *)
+let reorder_backstop = Time.ms 1
+
 let deliver t ~src frame ~wire =
   let dst = Net.Mac.read (Wire.Bytebuf.Reader.of_bytes frame) in
   let notify st = if not (Net.Mac.equal st.st_mac src) then st.on_frame_start ~frame ~wire in
@@ -88,6 +108,13 @@ let deliver t ~src frame ~wire =
     match Hashtbl.find_opt t.stations dst with
     | Some st -> notify st
     | None -> () (* no such station: frame disappears into the ether *)
+
+let release_held t =
+  match t.held with
+  | None -> ()
+  | Some h ->
+    t.held <- None;
+    deliver t ~src:h.hf_src h.hf_frame ~wire:h.hf_wire
 
 let transmit t ~src frame =
   let len = Bytes.length frame in
@@ -106,23 +133,30 @@ let transmit t ~src frame =
         | Some f -> f frame
       in
       (match fate with
-      | Deliver -> deliver t ~src frame ~wire
-      | Drop -> Sim.Stats.Counter.incr t.dropped
+      | Deliver ->
+        deliver t ~src frame ~wire;
+        release_held t
+      | Drop ->
+        Sim.Stats.Counter.incr t.dropped;
+        release_held t
       | Corrupt ->
         Sim.Stats.Counter.incr t.corrupted;
-        deliver t ~src (corrupt_copy t frame ~lo:Net.Ethernet.header_size) ~wire
+        deliver t ~src (corrupt_copy t frame ~lo:Net.Ethernet.header_size) ~wire;
+        release_held t
       | Corrupt_payload ->
         if len > 74 then begin
           Sim.Stats.Counter.incr t.corrupted;
           deliver t ~src (corrupt_copy t frame ~lo:74) ~wire
         end
-        else deliver t ~src frame ~wire
+        else deliver t ~src frame ~wire;
+        release_held t
       | Duplicate ->
         (* The frame arrives twice back to back, as if the controller
            retransmitted it; the medium is occupied for both copies, so
            the sender blocks for two frame times. *)
         Sim.Stats.Counter.incr t.duplicated;
         deliver t ~src frame ~wire;
+        release_held t;
         Engine.delay t.eng (Time.span_add wire (interframe_gap t));
         Sim.Stats.Counter.incr t.frames;
         Sim.Stats.Counter.add t.bytes len;
@@ -133,7 +167,20 @@ let transmit t ~src frame =
            and arrives [hold] later; the sender's occupancy is normal. *)
         Sim.Stats.Counter.incr t.delayed;
         let copy = Bytes.copy frame in
-        Engine.schedule t.eng ~after:hold (fun () -> deliver t ~src copy ~wire));
+        release_held t;
+        Engine.schedule t.eng ~after:hold (fun () -> deliver t ~src copy ~wire)
+      | Reorder ->
+        (* The frame is overtaken by the next one on the segment (a
+           store-and-forward bridge draining out of order): it is held
+           and released right after the next frame's delivery, or after
+           [reorder_backstop] if the segment goes quiet. *)
+        Sim.Stats.Counter.incr t.reordered;
+        release_held t;
+        t.held <- Some { hf_src = src; hf_frame = Bytes.copy frame; hf_wire = wire };
+        t.held_gen <- t.held_gen + 1;
+        let gen = t.held_gen in
+        Engine.schedule t.eng ~after:reorder_backstop (fun () ->
+            if t.held_gen = gen then release_held t));
       Engine.delay t.eng (Time.span_add wire (interframe_gap t)))
 
 let frames_carried t = Sim.Stats.Counter.value t.frames
@@ -142,4 +189,5 @@ let frames_dropped t = Sim.Stats.Counter.value t.dropped
 let frames_corrupted t = Sim.Stats.Counter.value t.corrupted
 let frames_duplicated t = Sim.Stats.Counter.value t.duplicated
 let frames_delayed t = Sim.Stats.Counter.value t.delayed
+let frames_reordered t = Sim.Stats.Counter.value t.reordered
 let utilization t ~upto = Sim.Resource.utilization t.medium ~upto

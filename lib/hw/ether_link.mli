@@ -29,6 +29,12 @@ type fault =
       (** the frame arrives the given span late (reordering past frames
           sent after it); the sender's occupancy is unchanged.
           [transmit] raises [Invalid_argument] on a negative span *)
+  | Reorder
+      (** the frame is overtaken by the {e next} frame on the segment:
+          it is held and delivered immediately after that frame, or
+          after a 1 ms backstop if the segment goes quiet first.  A
+          second [Reorder] while one frame is already held releases the
+          first *)
 
 type station
 
@@ -67,4 +73,5 @@ val frames_dropped : t -> int
 val frames_corrupted : t -> int
 val frames_duplicated : t -> int
 val frames_delayed : t -> int
+val frames_reordered : t -> int
 val utilization : t -> upto:Sim.Time.t -> float

@@ -28,15 +28,30 @@ let busy_wait t = (Timing.config t.timing).Hw.Config.busy_wait
 
 let cat = "send+receive"
 
+(* Wakeup latency: from the waker's notify to this thread running again.
+   The mark must be consumed on {e every} wait outcome: a timeout that
+   leaves [notified_at] set would be charged to the next wakeup, which
+   could look seconds long. *)
+let record_wakeup t =
+  (match (t.wake_hist, t.notified_at) with
+  | Some h, Some at0 -> Obs.Metrics.Histogram.observe_span h (Time.diff (Engine.now t.eng) at0)
+  | _ -> ());
+  t.notified_at <- None
+
+let clear_notified t = t.notified_at <- None
+
 let spin t ctx ~deadline =
   let rec loop () =
     if t.pending > 0 then begin
       t.pending <- t.pending - 1;
+      record_wakeup t;
       `Ok
     end
     else
       match deadline with
-      | Some d when Time.compare (Engine.now t.eng) d >= 0 -> `Timeout
+      | Some d when Time.compare (Engine.now t.eng) d >= 0 ->
+        clear_notified t;
+        `Timeout
       | _ ->
         Cpu_set.charge ctx ~cat ~label:"Busy-wait poll" (Timing.busy_wait_poll t.timing);
         (* Release the CPU each iteration so interrupt work can run even
@@ -53,6 +68,7 @@ let wait_common t ctx ~timeout =
     spin t ctx ~deadline
   else if t.pending > 0 then begin
     t.pending <- t.pending - 1;
+    record_wakeup t;
     `Ok
   end
   else begin
@@ -71,14 +87,12 @@ let wait_common t ctx ~timeout =
     | `Ok ->
       (* The woken thread pays to be dispatched onto a processor. *)
       Cpu_set.charge ctx ~cat ~label:"Dispatch woken thread" (Timing.dispatch t.timing);
-      (* Wakeup latency: from the waker's notify to this thread running
-         again, dispatch included. *)
-      (match (t.wake_hist, t.notified_at) with
-      | Some h, Some at0 ->
-        Obs.Metrics.Histogram.observe_span h (Time.diff (Engine.now t.eng) at0)
-      | _ -> ());
-      t.notified_at <- None
-    | `Timeout -> ());
+      record_wakeup t
+    | `Timeout ->
+      (* A notify may have raced the timeout (signal consumed or pending
+         incremented after the deadline fired); drop its mark either
+         way. *)
+      clear_notified t);
     outcome
   end
 

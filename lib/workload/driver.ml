@@ -30,9 +30,13 @@ let percentile o p =
   if n = 0 then invalid_arg "Driver.percentile: no samples";
   if p < 0. || p > 1. then invalid_arg "Driver.percentile: p outside [0,1]";
   (* Sorted once per outcome; the latency-tail experiments query four
-     percentiles per row. *)
+     percentiles per row.  Nearest-rank definition — the smallest sample
+     whose cumulative count reaches p*n — matching what
+     [Obs.Metrics.Histogram.percentile] computes on its buckets, so the
+     two views of one latency population agree. *)
   let sorted = Lazy.force o.sorted_latencies in
-  sorted.(min (n - 1) (int_of_float (Float.of_int n *. p)))
+  let rank = int_of_float (Float.ceil (Float.of_int n *. p)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
 
 let payload_bytes = function
   | Null -> 0

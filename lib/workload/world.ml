@@ -17,7 +17,8 @@ type t = {
 }
 
 let create ?(caller_config = Config.default) ?(server_config = Config.default) ?(seed = 42)
-    ?(tie_break = `Fifo) ?(workers = 8) ?(idle_load = true) ?(export_test = true) ?obs () =
+    ?(tie_break = `Fifo) ?(workers = 8) ?(idle_load = true) ?(export_test = true) ?auth ?obs ()
+    =
   let obs = match obs with Some o -> o | None -> Obs.Ctx.create () in
   let eng = Engine.create ~seed ~tie_break () in
   let link = Hw.Ether_link.create ~obs eng ~mbps:caller_config.Config.ethernet_mbps in
@@ -35,7 +36,7 @@ let create ?(caller_config = Config.default) ?(server_config = Config.default) ?
   let server_rt = Rpc.Runtime.create server_node ~space:1 in
   let binder = Rpc.Binder.create () in
   if export_test then
-    Rpc.Binder.export binder server_rt Test_interface.interface
+    Rpc.Binder.export ?auth binder server_rt Test_interface.interface
       ~impls:(Test_interface.impls (Machine.timing server))
       ~workers;
   if idle_load then begin
@@ -44,8 +45,8 @@ let create ?(caller_config = Config.default) ?(server_config = Config.default) ?
   end;
   { eng; link; binder; caller; server; caller_node; server_node; caller_rt; server_rt; obs }
 
-let test_binding t ?options ?transport () =
-  Rpc.Binder.import t.binder t.caller_rt ~name:"Test" ~version:1 ?options ?transport ()
+let test_binding t ?options ?auth ?transport () =
+  Rpc.Binder.import t.binder t.caller_rt ~name:"Test" ~version:1 ?options ?auth ?transport ()
 
 let add_machine t ~name ~config ~station ~ip =
   let m =

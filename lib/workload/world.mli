@@ -23,6 +23,7 @@ val create :
   ?workers:int ->
   ?idle_load:bool ->
   ?export_test:bool ->
+  ?auth:Rpc.Secure.key ->
   ?obs:Obs.Ctx.t ->
   unit ->
   t
@@ -34,15 +35,19 @@ val create :
     starts the background threads that draw ~0.15 CPUs.  [export_test]
     (default true) controls whether the Test interface is exported —
     worker threads serve their whole address space, so tests that need
-    an exactly-sized worker pool export their own interface only. *)
+    an exactly-sized worker pool export their own interface only.
+    [auth] exports the Test interface under a shared key (§7 secured
+    calls); importers must present the same key. *)
 
 val test_binding :
   t ->
   ?options:Rpc.Runtime.call_options ->
+  ?auth:Rpc.Secure.key ->
   ?transport:[ `Auto | `Udp | `Decnet ] ->
   unit ->
   Rpc.Runtime.binding
-(** Imports the Test interface into the caller's address space. *)
+(** Imports the Test interface into the caller's address space; [auth]
+    must match the key the world was created with, if any. *)
 
 val add_machine :
   t -> name:string -> config:Hw.Config.t -> station:int -> ip:string -> Nub.Machine.t * Rpc.Node.t * Rpc.Runtime.t

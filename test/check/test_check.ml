@@ -134,6 +134,19 @@ let test_restart_plans_allow_clean_failure () =
     (List.map Invariant.violation_to_string o.Explorer.violations);
   Alcotest.(check bool) "all calls accounted for" true (o.Explorer.calls_ok >= 1)
 
+let test_matrix_smoke () =
+  (* One seed per cell across the full 24-cell configuration matrix:
+     every cell must construct (uniprocessor, streaming, secured,
+     multi-fragment payloads) and pass the invariants. *)
+  let summary = Explorer.explore_matrix config ~base_seed:41 ~seeds_per_cell:1 in
+  List.iter
+    (fun o ->
+      Alcotest.failf "matrix seed %d violated invariants: %s" o.Explorer.seed
+        (String.concat "; " (List.map Invariant.violation_to_string o.Explorer.violations)))
+    summary.Explorer.failures;
+  Alcotest.(check int) "every cell ran" (List.length Explorer.matrix_cells)
+    summary.Explorer.seeds_run
+
 let suite =
   [
     Alcotest.test_case "plan generation deterministic" `Quick test_plan_generation_deterministic;
@@ -144,6 +157,7 @@ let suite =
     Alcotest.test_case "failure report renders" `Quick test_failure_report_renders;
     Alcotest.test_case "restart plans allow clean failure" `Quick
       test_restart_plans_allow_clean_failure;
+    Alcotest.test_case "configuration matrix smoke" `Quick test_matrix_smoke;
   ]
 
 let () = Alcotest.run "check" [ ("explorer", suite) ]

@@ -119,6 +119,51 @@ let test_delay_reorders () =
     Alcotest.(check int) "delay counted" 1 (Ether_link.frames_delayed link)
   | l -> Alcotest.failf "expected 2 arrivals, got %d" (List.length l)
 
+let test_reorder_swaps () =
+  (* Frame A is marked Reorder; frame B, sent right behind it, must
+     arrive first, with A released the instant B is delivered. *)
+  let eng = Engine.create () in
+  let link = Ether_link.create eng ~mbps:10. in
+  let m1 = Mac.of_station 1 and m2 = Mac.of_station 2 in
+  let arrivals = ref [] in
+  let _s2 =
+    Ether_link.attach link ~mac:m2 ~on_frame_start:(fun ~frame ~wire:_ ->
+        arrivals := (Time.since_start_us (Engine.now eng), Bytes.copy frame) :: !arrivals)
+  in
+  let _s1 = Ether_link.attach link ~mac:m1 ~on_frame_start:(fun ~frame:_ ~wire:_ -> ()) in
+  let first = ref true in
+  Ether_link.set_fault_injector link
+    (Some
+       (fun _ ->
+         if !first then begin
+           first := false;
+           Ether_link.Reorder
+         end
+         else Ether_link.Deliver));
+  Engine.spawn eng (fun () ->
+      Ether_link.transmit link ~src:m1 (frame ~fill:'A' ~dst:m2 ~src:m1 ~len:200 ());
+      Ether_link.transmit link ~src:m1 (frame ~fill:'B' ~dst:m2 ~src:m1 ~len:200 ()));
+  Engine.run eng;
+  match List.rev !arrivals with
+  | [ (t1, b1); (t2, b2) ] ->
+    Alcotest.(check bytes) "the overtaking frame arrives first" (sent_bytes ~fill:'B' ~len:200 ())
+      b1;
+    Alcotest.(check bytes) "the held frame follows intact" (sent_bytes ~fill:'A' ~len:200 ()) b2;
+    Alcotest.(check bool) "released together, not at the backstop" true (t2 -. t1 < 1. && t2 < 1000.);
+    Alcotest.(check int) "reorder counted" 1 (Ether_link.frames_reordered link)
+  | l -> Alcotest.failf "expected 2 arrivals, got %d" (List.length l)
+
+let test_reorder_backstop () =
+  (* No second frame ever comes: the held frame must not vanish — the
+     1 ms backstop releases it. *)
+  let link, arrivals = run_with_fault Ether_link.Reorder in
+  match arrivals with
+  | [ (t, b) ] ->
+    Alcotest.(check bytes) "delivered intact" (sent_bytes ~len:200 ()) b;
+    Alcotest.(check (float 1.)) "released at the 1 ms backstop" 1000. t;
+    Alcotest.(check int) "reorder counted" 1 (Ether_link.frames_reordered link)
+  | l -> Alcotest.failf "expected 1 arrival, got %d" (List.length l)
+
 let test_delay_negative_rejected () =
   Alcotest.(check bool) "negative delay refused" true
     (try
@@ -134,5 +179,7 @@ let suite =
     Alcotest.test_case "Corrupt_payload" `Quick test_corrupt_payload;
     Alcotest.test_case "Duplicate" `Quick test_duplicate;
     Alcotest.test_case "Delay reorders" `Quick test_delay_reorders;
+    Alcotest.test_case "Reorder swaps adjacent frames" `Quick test_reorder_swaps;
+    Alcotest.test_case "Reorder backstop" `Quick test_reorder_backstop;
     Alcotest.test_case "Delay rejects negative spans" `Quick test_delay_negative_rejected;
   ]

@@ -160,6 +160,76 @@ let test_waiter_busy_wait () =
   Alcotest.(check bool) "busy wait wakes fast" true (!woke_at < 130.);
   Alcotest.(check bool) "spin costs some cpu" true (!woke_at >= 100.)
 
+let wake_hist m =
+  Obs.Metrics.Registry.histogram (Machine.obs m).Obs.Ctx.metrics ~site:"caller"
+    ~name:"wakeup_latency_us"
+
+let test_waiter_stale_mark_not_inflated () =
+  let w = make_world () in
+  let m = w.a in
+  let waiter = Machine.new_waiter m in
+  let h = wake_hist m in
+  (* A notification nobody is waiting for arms the waiter at t=0. *)
+  Machine.spawn_thread m ~name:"early-waker" (fun () ->
+      Cpu_set.with_cpu (Machine.cpus m) (fun ctx -> Waiter.notify waiter ~waker:ctx));
+  Machine.spawn_thread m (fun () ->
+      Engine.delay w.eng (us 1000);
+      Cpu_set.with_cpu (Machine.cpus m) (fun ctx ->
+          (* Fast-path consumption must record the 1000 us sample AND
+             clear the mark... *)
+          Waiter.wait waiter ctx;
+          Engine.delay w.eng (us 1000);
+          (* ...so this second, blocked wakeup is measured from the late
+             waker's notify, not from t=0. *)
+          Waiter.wait waiter ctx));
+  Machine.spawn_thread m ~name:"late-waker" (fun () ->
+      Engine.delay w.eng (us 3000);
+      Cpu_set.with_cpu (Machine.cpus m) (fun ctx -> Waiter.notify waiter ~waker:ctx));
+  Engine.run_until w.eng (Time.add Time.zero (Time.ms 10));
+  Alcotest.(check int) "both wakeups sampled" 2 (Obs.Metrics.Histogram.count h);
+  (* With the stale mark kept, the second sample would read ~3200 us
+     (resume time minus the t=0 mark) instead of the real ~235 us. *)
+  Alcotest.(check bool) "no sample inflated by a stale mark" true
+    (Obs.Metrics.Histogram.max_value h < 1500.)
+
+let test_waiter_spin_records_latency () =
+  let config = { Config.default with busy_wait = true } in
+  let w = make_world ~config () in
+  let waiter = Machine.new_waiter w.a in
+  let h = wake_hist w.a in
+  Machine.spawn_thread w.a (fun () ->
+      Cpu_set.with_cpu (Machine.cpus w.a) (fun ctx -> Waiter.wait waiter ctx));
+  Machine.spawn_thread w.a ~name:"waker" (fun () ->
+      Engine.delay w.eng (us 100);
+      Cpu_set.with_cpu (Machine.cpus w.a) (fun ctx -> Waiter.notify waiter ~waker:ctx));
+  Engine.run_until w.eng (Time.add Time.zero (Time.ms 5));
+  (* The busy-wait path feeds the same histogram as the blocking path:
+     one sample, bounded by the cheap spin wakeup plus one poll. *)
+  Alcotest.(check int) "spin wakeup sampled" 1 (Obs.Metrics.Histogram.count h);
+  Alcotest.(check bool) "spin latency is the short path" true
+    (Obs.Metrics.Histogram.max_value h < 50.)
+
+let test_waiter_timeout_leaves_no_mark () =
+  let w = make_world () in
+  let waiter = Machine.new_waiter w.a in
+  let h = wake_hist w.a in
+  Machine.spawn_thread w.a (fun () ->
+      Cpu_set.with_cpu (Machine.cpus w.a) (fun ctx ->
+          (* Time out with nothing pending, then go through a real
+             notify/wake cycle: exactly one sample, measured from the
+             notify. *)
+          (match Waiter.wait_timeout waiter ctx ~timeout:(us 500) with
+          | `Timeout -> ()
+          | `Ok -> Alcotest.fail "unexpected wakeup");
+          Waiter.wait waiter ctx));
+  Machine.spawn_thread w.a ~name:"waker" (fun () ->
+      Engine.delay w.eng (us 2000);
+      Cpu_set.with_cpu (Machine.cpus w.a) (fun ctx -> Waiter.notify waiter ~waker:ctx));
+  Engine.run_until w.eng (Time.add Time.zero (Time.ms 10));
+  Alcotest.(check int) "one wakeup sampled" 1 (Obs.Metrics.Histogram.count h);
+  Alcotest.(check bool) "sample measured from the notify" true
+    (Obs.Metrics.Histogram.max_value h < 1500.)
+
 let test_machine_validation () =
   let eng = Engine.create () in
   let link = Hw.Ether_link.create eng ~mbps:10. in
@@ -189,6 +259,9 @@ let suite =
     Alcotest.test_case "waiter notify before wait" `Quick test_waiter_notify_before_wait;
     Alcotest.test_case "waiter timeout" `Quick test_waiter_timeout;
     Alcotest.test_case "waiter busy wait" `Quick test_waiter_busy_wait;
+    Alcotest.test_case "waiter stale mark not inflated" `Quick test_waiter_stale_mark_not_inflated;
+    Alcotest.test_case "waiter spin records latency" `Quick test_waiter_spin_records_latency;
+    Alcotest.test_case "waiter timeout leaves no mark" `Quick test_waiter_timeout_leaves_no_mark;
     Alcotest.test_case "machine validation" `Quick test_machine_validation;
     Alcotest.test_case "idle load" `Quick test_idle_load;
   ]

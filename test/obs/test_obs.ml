@@ -181,6 +181,62 @@ let test_percentile_repeated_queries () =
   (* The original completion-order array is untouched by sorting. *)
   Alcotest.(check int) "latencies length unchanged" 30 (Array.length o.Workload.Driver.latencies)
 
+(* An outcome carrying exactly the given latency samples; only the
+   fields [percentile] reads matter. *)
+let outcome_of_latencies latencies =
+  let sorted = Array.copy latencies in
+  Array.sort Time.span_compare sorted;
+  {
+    Workload.Driver.threads = 1;
+    calls = Array.length latencies;
+    elapsed = Time.zero_span;
+    rpcs_per_sec = 0.;
+    megabits_per_sec = 0.;
+    caller_busy_cpus = 0.;
+    server_busy_cpus = 0.;
+    retransmissions = 0;
+    mean_latency = Time.zero_span;
+    latencies;
+    sorted_latencies = lazy sorted;
+  }
+
+(* Property: over shared samples, Driver.percentile implements the
+   nearest-rank definition exactly — the smallest sample whose
+   cumulative count reaches q*n — and Obs.Metrics.Histogram.percentile
+   agrees with it up to its bucket resolution. *)
+let test_percentile_agreement () =
+  let rng = Sim.Rng.create ~seed:911 in
+  for case = 1 to 40 do
+    let n = 1 + Sim.Rng.int rng 400 in
+    (* >= 1 us so no sample folds into the histogram's bucket 0. *)
+    let samples_us =
+      Array.init n (fun _ -> 1. +. (float_of_int (Sim.Rng.int rng 1_000_000) /. 100.))
+    in
+    let o = outcome_of_latencies (Array.map Time.us_f samples_us) in
+    let h = Metrics.Histogram.create () in
+    Array.iter (Metrics.Histogram.observe h) samples_us;
+    let sorted = Array.copy samples_us in
+    Array.sort compare sorted;
+    List.iter
+      (fun q ->
+        (* Reference: smallest rank r (1-based) with r >= q*n. *)
+        let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+        let expected = sorted.(rank - 1) in
+        let got = Time.to_us (Workload.Driver.percentile o q) in
+        if abs_float (got -. expected) > 1e-6 then
+          Alcotest.failf "case %d n=%d q=%.3f: Driver.percentile %.3f, nearest-rank %.3f" case
+            n q got expected;
+        let hist = Metrics.Histogram.percentile h q in
+        (* Log buckets grow by 2^(1/8) with a geometric-midpoint
+           representative: within ~4.5% of the true quantile (exact at
+           the clamped extremes). *)
+        let ratio = hist /. expected in
+        if ratio < 0.95 || ratio > 1.055 then
+          Alcotest.failf "case %d n=%d q=%.3f: histogram %.3f vs exact %.3f (ratio %.4f)" case
+            n q hist expected ratio)
+      [ 0.01; 0.25; 0.5; 0.9; 0.95; 0.99; 1.0 ]
+  done
+
 (* {1 End-to-end Chrome trace export} *)
 
 let test_chrome_trace_export () =
@@ -254,7 +310,11 @@ let () =
         ] );
       ("journal", [ Alcotest.test_case "bounded ring" `Quick test_journal_ring ]);
       ( "driver",
-        [ Alcotest.test_case "percentile caching" `Quick test_percentile_repeated_queries ] );
+        [
+          Alcotest.test_case "percentile caching" `Quick test_percentile_repeated_queries;
+          Alcotest.test_case "percentile nearest-rank agreement" `Quick
+            test_percentile_agreement;
+        ] );
       ( "export",
         [ Alcotest.test_case "chrome trace end-to-end" `Quick test_chrome_trace_export ] );
     ]

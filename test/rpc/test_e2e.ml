@@ -180,7 +180,7 @@ let test_multi_packet_both_ways () =
 (* {1 Fault injection} *)
 
 let fast_options =
-  { Runtime.retransmit_after = Time.ms 20; max_retries = 50 }
+  { Runtime.retransmit_after = Time.ms 20; max_retries = 50; backoff = None }
 
 let every_nth n =
   let k = ref 0 in
@@ -250,7 +250,7 @@ let test_corruption_passes_without_checksums () =
 let test_server_crash_fails_call () =
   let failed =
     with_rig
-      ~options:{ Runtime.retransmit_after = Time.ms 10; max_retries = 5 }
+      ~options:{ Runtime.retransmit_after = Time.ms 10; max_retries = 5; backoff = None }
       (fun rig client ctx ->
         (* First call succeeds, then the server machine drops off the net. *)
         ignore (call rig client ctx "add" [ v_int 1; v_int 1; v_int 0 ]);

@@ -73,7 +73,7 @@ let run_schedule ~seed ~loss ~corrupt ~clients ~calls_each =
          if r < loss then Hw.Ether_link.Drop
          else if r < loss +. corrupt then Hw.Ether_link.Corrupt_payload
          else Hw.Ether_link.Deliver));
-  let options = { Runtime.retransmit_after = Time.ms 15; max_retries = 400 } in
+  let options = { Runtime.retransmit_after = Time.ms 15; max_retries = 400; backoff = None } in
   let gate = Sim.Gate.create w.World.eng in
   let finished = ref 0 in
   let violations = ref [] in

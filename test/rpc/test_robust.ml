@@ -111,7 +111,7 @@ let test_busy_protocol () =
     ~workers:2;
   let binding =
     Binder.import w.World.binder w.World.caller_rt ~name:"Slow" ~version:1
-      ~options:{ Runtime.retransmit_after = Time.ms 40; max_retries = 30 }
+      ~options:{ Runtime.retransmit_after = Time.ms 40; max_retries = 30; backoff = None }
       ()
   in
   let gate = Sim.Gate.create w.World.eng in
@@ -155,7 +155,7 @@ let test_streaming_under_loss () =
   let config = { Hw.Config.default with Hw.Config.streaming_results = true } in
   let w = World.create ~caller_config:config ~server_config:config () in
   let binding =
-    World.test_binding w ~options:{ Runtime.retransmit_after = Time.ms 30; max_retries = 50 } ()
+    World.test_binding w ~options:{ Runtime.retransmit_after = Time.ms 30; max_retries = 50; backoff = None } ()
   in
   let gate = Sim.Gate.create w.World.eng in
   let ok = ref false in
@@ -191,7 +191,7 @@ let test_traditional_demux_correctness () =
   let config = { Hw.Config.default with Hw.Config.traditional_demux = true } in
   let w = World.create ~caller_config:config ~server_config:config () in
   let binding =
-    World.test_binding w ~options:{ Runtime.retransmit_after = Time.ms 25; max_retries = 60 } ()
+    World.test_binding w ~options:{ Runtime.retransmit_after = Time.ms 25; max_retries = 60; backoff = None } ()
   in
   let gate = Sim.Gate.create w.World.eng in
   let ok = ref 0 in
@@ -217,7 +217,7 @@ let test_traditional_demux_correctness () =
 let test_server_restart () =
   let w = World.create () in
   let binding =
-    World.test_binding w ~options:{ Runtime.retransmit_after = Time.ms 20; max_retries = 4 } ()
+    World.test_binding w ~options:{ Runtime.retransmit_after = Time.ms 20; max_retries = 4; backoff = None } ()
   in
   let gate = Sim.Gate.create w.World.eng in
   let phases = ref [] in
@@ -238,6 +238,205 @@ let test_server_restart () =
   World.run_until_quiet w gate;
   Alcotest.(check bool) "up, down, up again" true (List.rev !phases = [ `Ok; `Failed; `Ok ])
 
+(* {2 Hand-crafted adversarial packets}
+
+   These regression tests speak the wire protocol directly — forged
+   activities, poisoned fragment headers, duplicates of reclaimed
+   results — the attacks the simulation-testing harness first found. *)
+
+let forged_activity (w : World.t) ~thread =
+  {
+    Rpc.Proto.Activity.caller_ip = (Rpc.Node.endpoint w.World.caller_node).Rpc.Frames.ip;
+    caller_space = 1;
+    thread;
+  }
+
+(* [data_len] and [checksum] are overwritten by [Frames.build]. *)
+let forged_call ~act ~seq ~frag_idx ~frag_count =
+  {
+    Rpc.Proto.ptype = Rpc.Proto.Call;
+    please_ack = false;
+    no_frag_ack = false;
+    secured = false;
+    activity = act;
+    seq;
+    server_space = 1;
+    interface_id = Idl.interface_id Workload.Test_interface.interface;
+    proc_idx = Workload.Test_interface.null_idx;
+    frag_idx;
+    frag_count;
+    data_len = 0;
+    checksum = 0;
+  }
+
+let raw_send (w : World.t) ctx hdr =
+  Rpc.Node.send w.World.caller_node ~ctx ~dst:(Rpc.Node.endpoint w.World.server_node) ~hdr
+    ~payload:Bytes.empty ~payload_pos:0 ~payload_len:0
+
+let pause (w : World.t) ctx ms = Cpu_set.yield_cpu ctx (fun () -> Engine.delay w.World.eng (Time.ms ms))
+
+let test_malformed_call_fragments () =
+  (* Pre-fix, the out-of-range index was stored blindly: the collector's
+     fragment table reached [frag_count] entries with fragment 1 still
+     missing, reassembly raised an uncaught [Not_found], killed the
+     worker and leaked its fragment sink.  Post-fix the poison fragments
+     are rejected and the call completes from the genuine ones. *)
+  let w = World.create () in
+  let binding = World.test_binding w () in
+  let gate = Sim.Gate.create w.World.eng in
+  let act = forged_activity w ~thread:901 in
+  let served = ref false in
+  run_caller w gate (fun client ctx ->
+      let send ~frag_idx ~frag_count =
+        raw_send w ctx (forged_call ~act ~seq:1 ~frag_idx ~frag_count)
+      in
+      (* Open a two-fragment call, then poison the collector.  Each
+         poison packet is valid in isolation (frag_idx < frag_count, so
+         it survives Proto.decode) but inconsistent with fragment 0. *)
+      send ~frag_idx:0 ~frag_count:2;
+      pause w ctx 2;
+      send ~frag_idx:7 ~frag_count:8 (* index out of range for this call *);
+      pause w ctx 2;
+      send ~frag_idx:1 ~frag_count:5 (* count disagrees with fragment 0 *);
+      pause w ctx 2;
+      send ~frag_idx:1 ~frag_count:2 (* the genuine closing fragment *);
+      pause w ctx 10;
+      (* The worker pool must have survived to serve real traffic. *)
+      served :=
+        Runtime.call binding client ctx ~proc_idx:Workload.Test_interface.null_idx ~args:[] = []);
+  World.run_until_quiet w gate;
+  Alcotest.(check bool) "server still serves after poisoned fragments" true !served;
+  Alcotest.(check int) "no leaked fragment sink" 0 (Rpc.Node.fragment_sinks w.World.server_node);
+  (* Both retained results (forged call + real call) reclaimed. *)
+  Engine.run_until w.World.eng (Time.add (Engine.now w.World.eng) (Time.sec 6));
+  Alcotest.(check int) "server pool back to baseline" 16
+    (Nub.Bufpool.in_use (Machine.pool w.World.server))
+
+let test_result_fragment_validation () =
+  (* A rogue server answers a call with poisoned Result fragments: an
+     out-of-range index and a fragment count disagreeing with fragment
+     0.  Pre-fix the bogus index completed the count and reassembly
+     failed with Protocol_violation; post-fix the caller drops the
+     poison and completes from the consistent fragments. *)
+  let w = World.create () in
+  let rogue, rogue_node, _rogue_rt =
+    World.add_machine w ~name:"rogue" ~config:Hw.Config.default ~station:3 ~ip:"16.0.0.3"
+  in
+  let captured = ref None in
+  Rpc.Node.set_slow_sink rogue_node ~space:9 (fun d ->
+      if d.Rpc.Node.d_hdr.Rpc.Proto.ptype = Rpc.Proto.Call && !captured = None then
+        captured := Some d);
+  Machine.spawn_thread rogue ~name:"rogue-server" (fun () ->
+      Cpu_set.with_cpu (Machine.cpus rogue) (fun ctx ->
+          while !captured = None do
+            pause w ctx 1
+          done;
+          let d = Option.get !captured in
+          let h = d.Rpc.Node.d_hdr in
+          let reply ~frag_idx ~frag_count =
+            Rpc.Node.send rogue_node ~ctx ~dst:d.Rpc.Node.d_src
+              ~hdr:
+                { h with Rpc.Proto.ptype = Rpc.Proto.Result; please_ack = false; frag_idx; frag_count }
+              ~payload:Bytes.empty ~payload_pos:0 ~payload_len:0
+          in
+          (* Each poison fragment is valid in isolation (it survives
+             Proto.decode) but inconsistent with fragment 0. *)
+          reply ~frag_idx:0 ~frag_count:2;
+          pause w ctx 2;
+          reply ~frag_idx:9 ~frag_count:10 (* index out of range for this result *);
+          pause w ctx 2;
+          reply ~frag_idx:1 ~frag_count:7 (* count disagrees with fragment 0 *);
+          pause w ctx 2;
+          reply ~frag_idx:1 ~frag_count:2 (* the genuine closing fragment *)));
+  let gate = Sim.Gate.create w.World.eng in
+  let outs = ref None in
+  run_caller w gate (fun client ctx ->
+      let binding =
+        Runtime.bind_ether w.World.caller_rt ~dst:(Rpc.Node.endpoint rogue_node) ~server_space:9
+          Workload.Test_interface.interface
+          ~options:{ Runtime.retransmit_after = Time.ms 50; max_retries = 10; backoff = None }
+      in
+      outs :=
+        Some (Runtime.call binding client ctx ~proc_idx:Workload.Test_interface.null_idx ~args:[]));
+  World.run_until_quiet w gate;
+  Alcotest.(check bool) "call completed despite forged fragments" true (!outs = Some []);
+  Alcotest.(check int) "caller leaked no registration" 0
+    (Rpc.Node.outstanding_callers w.World.caller_node)
+
+let test_retained_gc_races () =
+  (* The three-way race over a retained result: a duplicate call must be
+     answered from it; the activity's next call reclaims it while the
+     5 s GC timer from the previous call is still pending (the stale
+     timer must not double-free); and a duplicate of the new call right
+     after must still find the fresh retained reply. *)
+  let w = World.create () in
+  let gate = Sim.Gate.create w.World.eng in
+  let act = forged_activity w ~thread:902 in
+  let execs : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  Runtime.set_execution_probe w.World.server_rt
+    (Some
+       (fun a seq ->
+         if a = act then
+           Hashtbl.replace execs seq (1 + Option.value ~default:0 (Hashtbl.find_opt execs seq))));
+  let dups0 = Runtime.duplicates_suppressed w.World.server_rt in
+  let dups_after_first = ref 0 in
+  let got_reply = ref false in
+  run_caller w gate (fun _client ctx ->
+      let send seq = raw_send w ctx (forged_call ~act ~seq ~frag_idx:0 ~frag_count:1) in
+      send 1;
+      pause w ctx 100;
+      send 1 (* duplicate: answered from the retained result *);
+      pause w ctx 10;
+      dups_after_first := Runtime.duplicates_suppressed w.World.server_rt - dups0;
+      (* Race the next call against seq 1's 5 s retain-GC timer. *)
+      pause w ctx 4800;
+      send 2 (* reclaims seq 1's result, executes, retains anew *);
+      pause w ctx 400 (* the stale seq-1 timer fires in here: must be a no-op *);
+      (* The duplicate's resent Result must actually come back. *)
+      let entry = Rpc.Node.new_entry w.World.caller_node in
+      Rpc.Node.register_caller w.World.caller_node act entry;
+      send 2;
+      (match Rpc.Node.wait_timeout w.World.caller_node entry ctx ~timeout:(Time.ms 100) with
+      | `Ok | `Timeout -> ());
+      (match Rpc.Node.Entry.inbox_pop entry with
+      | Some d -> got_reply := d.Rpc.Node.d_hdr.Rpc.Proto.ptype = Rpc.Proto.Result
+      | None -> ());
+      Rpc.Node.unregister_caller w.World.caller_node act);
+  World.run_until_quiet w gate;
+  Alcotest.(check int) "first duplicate answered from the retained result" 1 !dups_after_first;
+  Alcotest.(check bool) "retained reply not lost across the generation bump" true !got_reply;
+  Alcotest.(check int) "each sequence executed exactly once" 1
+    (Hashtbl.fold (fun _ n acc -> max n acc) execs 0);
+  Alcotest.(check int) "both sequences reached the implementation" 2 (Hashtbl.length execs);
+  (* No double-free from the stale timer, and seq 2's own GC reclaims
+     its retained buffer: the pool returns to its 16 receive credits. *)
+  Engine.run_until w.World.eng (Time.add (Engine.now w.World.eng) (Time.sec 6));
+  Alcotest.(check int) "server pool back to baseline" 16
+    (Nub.Bufpool.in_use (Machine.pool w.World.server))
+
+let test_duplicate_after_gc_counts_nothing () =
+  (* Pre-fix, a duplicate arriving after the retain GC had reclaimed the
+     result still bumped the duplicate counter and journalled a
+     Retransmit even though no packet went out. *)
+  let w = World.create () in
+  let gate = Sim.Gate.create w.World.eng in
+  let act = forged_activity w ~thread:903 in
+  let dups_after_gc = ref (-1) in
+  run_caller w gate (fun _client ctx ->
+      let send seq = raw_send w ctx (forged_call ~act ~seq ~frag_idx:0 ~frag_count:1) in
+      send 1;
+      (* Let the 5 s retain GC reclaim the result... *)
+      pause w ctx 6000;
+      let dups0 = Runtime.duplicates_suppressed w.World.server_rt in
+      send 1 (* ...then duplicate it: nothing retained, nothing sent *);
+      pause w ctx 10;
+      dups_after_gc := Runtime.duplicates_suppressed w.World.server_rt - dups0);
+  World.run_until_quiet w gate;
+  Alcotest.(check int) "no phantom retransmission counted" 0 !dups_after_gc;
+  Alcotest.(check int) "activity still tracked" 1 (Runtime.server_activities w.World.server_rt);
+  Alcotest.(check int) "server pool back to baseline" 16
+    (Nub.Bufpool.in_use (Machine.pool w.World.server))
+
 let suite =
   [
     Alcotest.test_case "retained result GC" `Quick test_retained_result_gc;
@@ -247,4 +446,9 @@ let suite =
     Alcotest.test_case "streaming under loss" `Quick test_streaming_under_loss;
     Alcotest.test_case "traditional demux correctness" `Quick test_traditional_demux_correctness;
     Alcotest.test_case "server restart" `Quick test_server_restart;
+    Alcotest.test_case "malformed call fragments" `Quick test_malformed_call_fragments;
+    Alcotest.test_case "result fragment validation" `Quick test_result_fragment_validation;
+    Alcotest.test_case "retained-result GC races" `Quick test_retained_gc_races;
+    Alcotest.test_case "duplicate after GC counts nothing" `Quick
+      test_duplicate_after_gc_counts_nothing;
   ]

@@ -90,7 +90,7 @@ let with_vault ?caller_config ?server_config ?import_auth f =
     ~auth:key;
   let binding =
     Binder.import w.World.binder w.World.caller_rt ~name:"Vault" ~version:1
-      ~options:{ Runtime.retransmit_after = Time.ms 30; max_retries = 3 }
+      ~options:{ Runtime.retransmit_after = Time.ms 30; max_retries = 3; backoff = None }
       ?auth:import_auth ()
   in
   let out = ref None in
