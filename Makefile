@@ -1,8 +1,16 @@
 # Continuous-integration entry point: `make check` is what a CI job
 # runs — a clean build plus the full tier-1 test suite, including the
 # bounded-seed simulation-testing tier (test/check).
+#
+# Set JOBS=N to fan simulation sweeps and benchmark table regeneration
+# out over N worker domains (default: the binary's own default, the
+# machine's recommended domain count; JOBS=1 forces the exact serial
+# path with byte-identical output).
 
-.PHONY: all build test check sim-check sim-matrix clean
+JOBS ?=
+JOBS_FLAG = $(if $(JOBS),--jobs $(JOBS),)
+
+.PHONY: all build test check sim-check sim-matrix bench bench-json clean
 
 all: build
 
@@ -18,12 +26,22 @@ check: build test
 # Longer fault-plan exploration than the bounded tier-1 run; prints a
 # seed and a minimal fault plan on any invariant violation.
 sim-check: build
-	dune exec bin/firefly.exe -- check --seeds 100
+	dune exec bin/firefly.exe -- check --seeds 100 $(JOBS_FLAG)
 
 # The CI sweep: seeded fault plans against every cell of the
 # configuration matrix, dumping shrunk plans + traces on failure.
 sim-matrix: build
-	dune exec bin/firefly.exe -- check --matrix --seeds 5 --out-dir check-failures
+	dune exec bin/firefly.exe -- check --matrix --seeds 5 --out-dir check-failures $(JOBS_FLAG)
+
+# Regenerate every table of the paper at full call counts, plus the
+# Bechamel kernel microbenchmarks.
+bench: build
+	dune exec bench/main.exe -- --microbench $(JOBS_FLAG)
+
+# Refresh the checked-in microbenchmark baseline (quick tables so the
+# run stays short; the kernel numbers are measured the same either way).
+bench-json: build
+	dune exec bench/main.exe -- --quick --json BENCH_5.json $(JOBS_FLAG)
 
 clean:
 	dune clean

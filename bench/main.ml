@@ -7,9 +7,15 @@
 
    [--quick] uses reduced call counts (same tables, more noise).
    [--only ID] runs a single experiment (see [--list]).
+   [--jobs N] regenerates independent experiments on N domains
+   (default: the machine's recommended domain count); [--jobs 1] is the
+   exact serial path with byte-identical output.
    [--microbench] additionally runs Bechamel microbenchmarks of the
    genuinely computational kernels (checksums, marshalling, header
-   codecs, event queue), measured in real wall-clock time. *)
+   codecs, event queue), measured in real wall-clock time, plus an
+   engine throughput probe (events/sec, allocated bytes/event).
+   [--json FILE] (implies --microbench) persists the microbenchmark
+   numbers as JSON — the checked-in BENCH_5.json baseline. *)
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
@@ -20,6 +26,28 @@ let run_experiment ~quick (e : Experiments.Registry.entry) =
   let tables = e.Experiments.Registry.run ~quick ~metrics:false in
   List.iter (fun t -> print_string (Report.Table.render t)) tables;
   say "  (computed in %.1fs of wall-clock)" (Unix.gettimeofday () -. t0)
+
+(* The parallel path renders off the main domain and prints afterwards,
+   in registry order — the tables come out identical to the serial
+   sweep, only the wall-clock annotations (inherently run-to-run noise)
+   can differ. *)
+let render_experiment ~quick (e : Experiments.Registry.entry) =
+  let t0 = Unix.gettimeofday () in
+  let tables = e.Experiments.Registry.run ~quick ~metrics:false in
+  let body = String.concat "" (List.map Report.Table.render tables) in
+  (body, Unix.gettimeofday () -. t0)
+
+let run_experiments ~quick ~jobs entries =
+  if jobs <= 1 then List.iter (run_experiment ~quick) entries
+  else
+    let rendered = Par.Pool.map_list ~jobs (render_experiment ~quick) entries in
+    List.iter2
+      (fun (e : Experiments.Registry.entry) (body, dt) ->
+        say "";
+        say "### %s — %s" e.Experiments.Registry.id e.Experiments.Registry.title;
+        print_string body;
+        say "  (computed in %.1fs of wall-clock)" dt)
+      entries rendered
 
 (* {1 Bechamel microbenchmarks of the real computational kernels} *)
 
@@ -111,36 +139,100 @@ let microbench_tests () =
              ignore (Workload.Driver.measure_single_call w ~proc:Workload.Driver.Null ())));
     ]
 
-let run_microbench () =
+(* Engine throughput: 64 interleaved event chains, half a million
+   events, measured in real time and real allocation.  [Gc.allocated_bytes]
+   counts every word the mutator allocates, so alloc/event covers the
+   scheduled closure plus whatever the event queue itself costs — the
+   number the intrusive-heap work is meant to shrink. *)
+let measure_engine_throughput () =
+  let chains = 64 and steps = 8192 in
+  let eng = Sim.Engine.create () in
+  let rec tick remaining () =
+    if remaining > 0 then Sim.Engine.schedule eng ~after:(Sim.Time.ns 100) (tick (remaining - 1))
+  in
+  for _ = 1 to chains do
+    Sim.Engine.schedule eng (tick steps)
+  done;
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  Sim.Engine.run eng;
+  let dt = Unix.gettimeofday () -. t0 in
+  let alloc = Gc.allocated_bytes () -. a0 in
+  let events = Sim.Engine.events_executed eng in
+  (float_of_int events /. dt, alloc /. float_of_int events)
+
+let collect_microbench () =
   let open Bechamel in
-  say "";
-  say "### microbenchmarks (real wall-clock, Bechamel OLS ns/iter)";
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
   let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] (microbench_tests ()) in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
-  List.iter
+  List.filter_map
     (fun (name, v) ->
       match Analyze.OLS.estimates v with
-      | Some [ est ] -> say "  %-32s %12.1f ns/iter" name est
-      | _ -> say "  %-32s (no estimate)" name)
+      | Some [ est ] -> Some (name, est)
+      | _ -> None)
     (List.sort compare rows)
+
+let run_microbench () =
+  say "";
+  say "### microbenchmarks (real wall-clock, Bechamel OLS ns/iter)";
+  let kernels = collect_microbench () in
+  List.iter (fun (name, est) -> say "  %-32s %12.1f ns/iter" name est) kernels;
+  let events_per_sec, alloc_per_event = measure_engine_throughput () in
+  say "  %-32s %12.0f events/sec" "engine-throughput" events_per_sec;
+  say "  %-32s %12.1f bytes alloc/event" "engine-allocation" alloc_per_event;
+  (kernels, events_per_sec, alloc_per_event)
+
+let write_json ~file ~quick (kernels, events_per_sec, alloc_per_event) =
+  let open Obs.Json in
+  let null_rpc =
+    match List.assoc_opt "kernels/simulated-null-rpc" kernels with
+    | Some ns -> Num ns
+    | None -> Null
+  in
+  let doc =
+    Obj
+      [
+        ("schema", Str "firefly-bench/1");
+        ("quick", Bool quick);
+        ("kernels_ns_per_iter", Obj (List.map (fun (n, v) -> (n, Num v)) kernels));
+        ("simulated_null_rpc_ns", null_rpc);
+        ("engine_events_per_sec", Num events_per_sec);
+        ("engine_alloc_bytes_per_event", Num alloc_per_event);
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  say "  (microbenchmark JSON written to %s)" file
 
 let () =
   let quick = ref false in
   let micro = ref false in
   let only = ref [] in
   let list_only = ref false in
+  let jobs = ref (Par.Pool.default_jobs ()) in
+  let json = ref None in
   let args =
     [
       ("--quick", Arg.Set quick, "reduced call counts");
       ("--microbench", Arg.Set micro, "also run Bechamel kernel microbenchmarks");
       ("--only", Arg.String (fun s -> only := s :: !only), "ID run a single experiment");
       ("--list", Arg.Set list_only, "list experiment ids");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N worker domains for table regeneration (default: recommended domain count; 1 = serial)"
+      );
+      ( "--json",
+        Arg.String (fun s -> json := Some s),
+        "FILE write microbenchmark results to FILE as JSON (implies --microbench)" );
     ]
   in
   Arg.parse args (fun _ -> ()) "firefly-rpc benchmark harness";
+  if !json <> None then micro := true;
   if !list_only then
     List.iter
       (fun e -> say "%-14s %s" e.Experiments.Registry.id e.Experiments.Registry.title)
@@ -161,6 +253,11 @@ let () =
               None)
           (List.rev ids)
     in
-    List.iter (run_experiment ~quick:!quick) entries;
-    if !micro then run_microbench ()
+    run_experiments ~quick:!quick ~jobs:!jobs entries;
+    if !micro then begin
+      let results = run_microbench () in
+      match !json with
+      | Some file -> write_json ~file ~quick:!quick results
+      | None -> ()
+    end
   end

@@ -123,8 +123,18 @@ let list_cmd =
 
 (* {1 firefly repro} *)
 
+let jobs_term =
+  Arg.(
+    value
+    & opt int (Par.Pool.default_jobs ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent simulations (default: the machine's recommended \
+           domain count).  $(b,--jobs 1) runs the exact serial path with byte-identical \
+           output.")
+
 let repro_cmd =
-  let run quick metrics ids =
+  let run quick metrics jobs ids =
     let entries =
       match ids with
       | [] -> Experiments.Registry.all
@@ -136,14 +146,34 @@ let repro_cmd =
             | None -> failwith (Printf.sprintf "unknown experiment %S (try `firefly list`)" id))
           ids
     in
-    List.iter
-      (fun e ->
-        say "";
-        say "### %s — %s" e.Experiments.Registry.id e.Experiments.Registry.title;
-        List.iter
-          (fun t -> print_string (Report.Table.render t))
-          (e.Experiments.Registry.run ~quick ~metrics))
-      entries
+    if jobs <= 1 then
+      (* The historical serial loop, kept verbatim for --jobs 1. *)
+      List.iter
+        (fun e ->
+          say "";
+          say "### %s — %s" e.Experiments.Registry.id e.Experiments.Registry.title;
+          List.iter
+            (fun t -> print_string (Report.Table.render t))
+            (e.Experiments.Registry.run ~quick ~metrics))
+        entries
+    else begin
+      (* Each entry regenerates on a worker domain (every simulation
+         owns its engine); rendering to strings and printing afterwards
+         in registry order keeps the output identical to serial. *)
+      let rendered =
+        Par.Pool.map_list ~jobs
+          (fun (e : Experiments.Registry.entry) ->
+            String.concat ""
+              (List.map Report.Table.render (e.Experiments.Registry.run ~quick ~metrics)))
+          entries
+      in
+      List.iter2
+        (fun (e : Experiments.Registry.entry) body ->
+          say "";
+          say "### %s — %s" e.Experiments.Registry.id e.Experiments.Registry.title;
+          print_string body)
+        entries rendered
+    end
   in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced call counts.") in
   let metrics =
@@ -156,7 +186,7 @@ let repro_cmd =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
   Cmd.v
     (Cmd.info "repro" ~doc:"Regenerate the paper's tables (all, or the given IDs).")
-    Term.(const run $ quick $ metrics $ ids)
+    Term.(const run $ quick $ metrics $ jobs_term $ ids)
 
 (* {1 firefly call} *)
 
@@ -370,12 +400,13 @@ let profile_cmd =
 
 let check_cmd =
   let run seeds base_seed threads calls payload bug fifo max_steps matrix uniproc streaming
-      secured out_dir verbose =
+      secured out_dir verbose jobs =
     if seeds < 1 then Error (`Msg "--seeds must be >= 1")
     else if threads < 1 then Error (`Msg "--threads must be >= 1")
     else if calls < 1 then Error (`Msg "--calls must be >= 1")
     else if payload < 0 then Error (`Msg "--payload must be >= 0")
     else if max_steps < 1 then Error (`Msg "--max-steps must be >= 1")
+    else if jobs < 1 then Error (`Msg "--jobs must be >= 1")
     else begin
     let config =
       {
@@ -398,11 +429,11 @@ let check_cmd =
         let progress cell seed =
           if verbose then say "[%s] seed %d..." (Check.Explorer.cell_to_string cell) seed
         in
-        Check.Explorer.explore_matrix ~progress config ~base_seed ~seeds_per_cell:seeds
+        Check.Explorer.explore_matrix ~progress ~jobs config ~base_seed ~seeds_per_cell:seeds
       end
       else begin
         let progress seed = if verbose then say "seed %d..." seed in
-        Check.Explorer.explore ~progress config ~base_seed ~seeds
+        Check.Explorer.explore ~progress ~jobs config ~base_seed ~seeds
       end
     in
     let failures = summary.Check.Explorer.failures in
@@ -513,7 +544,7 @@ let check_cmd =
     Term.(
       term_result ~usage:true
         (const run $ seeds $ base_seed $ threads $ calls $ payload $ bug $ fifo $ max_steps
-        $ matrix $ uniproc $ streaming $ secured $ out_dir $ verbose))
+        $ matrix $ uniproc $ streaming $ secured $ out_dir $ verbose $ jobs_term))
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -62,14 +62,16 @@ let workload_limit = Time.sec 120
 let settle_window = Time.sec 8
 
 (* The shared key for secured-cell runs; distribution is out of band in
-   the real system, a constant here. *)
-let matrix_key = lazy (Rpc.Secure.key_of_string "check-harness")
+   the real system, a constant here.  A plain value, not [lazy]:
+   [Lazy.force] is not domain-safe, and parallel matrix sweeps reach
+   this from every worker domain. *)
+let matrix_key = Rpc.Secure.key_of_string "check-harness"
 
 let run_plan ?(trace = false) config ~seed ~plan =
   if config.threads < 1 then invalid_arg "Explorer.run_plan: threads must be >= 1";
   let base = if config.uniproc then Hw.Config.uniprocessor else Hw.Config.default in
   let mc = { base with Hw.Config.streaming_results = config.streaming } in
-  let auth = if config.secured then Some (Lazy.force matrix_key) else None in
+  let auth = if config.secured then Some matrix_key else None in
   let w =
     World.create ~caller_config:mc ~server_config:mc ~seed ~tie_break:config.tie_break ?auth ()
   in
@@ -175,23 +177,46 @@ let shrink config outcome =
 
 type summary = { seeds_run : int; failures : outcome list }
 
-let explore ?progress config ~base_seed ~seeds =
+(* One seed's complete investigation — run, and on violation shrink and
+   re-run the minimal reproducer with tracing.  Self-contained (its own
+   engine and machines), so seeds can run on worker domains. *)
+let investigate_seed config ~seed =
+  let o = run_seed config ~seed in
+  if o.violations = [] then None
+  else begin
+    let minimal = shrink config o in
+    (* Re-run the minimal reproducer with tracing for the report. *)
+    Some (run_plan ~trace:true config ~seed ~plan:minimal.plan)
+  end
+
+let explore ?progress ?(jobs = 1) config ~base_seed ~seeds =
   if seeds < 1 then invalid_arg "Explorer.explore: seeds must be >= 1";
-  let failures = ref [] in
-  for k = 0 to seeds - 1 do
-    let seed = base_seed + k in
+  if jobs <= 1 then begin
+    (* The serial path is kept exactly as it always was — byte-identical
+       output is the [--jobs 1] contract. *)
+    let failures = ref [] in
+    for k = 0 to seeds - 1 do
+      let seed = base_seed + k in
+      (match progress with
+      | Some f -> f seed
+      | None -> ());
+      match investigate_seed config ~seed with
+      | Some traced -> failures := traced :: !failures
+      | None -> ()
+    done;
+    { seeds_run = seeds; failures = List.rev !failures }
+  end
+  else begin
+    (* Parallel: progress is announced up front (batch dispatch), the
+       per-seed investigations fan out, and failures come back in seed
+       order because the pool preserves input order. *)
+    let seeds_list = List.init seeds (fun k -> base_seed + k) in
     (match progress with
-    | Some f -> f seed
+    | Some f -> List.iter f seeds_list
     | None -> ());
-    let o = run_seed config ~seed in
-    if o.violations <> [] then begin
-      let minimal = shrink config o in
-      (* Re-run the minimal reproducer with tracing for the report. *)
-      let traced = run_plan ~trace:true config ~seed ~plan:minimal.plan in
-      failures := traced :: !failures
-    end
-  done;
-  { seeds_run = seeds; failures = List.rev !failures }
+    let results = Par.Pool.map_list ~jobs (fun seed -> investigate_seed config ~seed) seeds_list in
+    { seeds_run = seeds; failures = List.filter_map Fun.id results }
+  end
 
 (* {1 The configuration matrix} *)
 
@@ -231,24 +256,49 @@ let apply_cell config c =
     payload = c.m_payload;
   }
 
-let explore_matrix ?progress config ~base_seed ~seeds_per_cell =
+let explore_matrix ?progress ?(jobs = 1) config ~base_seed ~seeds_per_cell =
   if seeds_per_cell < 1 then invalid_arg "Explorer.explore_matrix: seeds_per_cell must be >= 1";
-  let failures = ref [] in
-  let run = ref 0 in
-  List.iteri
-    (fun i cell ->
-      let cfg = apply_cell config cell in
-      let s =
-        explore
-          ?progress:(Option.map (fun f seed -> f cell seed) progress)
-          cfg
-          ~base_seed:(base_seed + (i * seeds_per_cell))
-          ~seeds:seeds_per_cell
-      in
-      run := !run + s.seeds_run;
-      failures := !failures @ s.failures)
-    matrix_cells;
-  { seeds_run = !run; failures = !failures }
+  if jobs <= 1 then begin
+    (* Serial: the historical cell-by-cell loop, unchanged. *)
+    let failures = ref [] in
+    let run = ref 0 in
+    List.iteri
+      (fun i cell ->
+        let cfg = apply_cell config cell in
+        let s =
+          explore
+            ?progress:(Option.map (fun f seed -> f cell seed) progress)
+            cfg
+            ~base_seed:(base_seed + (i * seeds_per_cell))
+            ~seeds:seeds_per_cell
+        in
+        run := !run + s.seeds_run;
+        failures := !failures @ s.failures)
+      matrix_cells;
+    { seeds_run = !run; failures = !failures }
+  end
+  else begin
+    (* Parallel: flatten the matrix to independent (cell, seed) tasks.
+       Seed assignment is identical to the serial sweep, and the pool
+       returns results in input order, so the failure list — and
+       everything rendered from it — matches the serial sweep exactly. *)
+    let tasks =
+      List.concat
+        (List.mapi
+           (fun i cell ->
+             List.init seeds_per_cell (fun k -> (cell, base_seed + (i * seeds_per_cell) + k)))
+           matrix_cells)
+    in
+    (match progress with
+    | Some f -> List.iter (fun (cell, seed) -> f cell seed) tasks
+    | None -> ());
+    let results =
+      Par.Pool.map_list ~jobs
+        (fun (cell, seed) -> investigate_seed (apply_cell config cell) ~seed)
+        tasks
+    in
+    { seeds_run = List.length tasks; failures = List.filter_map Fun.id results }
+  end
 
 let trace_tail = 40
 

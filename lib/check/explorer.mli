@@ -66,9 +66,14 @@ val shrink : config -> outcome -> outcome
 
 type summary = { seeds_run : int; failures : outcome list (** shrunk, traced *) }
 
-val explore : ?progress:(int -> unit) -> config -> base_seed:int -> seeds:int -> summary
+val explore :
+  ?progress:(int -> unit) -> ?jobs:int -> config -> base_seed:int -> seeds:int -> summary
 (** Runs seeds [base_seed .. base_seed + seeds - 1]; [progress] is
-    called with each seed before its run. *)
+    called with each seed before its run.  [jobs] (default 1) fans the
+    per-seed investigations out over that many domains; results are
+    identical to the serial run (seed assignment and failure order are
+    preserved), except that with [jobs > 1] all [progress] calls happen
+    up front.  [jobs = 1] is the exact historical serial path. *)
 
 (** {1 The configuration matrix}
 
@@ -89,11 +94,19 @@ val apply_cell : config -> cell -> config
 (** The base config with the cell's four axes substituted in. *)
 
 val explore_matrix :
-  ?progress:(cell -> int -> unit) -> config -> base_seed:int -> seeds_per_cell:int -> summary
+  ?progress:(cell -> int -> unit) ->
+  ?jobs:int ->
+  config ->
+  base_seed:int ->
+  seeds_per_cell:int ->
+  summary
 (** [explore] over every cell of {!matrix_cells} (cell [i] uses seeds
     [base_seed + i * seeds_per_cell ...]), taking [config] as the
     template for everything the cell does not fix.  [summary.seeds_run]
-    totals every run across the matrix. *)
+    totals every run across the matrix.  [jobs > 1] runs the
+    (cell, seed) grid on a domain pool; each simulation keeps its own
+    engine and seed, so failures (and their shrunk plans and traces)
+    are identical to the serial sweep, in the same order. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** Human-readable failure report: seed, minimal plan, violations, a

@@ -385,10 +385,14 @@ let install_handler ep =
 
 (* One protocol engine per node: a second endpoint would displace the
    first's ethertype hook.  The registry is keyed by node identity, so
-   distinct simulations never collide (each builds fresh nodes). *)
+   distinct simulations never collide (each builds fresh nodes) — but
+   it is process-global state, so lookups and registrations from
+   parallel worker domains must serialise on a real mutex. *)
 let registry : (Node.t * endpoint) list ref = ref []
+let registry_lock = Stdlib.Mutex.create ()
 
 let endpoint node =
+  Stdlib.Mutex.protect registry_lock @@ fun () ->
   match List.find_opt (fun (n, _) -> n == node) !registry with
   | Some (_, ep) -> ep
   | None ->

@@ -1,5 +1,6 @@
 module W = Wire.Bytebuf.Writer
 module R = Wire.Bytebuf.Reader
+module V = Wire.Bytebuf.View
 module Timing = Hw.Timing
 
 type endpoint = { mac : Net.Mac.t; ip : Net.Ipv4.Addr.t }
@@ -11,7 +12,7 @@ let checksums_on timing = (Timing.config timing).Hw.Config.udp_checksums
 
 let frame_size timing ~payload_len = Timing.frame_overhead_bytes timing + payload_len
 
-type parsed = { p_src : endpoint; p_hdr : Proto.header; p_payload : Bytes.t }
+type parsed = { p_src : endpoint; p_hdr : Proto.header; p_payload : V.t }
 
 let build timing ~src ~dst ~hdr ~payload ~payload_pos ~payload_len =
   let total = frame_size timing ~payload_len in
@@ -55,14 +56,16 @@ let build timing ~src ~dst ~hdr ~payload ~payload_pos ~payload_len =
         W.sub w payload ~pos:payload_pos ~len:payload_len)
       ()
   end;
-  W.contents w
+  (* The writer was sized to exactly [total], so the finished frame is
+     the writer's buffer itself — no trailing copy per packet. *)
+  W.to_bytes w
 
 let parse_rpc_and_payload r =
   match Proto.decode r with
   | Error e -> Error e
   | Ok hdr ->
     if R.remaining r < hdr.Proto.data_len then Error "rpc: payload shorter than data_len"
-    else Ok (hdr, R.bytes r hdr.Proto.data_len)
+    else Ok (hdr, R.view r hdr.Proto.data_len)
 
 let parse timing frame =
   let r = R.of_bytes frame in
@@ -111,7 +114,7 @@ let parse timing frame =
           | Ok (udp, datagram) ->
             if udp.Net.Udp.dst_port <> rpc_udp_port then Error "frame: not the RPC port"
             else
-              match parse_rpc_and_payload (R.of_bytes datagram) with
+              match parse_rpc_and_payload (R.of_view datagram) with
               | Error e -> Error e
               | Ok (hdr, payload) ->
                 Ok

@@ -30,7 +30,10 @@ val build :
 type parsed = {
   p_src : endpoint;
   p_hdr : Proto.header;
-  p_payload : Stdlib.Bytes.t;  (** copied out of the frame *)
+  p_payload : Wire.Bytebuf.View.t;
+      (** a non-copying window into the frame; frames are immutable
+          after delivery, so the view stays valid for as long as the
+          receiver holds it *)
 }
 
 val parse : Hw.Timing.t -> Stdlib.Bytes.t -> (parsed, string) result

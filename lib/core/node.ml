@@ -6,7 +6,7 @@ module Machine = Nub.Machine
 module Driver = Nub.Driver
 module Activity = Proto.Activity
 
-type delivery = { d_src : Frames.endpoint; d_hdr : Proto.header; d_payload : Bytes.t }
+type delivery = { d_src : Frames.endpoint; d_hdr : Proto.header; d_payload : Wire.Bytebuf.View.t }
 
 module Entry = struct
   type t = { waiter : Nub.Waiter.t; inbox : delivery Queue.t }
@@ -79,8 +79,11 @@ let wait_timeout t entry ctx ~timeout = ignore t; Nub.Waiter.wait_timeout entry.
 let cat = "send+receive"
 
 (* One packet, already parsed.  Runs on CPU 0 at interrupt priority.
-   Returns the driver verdict; on [Consumed] the frame's pool buffer is
-   freed here (payload was copied out by the parser). *)
+   Returns the driver verdict; on [Consumed] the frame's simulated pool
+   buffer is freed here.  The delivery's payload is a zero-copy view of
+   the frame: the accounting buffer goes back to the pool, while the
+   real bytes stay alive (GC-owned, immutable) until the runtime is
+   done with them. *)
 let demux t ctx (p : Frames.parsed) =
   let hdr = p.Frames.p_hdr in
   let d = { d_src = p.Frames.p_src; d_hdr = hdr; d_payload = p.Frames.p_payload } in

@@ -17,7 +17,15 @@ type t
 (** An incoming packet as handed to a thread: who sent it, its RPC
     header, and the payload (copied out of the frame buffer, which the
     interrupt handler recycles immediately). *)
-type delivery = { d_src : Frames.endpoint; d_hdr : Proto.header; d_payload : Stdlib.Bytes.t }
+type delivery = {
+  d_src : Frames.endpoint;
+  d_hdr : Proto.header;
+  d_payload : Wire.Bytebuf.View.t;
+      (** aliases the received frame (zero-copy); the simulated packet
+          buffer is returned to the pool by the demultiplexer, but the
+          real bytes are GC-owned and immutable, so the view stays
+          valid while the runtime reassembles fragments *)
+}
 
 (** A parked thread: the interrupt handler appends deliveries to its
     inbox and wakes it. *)

@@ -6,6 +6,7 @@ module Machine = Nub.Machine
 module Activity = Proto.Activity
 module W = Wire.Bytebuf.Writer
 module R = Wire.Bytebuf.Reader
+module V = Wire.Bytebuf.View
 
 type impl = Cpu_set.ctx -> Marshal.value list -> Marshal.value list
 
@@ -23,7 +24,7 @@ type server_act = {
   mutable sa_last_seq : int;  (** highest completed call *)
   mutable sa_working : bool;
   mutable sa_cur_seq : int;
-  mutable sa_retained : (Proto.header * Bytes.t) list;
+  mutable sa_retained : (Proto.header * V.t) list;
   mutable sa_reply_to : Frames.endpoint option;
   mutable sa_retained_bufs : int;
   mutable sa_generation : int;  (** bumps cancel pending retain GC *)
@@ -47,6 +48,12 @@ type t = {
   rt_pending_slow : Node.delivery Queue.t;
   rt_local_pool : local_worker Queue.t;
   rt_local_pending : local_call Queue.t;
+  (* Scratch buffer for marshalling payloads: stubs encode into this
+     reusable buffer and copy out exactly the bytes written, instead of
+     allocating a worst-case-bound buffer per call.  Safe without a
+     lock: encoding performs no engine effects, so simulated threads
+     never interleave inside it. *)
+  mutable rt_scratch : Bytes.t;
   mutable rt_next_thread : int;
   mutable rt_exec_probe : (Activity.t -> int -> unit) option;
   c_calls : Sim.Stats.Counter.t;
@@ -73,6 +80,7 @@ let create nd ~space =
       rt_pending_slow = Queue.create ();
       rt_local_pool = Queue.create ();
       rt_local_pending = Queue.create ();
+      rt_scratch = Bytes.create 2048;
       rt_next_thread = 1;
       rt_exec_probe = None;
       c_calls = Sim.Stats.Counter.create ();
@@ -138,8 +146,11 @@ let free_bufs t n =
 let payload_bound p =
   List.fold_left (fun acc a -> acc + Idl.wire_size_bound a.Idl.ty) 0 p.Idl.args
 
-let encode_payload p dir values bound =
-  let w = W.create (max bound 16) in
+let encode_payload t p dir values bound =
+  let bound = max bound 16 in
+  if Bytes.length t.rt_scratch < bound then
+    t.rt_scratch <- Bytes.create (max bound (2 * Bytes.length t.rt_scratch));
+  let w = W.over t.rt_scratch ~pos:0 in
   Marshal.encode_args w dir p values;
   W.contents w
 
@@ -201,9 +212,11 @@ let dispatch t ctx ~intf_id ~proc_idx ~payload ~secured ~seq ~trusted :
         | Some _, false ->
           if trusted then Ok payload else Error "authentication required"
         | Some key, true -> (
-          charge_security t ctx ~bytes:(Bytes.length payload);
-          match Secure.unseal key ~seq payload with
-          | Ok plain -> Ok plain
+          charge_security t ctx ~bytes:(V.length payload);
+          (* Unsealing necessarily materialises the ciphertext; the
+             common unsecured path stays zero-copy. *)
+          match Secure.unseal key ~seq (V.to_bytes payload) with
+          | Ok plain -> Ok (V.of_bytes plain)
           | Error e -> Error e)
       in
       match unsealed with
@@ -211,7 +224,7 @@ let dispatch t ctx ~intf_id ~proc_idx ~payload ~secured ~seq ~trusted :
       | Ok payload -> (
         let p = ex.ex_intf.Idl.procs.(proc_idx) in
         match
-          try Ok (Marshal.decode_args (R.of_bytes payload) Marshal.In_call_packet p)
+          try Ok (Marshal.decode_args (R.of_view payload) Marshal.In_call_packet p)
           with Rpc_error.Rpc e -> Error (Rpc_error.to_string e)
         with
         | Error e -> Error e
@@ -230,7 +243,7 @@ let dispatch t ctx ~intf_id ~proc_idx ~payload ~secured ~seq ~trusted :
           | Ok outs -> (
             try
               let full = merge_outs p in_values outs in
-              let result = encode_payload p Marshal.In_result_packet full (payload_bound p) in
+              let result = encode_payload t p Marshal.In_result_packet full (payload_bound p) in
               (* VAR OUT results are written in place by the server
                  procedure — no server-side copy (§2.2); Value/Text
                  server marshalling costs are charged here. *)
@@ -433,7 +446,7 @@ let call_ether client ctx (b : ether_binding) ~proc_idx ~args =
   charge_rt ctx ~label:"Starter" (Timing.starter tmg);
   client.cl_seq <- client.cl_seq + 1;
   let seq = client.cl_seq in
-  let payload = encode_payload p Marshal.In_call_packet args (payload_bound p) in
+  let payload = encode_payload t p Marshal.In_call_packet args (payload_bound p) in
   Marshal.charge_args tmg ctx Marshal.Caller_side Marshal.In_call_packet p args;
   (* Authenticated binding: seal the whole call payload before
      fragmentation (§7's security hooks). *)
@@ -494,11 +507,11 @@ let call_ether client ctx (b : ether_binding) ~proc_idx ~args =
             | Proto.Ack when h.Proto.seq = seq && h.Proto.frag_idx = i -> `Done ()
             | Proto.Busy when h.Proto.seq = seq -> `Progress
             | Proto.Error_reply when h.Proto.seq = seq ->
-              raise (Give_up ("server: " ^ Bytes.to_string d.Node.d_payload))
+              raise (Give_up ("server: " ^ V.to_string d.Node.d_payload))
             | _ -> `Continue)
     done;
     (* Await the result, acknowledging all but its last fragment. *)
-    let result_frags : (int, Bytes.t) Hashtbl.t = Hashtbl.create 4 in
+    let result_frags : (int, V.t) Hashtbl.t = Hashtbl.create 4 in
     let result_secured = ref false in
     let result_count = ref None in
     let complete () =
@@ -517,7 +530,7 @@ let call_ether client ctx (b : ether_binding) ~proc_idx ~args =
           match h.Proto.ptype with
           | Proto.Busy | Proto.Ack -> `Progress
           | Proto.Error_reply ->
-            raise (Give_up ("server: " ^ Bytes.to_string d.Node.d_payload))
+            raise (Give_up ("server: " ^ V.to_string d.Node.d_payload))
           | Proto.Result
             when h.Proto.frag_count < 1
                  || h.Proto.frag_idx < 0
@@ -552,13 +565,21 @@ let call_ether client ctx (b : ether_binding) ~proc_idx ~args =
     (* Reassemble and unmarshal the result. *)
     charge_rt ctx ~label:"Transporter (receive result pkt)" (Timing.transporter_recv tmg);
     let n = Option.get !result_count in
-    let buf = Buffer.create 256 in
-    for i = 0 to n - 1 do
-      match Hashtbl.find_opt result_frags i with
-      | Some d -> Buffer.add_bytes buf d
-      | None -> Rpc_error.fail (Rpc_error.Protocol_violation "missing result fragment")
-    done;
-    let result_payload = Buffer.to_bytes buf in
+    let missing () = Rpc_error.fail (Rpc_error.Protocol_violation "missing result fragment") in
+    (* Single-fragment results — the common case — are decoded straight
+       out of the frame; only multi-fragment results are concatenated. *)
+    let result_payload =
+      if n = 1 then (match Hashtbl.find_opt result_frags 0 with Some v -> v | None -> missing ())
+      else begin
+        let buf = Buffer.create 256 in
+        for i = 0 to n - 1 do
+          match Hashtbl.find_opt result_frags i with
+          | Some v -> V.add_to_buffer v buf
+          | None -> missing ()
+        done;
+        V.of_bytes (Buffer.to_bytes buf)
+      end
+    in
     let result_payload =
       match b.be_auth, !result_secured with
       | None, false -> result_payload
@@ -567,12 +588,12 @@ let call_ether client ctx (b : ether_binding) ~proc_idx ~args =
       | Some _, false ->
         Rpc_error.fail (Rpc_error.Protocol_violation "server returned an unsecured result")
       | Some key, true -> (
-        charge_security t ctx ~bytes:(Bytes.length result_payload);
-        match Secure.unseal key ~seq result_payload with
-        | Ok plain -> plain
+        charge_security t ctx ~bytes:(V.length result_payload);
+        match Secure.unseal key ~seq (V.to_bytes result_payload) with
+        | Ok plain -> V.of_bytes plain
         | Error e -> Rpc_error.fail (Rpc_error.Call_failed e))
     in
-    let full = Marshal.decode_args (R.of_bytes result_payload) Marshal.In_result_packet p in
+    let full = Marshal.decode_args (R.of_view result_payload) Marshal.In_result_packet p in
     Marshal.charge_args tmg ctx Marshal.Caller_side Marshal.In_result_packet p full;
     (* Ender: return the result packet to the free pool. *)
     charge_rt ctx ~label:"Ender" (Timing.ender tmg);
@@ -616,6 +637,12 @@ let send_to t ctx ~dst ~hdr ~payload =
   Node.send t.rt_node ~ctx ~dst ~hdr ~payload ~payload_pos:0
     ~payload_len:(Bytes.length payload)
 
+(* Send a view without materialising it: the frame builder copies
+   straight out of the viewed window. *)
+let send_view t ctx ~dst ~hdr v =
+  Node.send t.rt_node ~ctx ~dst ~hdr ~payload:(V.buffer v) ~payload_pos:(V.offset v)
+    ~payload_len:(V.length v)
+
 let resend_retained t ctx sa =
   (* Count the duplicate and journal a retransmission only when result
      packets actually go back out: with no reply endpoint, or with the
@@ -624,7 +651,7 @@ let resend_retained t ctx sa =
   | Some dst when sa.sa_retained <> [] ->
     Sim.Stats.Counter.incr t.c_dups;
     journal t (Obs.Journal.Retransmit { seq = sa.sa_last_seq });
-    List.iter (fun (hdr, payload) -> send_to t ctx ~dst ~hdr ~payload) sa.sa_retained
+    List.iter (fun (hdr, payload) -> send_view t ctx ~dst ~hdr payload) sa.sa_retained
   | Some _ | None -> ()
 
 (* Collect the remaining fragments of a multi-packet call, sending a
@@ -702,10 +729,10 @@ let collect_call_fragments t ctx entry ~opts ~(first : Node.delivery) =
        let buf = Buffer.create (n * 256) in
        for i = 0 to n - 1 do
          match Hashtbl.find_opt frags i with
-         | Some payload -> Buffer.add_bytes buf payload
+         | Some payload -> V.add_to_buffer payload buf
          | None -> raise Exit (* unreachable once indexes are validated *)
        done;
-       result := Some (Buffer.to_bytes buf)
+       result := Some (V.of_bytes (Buffer.to_bytes buf))
      with Exit -> ());
     !result
   end
@@ -735,10 +762,12 @@ let send_result t ctx entry ~opts ~(sa : server_act) ~dst ~(h0 : Proto.header)
       Proto.data_len = (if len = 0 then 0 else min m (len - (i * m)));
     }
   in
+  (* Fragments are views into the one result payload — no per-fragment
+     copy on either the first send, retransmissions, or retention. *)
   let slice i =
     let pos = i * m in
     let flen = if len = 0 then 0 else min m (len - pos) in
-    Bytes.sub payload pos flen
+    V.of_bytes payload ~pos ~len:flen
   in
   let act_id = h0.Proto.activity in
   let need_acks = frags > 1 && not streaming in
@@ -761,7 +790,7 @@ let send_result t ctx entry ~opts ~(sa : server_act) ~dst ~(h0 : Proto.header)
   for i = 0 to frags - 1 do
     if not !abandoned then begin
       let fragment = slice i in
-      send_to t ctx ~dst ~hdr:(hdr_of i) ~payload:fragment;
+      send_view t ctx ~dst ~hdr:(hdr_of i) fragment;
       if need_acks && i < frags - 1 then begin
         (* Deadline-based wait: irrelevant deliveries must not push the
            retransmission out (see [await]).  A duplicate of the call
@@ -770,7 +799,7 @@ let send_result t ctx entry ~opts ~(sa : server_act) ~dst ~(h0 : Proto.header)
         let acked = ref false in
         let deadline = ref (Time.add (Engine.now eng) opts.retransmit_after) in
         let resend () =
-          send_to t ctx ~dst ~hdr:(hdr_of i) ~payload:fragment;
+          send_view t ctx ~dst ~hdr:(hdr_of i) fragment;
           deadline := Time.add (Engine.now eng) opts.retransmit_after
         in
         while (not !acked) && not !abandoned do
@@ -881,8 +910,8 @@ let local_worker_loop t ctx =
        local calls bypass sealing even to keyed interfaces. *)
     let outcome =
       Result.map fst
-        (dispatch t ctx ~intf_id:lc.lc_intf_id ~proc_idx:lc.lc_proc ~payload:lc.lc_payload
-           ~secured:false ~seq:0 ~trusted:true)
+        (dispatch t ctx ~intf_id:lc.lc_intf_id ~proc_idx:lc.lc_proc
+           ~payload:(V.of_bytes lc.lc_payload) ~secured:false ~seq:0 ~trusted:true)
     in
     lc.lc_reply <- Some outcome;
     charge_rt ctx ~label:"Receiver send (local)" (Timing.local_receiver_send tmg);
@@ -914,7 +943,7 @@ let call_local client ctx (server : t) intf ~proc_idx ~args =
   (* One pool buffer models the local call packet; it must return to the
      pool even when marshalling or the server's reply raises. *)
   Fun.protect ~finally:(fun () -> free_bufs t 1) @@ fun () ->
-  let payload = encode_payload p Marshal.In_call_packet args (payload_bound p) in
+  let payload = encode_payload t p Marshal.In_call_packet args (payload_bound p) in
   Marshal.charge_args tmg ctx Marshal.Caller_side Marshal.In_call_packet p args;
   charge_rt ctx ~label:"Transporter send (local)" (Timing.local_transporter_send tmg);
   let lc =
@@ -965,7 +994,7 @@ let decode_dn_request msg =
     let intf_id = R.u32 r in
     let proc_idx = R.u16 r in
     let call_id = Int32.to_int (R.u32 r) in
-    Ok (intf_id, proc_idx, call_id, R.bytes r (R.remaining r))
+    Ok (intf_id, proc_idx, call_id, R.view r (R.remaining r))
   with Wire.Bytebuf.Overflow _ -> Error "decnet-rpc: truncated request"
 
 let encode_dn_reply ~call_id ~ok payload =
@@ -980,7 +1009,7 @@ let decode_dn_reply msg =
     let r = R.of_bytes msg in
     let call_id = Int32.to_int (R.u32 r) in
     let ok = R.u8 r = 0 in
-    Ok (call_id, ok, R.bytes r (R.remaining r))
+    Ok (call_id, ok, R.view r (R.remaining r))
   with Wire.Bytebuf.Overflow _ -> Error "decnet-rpc: truncated reply"
 
 (* Server side: one thread per accepted connection, dispatching into
@@ -1026,7 +1055,7 @@ let call_decnet client ctx (b : decnet_binding) ~proc_idx ~args =
   Sim.Stats.Counter.incr t.c_calls;
   charge_rt ctx ~label:"Calling stub (call & return)" (Timing.calling_stub tmg);
   charge_rt ctx ~label:"Starter" (Timing.starter tmg);
-  let payload = encode_payload p Marshal.In_call_packet args (payload_bound p) in
+  let payload = encode_payload t p Marshal.In_call_packet args (payload_bound p) in
   Marshal.charge_args tmg ctx Marshal.Caller_side Marshal.In_call_packet p args;
   charge_rt ctx ~label:"Transporter (send call pkt)" (Timing.transporter_send tmg);
   (* One call at a time on the session. *)
@@ -1059,12 +1088,12 @@ let call_decnet client ctx (b : decnet_binding) ~proc_idx ~args =
             | Error e -> fail_transport (Rpc_error.Rpc (Rpc_error.Protocol_violation e))
             | Ok (id, _, _) when id <> call_id -> get_reply () (* stale reply *)
             | Ok (_, false, err) ->
-              Rpc_error.fail (Rpc_error.Call_failed ("server: " ^ Bytes.to_string err))
+              Rpc_error.fail (Rpc_error.Call_failed ("server: " ^ V.to_string err))
             | Ok (_, true, result_payload) ->
               charge_rt ctx ~label:"Transporter (receive result pkt)"
                 (Timing.transporter_recv tmg);
               let full =
-                Marshal.decode_args (R.of_bytes result_payload) Marshal.In_result_packet p
+                Marshal.decode_args (R.of_view result_payload) Marshal.In_result_packet p
               in
               Marshal.charge_args tmg ctx Marshal.Caller_side Marshal.In_result_packet p full;
               charge_rt ctx ~label:"Ender" (Timing.ender tmg);

@@ -106,8 +106,11 @@ let extract spans ~sender ~receiver (label, _, _) =
     nth_span spans ~site:receiver ~label 0
   | _ -> nth_span spans ~site:sender ~label 0
 
-let null_data = lazy (traced_call Driver.Null)
-let maxr_data = lazy (traced_call Driver.Max_result)
+(* Domain-safe memo cells, not [lazy]: table 6/7/8 regeneration can run
+   on several worker domains at once, and racing [Lazy.force] calls on
+   one thunk are undefined behaviour. *)
+let null_data = Par.Once.create (fun () -> traced_call Driver.Null)
+let maxr_data = Par.Once.create (fun () -> traced_call Driver.Max_result)
 
 (* For the 1514-byte column the sender is the server.  The server's
    checksum spans are: verify incoming 74-byte call (45), then checksum
@@ -130,8 +133,8 @@ let extract_large spans (label, _, _) =
   | _ -> nth_span spans ~site:sender ~label 0
 
 let table6 () =
-  let null_spans, _ = Lazy.force null_data in
-  let maxr_spans, _ = Lazy.force maxr_data in
+  let null_spans, _ = Par.Once.force null_data in
+  let maxr_spans, _ = Par.Once.force maxr_data in
   List.map
     (fun ((label, small, large) as stepdef) ->
       {
@@ -160,7 +163,7 @@ let runtime_steps =
   ]
 
 let table7 () =
-  let spans, _ = Lazy.force null_data in
+  let spans, _ = Par.Once.force null_data in
   let runtime_span label =
     List.fold_left
       (fun acc s ->
@@ -187,8 +190,8 @@ let table8 () =
   let sum_small = List.fold_left (fun a s -> a +. s.measured_small_us) 0. t6 in
   let sum_large = List.fold_left (fun a s -> a +. s.measured_large_us) 0. t6 in
   let sum_rt = List.fold_left (fun a s -> a +. s.rt_measured_us) 0. t7 in
-  let _, null_lat = Lazy.force null_data in
-  let _, maxr_lat = Lazy.force maxr_data in
+  let _, null_lat = Par.Once.force null_data in
+  let _, maxr_lat = Par.Once.force maxr_data in
   let maxr_marshal = 550. in
   [
     {

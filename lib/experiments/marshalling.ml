@@ -96,10 +96,12 @@ let measure_all () =
   World.run_until_quiet w gate;
   results
 
-let measured = lazy (measure_all ())
+(* Domain-safe memo (see Breakdown): tables 2-5 share one measurement
+   sweep, possibly forced from several worker domains. *)
+let measured = Par.Once.create measure_all
 
 let increment name =
-  let r = Lazy.force measured in
+  let r = Par.Once.force measured in
   Hashtbl.find r name -. Hashtbl.find r "null"
 
 let table2 () =

@@ -1,5 +1,6 @@
 module W = Wire.Bytebuf.Writer
 module R = Wire.Bytebuf.Reader
+module V = Wire.Bytebuf.View
 
 type header = { src_port : int; dst_port : int; length : int; checksum : int }
 
@@ -27,8 +28,11 @@ let decode r ~src ~dst =
   if R.remaining r < header_size then Error "udp: truncated header"
   else begin
     let datagram_len = R.remaining r in
-    let raw = R.bytes r datagram_len in
-    let hr = R.of_bytes raw in
+    (* A view of the whole datagram: header fields, checksum and the
+       returned payload window all alias the frame — no copies on the
+       receive path. *)
+    let raw = R.view r datagram_len in
+    let hr = R.of_view raw in
     let src_port = R.u16 hr in
     let dst_port = R.u16 hr in
     let length = R.u16 hr in
@@ -40,10 +44,7 @@ let decode r ~src ~dst =
            (let init =
               Ipv4.pseudo_header_sum ~src ~dst ~protocol:Ipv4.protocol_udp ~len:length
             in
-            Wire.Checksum.verify ~init raw ~pos:0 ~len:length)
+            Wire.Checksum.verify ~init (V.buffer raw) ~pos:(V.offset raw) ~len:length)
     then Error "udp: bad checksum"
-    else
-      Ok
-        ( { src_port; dst_port; length; checksum },
-          Bytes.sub raw header_size (length - header_size) )
+    else Ok ({ src_port; dst_port; length; checksum }, V.sub raw ~pos:header_size ~len:(length - header_size))
   end

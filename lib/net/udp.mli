@@ -27,7 +27,7 @@ val decode :
   Wire.Bytebuf.Reader.t ->
   src:Ipv4.Addr.t ->
   dst:Ipv4.Addr.t ->
-  (header * Stdlib.Bytes.t, string) result
+  (header * Wire.Bytebuf.View.t, string) result
 (** Consumes the whole datagram, verifying length and — when the
     checksum field is nonzero — the pseudo-header checksum.  Returns the
-    header and the payload bytes. *)
+    header and a non-copying view of the payload (aliasing the frame). *)

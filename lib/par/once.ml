@@ -1,0 +1,17 @@
+(* A domain-safe memo cell — what [lazy] is not: two domains racing to
+   [Lazy.force] the same thunk can raise [Lazy.Undefined].  The mutex
+   serialises the first computation; later forces take the lock only to
+   read the cached value. *)
+
+type 'a t = { lock : Mutex.t; mutable value : 'a option; compute : unit -> 'a }
+
+let create compute = { lock = Mutex.create (); value = None; compute }
+
+let force t =
+  Mutex.protect t.lock (fun () ->
+      match t.value with
+      | Some v -> v
+      | None ->
+        let v = t.compute () in
+        t.value <- Some v;
+        v)

@@ -1,0 +1,13 @@
+(** A domain-safe replacement for [lazy]: compute once, under a mutex,
+    no matter how many domains race to {!force}.  Used for the shared
+    measurement caches that parallel experiment regeneration hits from
+    every worker. *)
+
+type 'a t
+
+val create : (unit -> 'a) -> 'a t
+
+val force : 'a t -> 'a
+(** The cached value, computing it on first call.  An exception from the
+    compute function propagates and leaves the cell empty (the next
+    {!force} retries). *)

@@ -1,11 +1,9 @@
-type event = { time : Time.t; tie : int; seq : int; run : unit -> unit }
-
 type t = {
   mutable clock : Time.t;
   mutable seq : int;
   mutable executed : int;
   mutable suspended : int;
-  queue : event Heap.t;
+  queue : Eventq.t;
   engine_rng : Rng.t;
   (* [None] = FIFO ties (the historical order); [Some rng] draws a
      random tie key per event, so same-instant events interleave in a
@@ -29,17 +27,13 @@ type 'a waker = {
 
 exception Not_in_process
 
-let event_leq a b =
-  let c = Time.compare a.time b.time in
-  if c <> 0 then c < 0 else if a.tie <> b.tie then a.tie < b.tie else a.seq <= b.seq
-
 let create ?(seed = 42) ?(tie_break = `Fifo) () =
   {
     clock = Time.zero;
     seq = 0;
     executed = 0;
     suspended = 0;
-    queue = Heap.create ~leq:event_leq;
+    queue = Eventq.create ();
     engine_rng = Rng.create ~seed;
     tie_rng =
       (match tie_break with
@@ -62,7 +56,7 @@ let schedule_at t time run =
     | None -> 0
     | Some rng -> Rng.int rng 0x3fffffff
   in
-  Heap.add t.queue { time; tie; seq = t.seq; run }
+  Eventq.add t.queue ~time ~tie ~seq:t.seq run
 
 let schedule t ?(after = Time.zero_span) run =
   if Time.span_is_negative after then invalid_arg "Engine.schedule: negative delay";
@@ -134,13 +128,14 @@ let suspend_timeout t ~timeout register =
       schedule t ~after:timeout (fun () -> ignore (wake w None)))
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some ev ->
-    t.clock <- ev.time;
+  if Eventq.is_empty t.queue then false
+  else begin
+    t.clock <- Eventq.min_time t.queue;
     t.executed <- t.executed + 1;
-    ev.run ();
+    let run = Eventq.pop_run t.queue in
+    run ();
     true
+  end
 
 let check_guard ~max_events t =
   match max_events with
@@ -159,10 +154,9 @@ let run_until ?max_events t stop =
   let continue_ = ref true in
   while !continue_ do
     check_guard ~max_events t;
-    match Heap.peek t.queue with
-    | None -> continue_ := false
-    | Some ev ->
-      if Time.compare ev.time stop > 0 then continue_ := false else ignore (step t)
+    if Eventq.is_empty t.queue then continue_ := false
+    else if Time.compare (Eventq.min_time t.queue) stop > 0 then continue_ := false
+    else ignore (step t)
   done;
   if Time.compare t.clock stop < 0 then t.clock <- stop
 

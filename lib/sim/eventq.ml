@@ -1,0 +1,148 @@
+(* An intrusive pairing heap specialised to engine events.
+
+   The general-purpose {!Heap} builds a fresh [Node (x, children)] cell
+   and a list cons per insertion, on top of the event record itself —
+   three allocations on the busiest path in the simulator.  Here the
+   heap node IS the event: one flat record carrying the ordering key
+   (time, tie, seq), the closure to run, and the mutable child/sibling
+   links of a pairing heap.  Popped nodes go on a small freelist, so a
+   steady-state simulation schedules events with no heap-structure
+   allocation at all.
+
+   A sentinel [null] node stands for the absent child/sibling, avoiding
+   an [option] (and its allocation) per link.  Nothing ever writes to
+   the sentinel's fields, so the single shared sentinel is safe to use
+   from concurrently running engines in different domains. *)
+
+type node = {
+  mutable n_time : Time.t;
+  mutable n_tie : int;
+  mutable n_seq : int;
+  mutable n_run : unit -> unit;
+  mutable n_child : node;
+  mutable n_sibling : node;
+}
+
+let rec null =
+  { n_time = Time.zero; n_tie = 0; n_seq = 0; n_run = ignore; n_child = null; n_sibling = null }
+
+let is_null n = n == null
+
+type t = {
+  mutable root : node;
+  mutable size : int;
+  mutable free : node;
+  mutable free_len : int;
+}
+
+(* Bounding the freelist keeps a burst of simultaneous events from
+   pinning memory forever; 256 covers the steady state of every model
+   in the repo. *)
+let max_free = 256
+
+let create () = { root = null; size = 0; free = null; free_len = 0 }
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+let leq a b =
+  let c = Time.compare a.n_time b.n_time in
+  if c <> 0 then c < 0
+  else if a.n_tie <> b.n_tie then a.n_tie < b.n_tie
+  else a.n_seq <= b.n_seq
+
+(* Meld two roots (neither null, neither with a live sibling link): the
+   loser becomes the winner's leftmost child. *)
+let meld a b =
+  if leq a b then begin
+    b.n_sibling <- a.n_child;
+    a.n_child <- b;
+    a
+  end
+  else begin
+    a.n_sibling <- b.n_child;
+    b.n_child <- a;
+    b
+  end
+
+let add t ~time ~tie ~seq run =
+  let n =
+    if is_null t.free then
+      { n_time = time; n_tie = tie; n_seq = seq; n_run = run; n_child = null; n_sibling = null }
+    else begin
+      let n = t.free in
+      t.free <- n.n_sibling;
+      t.free_len <- t.free_len - 1;
+      n.n_time <- time;
+      n.n_tie <- tie;
+      n.n_seq <- seq;
+      n.n_run <- run;
+      n.n_sibling <- null;
+      n
+    end
+  in
+  t.root <- (if is_null t.root then n else meld t.root n);
+  t.size <- t.size + 1
+
+let min_time t = t.root.n_time
+(* Undefined when empty (returns the sentinel's time); callers check
+   {!is_empty} first, as the engine's run loops already must. *)
+
+(* Two-pass pairing over a sibling list, iteratively: pass one melds
+   adjacent pairs and chains the winners in reverse (reusing the
+   sibling links), pass two folds them right-to-left.  No recursion, no
+   allocation. *)
+let combine_siblings first =
+  if is_null first then null
+  else begin
+    let acc = ref null in
+    let cur = ref first in
+    while not (is_null !cur) do
+      let a = !cur in
+      let b = a.n_sibling in
+      if is_null b then begin
+        a.n_sibling <- !acc;
+        acc := a;
+        cur := null
+      end
+      else begin
+        let next = b.n_sibling in
+        a.n_sibling <- null;
+        b.n_sibling <- null;
+        let m = meld a b in
+        m.n_sibling <- !acc;
+        acc := m;
+        cur := next
+      end
+    done;
+    let root = ref !acc in
+    let rest = ref !root.n_sibling in
+    !root.n_sibling <- null;
+    while not (is_null !rest) do
+      let n = !rest in
+      rest := n.n_sibling;
+      n.n_sibling <- null;
+      root := meld !root n
+    done;
+    !root
+  end
+
+(* Remove the minimum and run its closure.  The node is recycled (and
+   its closure reference dropped) before the closure runs, so the
+   closure is free to schedule new events that reuse it.
+   @raise Invalid_argument when empty. *)
+let pop_run t =
+  if t.size = 0 then invalid_arg "Eventq.pop_run: empty";
+  let n = t.root in
+  t.root <- combine_siblings n.n_child;
+  t.size <- t.size - 1;
+  let run = n.n_run in
+  n.n_run <- ignore;
+  n.n_child <- null;
+  if t.free_len < max_free then begin
+    n.n_sibling <- t.free;
+    t.free <- n;
+    t.free_len <- t.free_len + 1
+  end
+  else n.n_sibling <- null;
+  run

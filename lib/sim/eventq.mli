@@ -1,0 +1,30 @@
+(** The engine's event queue: an intrusive pairing heap whose nodes are
+    the events, ordered by [(time, tie, seq)] exactly like
+    {!Engine}'s historical [event_leq] — the key is a total order (the
+    sequence number is unique), so the pop sequence, and therefore every
+    simulation output, is independent of heap internals.
+
+    Compared with the general-purpose {!Heap} it saves the per-event
+    tree cell and list cons, and recycles popped nodes through a
+    freelist: scheduling in steady state allocates nothing but the
+    caller's closure. *)
+
+type t
+
+val create : unit -> t
+val size : t -> int
+val is_empty : t -> bool
+
+val add : t -> time:Time.t -> tie:int -> seq:int -> (unit -> unit) -> unit
+(** [add t ~time ~tie ~seq run] inserts an event.  [seq] must be unique
+    across live events for the order to be total. *)
+
+val min_time : t -> Time.t
+(** Time of the next event.  Meaningless when {!is_empty}; callers must
+    check first. *)
+
+val pop_run : t -> unit -> unit
+(** Removes the minimum event and returns its closure (which the caller
+    then runs).  The node is recycled eagerly, so the returned closure
+    may itself [add] without growing the heap's memory.
+    @raise Invalid_argument when empty. *)

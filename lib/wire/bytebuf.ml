@@ -66,8 +66,51 @@ module Writer = struct
     Bytes.set_uint16_be t.buf (t.origin + pos) v
 
   let contents t = Bytes.sub t.buf t.origin (length t)
+
+  let to_bytes t =
+    if t.origin = 0 && t.cursor = Bytes.length t.buf then t.buf else contents t
+
   let unsafe_buffer t = t.buf
   let absolute_pos t p = t.origin + p
+end
+
+module View = struct
+  type t = { v_buf : Bytes.t; v_pos : int; v_len : int }
+
+  let of_bytes ?(pos = 0) ?len buf =
+    let len =
+      match len with
+      | Some l -> l
+      | None -> Bytes.length buf - pos
+    in
+    if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+      invalid_arg "Bytebuf.View.of_bytes: bad range";
+    { v_buf = buf; v_pos = pos; v_len = len }
+
+  let empty = { v_buf = Bytes.empty; v_pos = 0; v_len = 0 }
+
+  let length t = t.v_len
+  let buffer t = t.v_buf
+  let offset t = t.v_pos
+
+  let sub t ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > t.v_len then invalid_arg "Bytebuf.View.sub: bad range";
+    { v_buf = t.v_buf; v_pos = t.v_pos + pos; v_len = len }
+
+  let get t i =
+    if i < 0 || i >= t.v_len then invalid_arg "Bytebuf.View.get: out of range";
+    Bytes.get t.v_buf (t.v_pos + i)
+
+  let to_bytes t = Bytes.sub t.v_buf t.v_pos t.v_len
+  let to_string t = Bytes.sub_string t.v_buf t.v_pos t.v_len
+  let add_to_buffer t buf = Buffer.add_subbytes buf t.v_buf t.v_pos t.v_len
+  let blit t ~dst ~dst_pos = Bytes.blit t.v_buf t.v_pos dst dst_pos t.v_len
+
+  let equal_bytes t b =
+    t.v_len = Bytes.length b
+    &&
+    let rec go i = i >= t.v_len || (Bytes.get t.v_buf (t.v_pos + i) = Bytes.get b i && go (i + 1)) in
+    go 0
 end
 
 module Reader = struct
@@ -82,6 +125,10 @@ module Reader = struct
     if pos < 0 || len < 0 || pos + len > Bytes.length data then
       invalid_arg "Bytebuf.Reader.of_bytes: bad range";
     { data; limit = pos + len; pos; start = pos }
+
+  let of_view (v : View.t) =
+    { data = v.View.v_buf; limit = v.View.v_pos + v.View.v_len; pos = v.View.v_pos;
+      start = v.View.v_pos }
 
   let remaining t = t.limit - t.pos
   let position t = t.pos - t.start
@@ -119,6 +166,18 @@ module Reader = struct
     let v = Bytes.sub_string t.data t.pos n in
     t.pos <- t.pos + n;
     v
+
+  let view t n =
+    need t n "view";
+    let v = { View.v_buf = t.data; v_pos = t.pos; v_len = n } in
+    t.pos <- t.pos + n;
+    v
+
+  let sub_reader t n =
+    need t n "sub_reader";
+    let r = { data = t.data; limit = t.pos + n; pos = t.pos; start = t.pos } in
+    t.pos <- t.pos + n;
+    r
 
   let skip t n =
     need t n "skip";

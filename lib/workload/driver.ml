@@ -16,14 +16,17 @@ type outcome = {
   retransmissions : int;
   mean_latency : Time.span;
   latencies : Time.span array;
-  sorted_latencies : Time.span array Lazy.t;
+  sorted_latencies : Time.span array Par.Once.t;
 }
 
+(* A domain-safe once cell, not [lazy]: the memoized experiment
+   outcomes are shared across worker domains when tables regenerate in
+   parallel, and racing [Lazy.force] calls are undefined. *)
 let sort_lazily latencies =
-  lazy
-    (let sorted = Array.copy latencies in
-     Array.sort Time.span_compare sorted;
-     sorted)
+  Par.Once.create (fun () ->
+      let sorted = Array.copy latencies in
+      Array.sort Time.span_compare sorted;
+      sorted)
 
 let percentile o p =
   let n = Array.length o.latencies in
@@ -34,7 +37,7 @@ let percentile o p =
      whose cumulative count reaches p*n — matching what
      [Obs.Metrics.Histogram.percentile] computes on its buckets, so the
      two views of one latency population agree. *)
-  let sorted = Lazy.force o.sorted_latencies in
+  let sorted = Par.Once.force o.sorted_latencies in
   let rank = int_of_float (Float.ceil (Float.of_int n *. p)) in
   sorted.(max 0 (min (n - 1) (rank - 1)))
 

@@ -18,9 +18,9 @@ type outcome = {
   retransmissions : int;
   mean_latency : Sim.Time.span;  (** elapsed × threads / calls *)
   latencies : Sim.Time.span array;  (** per-call, in completion order *)
-  sorted_latencies : Sim.Time.span array Lazy.t;
-      (** [latencies] sorted ascending, computed at most once — the
-          backing store for {!percentile} queries *)
+  sorted_latencies : Sim.Time.span array Par.Once.t;
+      (** [latencies] sorted ascending, computed at most once (domain-
+          safely) — the backing store for {!percentile} queries *)
 }
 
 val percentile : outcome -> float -> Sim.Time.span

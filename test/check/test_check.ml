@@ -147,6 +147,41 @@ let test_matrix_smoke () =
   Alcotest.(check int) "every cell ran" (List.length Explorer.matrix_cells)
     summary.Explorer.seeds_run
 
+(* {1 Parallel determinism}
+
+   jobs=1 and jobs>1 must produce identical summaries: same seed counts,
+   same failures, same shrunk plans and traces, in the same order.  The
+   render includes the full pp_outcome report, so any divergence in the
+   plan, violations or trace shows up as a string mismatch. *)
+
+let render_summary (s : Explorer.summary) =
+  Printf.sprintf "seeds_run=%d\n%s" s.Explorer.seeds_run
+    (String.concat "\n---\n"
+       (List.map (fun o -> Format.asprintf "%a" Explorer.pp_outcome o) s.Explorer.failures))
+
+let test_parallel_explore_identical () =
+  (* Clean config: identical (empty) failure lists and seed counts. *)
+  let serial = Explorer.explore config ~jobs:1 ~base_seed:1 ~seeds:6 in
+  let par = Explorer.explore config ~jobs:4 ~base_seed:1 ~seeds:6 in
+  Alcotest.(check string) "clean sweep identical" (render_summary serial)
+    (render_summary par);
+  (* Buggy config: the failing outcome — including the shrunk plan and
+     the trace — must match byte for byte. *)
+  let buggy = { config with Explorer.bug = Explorer.No_retransmit } in
+  let serial = Explorer.explore buggy ~jobs:1 ~base_seed:first_drop_seed ~seeds:3 in
+  let par = Explorer.explore buggy ~jobs:4 ~base_seed:first_drop_seed ~seeds:3 in
+  Alcotest.(check bool) "buggy sweep finds failures" true
+    (serial.Explorer.failures <> []);
+  Alcotest.(check string) "buggy sweep identical" (render_summary serial)
+    (render_summary par)
+
+let test_parallel_matrix_identical () =
+  let serial = Explorer.explore_matrix config ~jobs:1 ~base_seed:41 ~seeds_per_cell:1 in
+  let par = Explorer.explore_matrix config ~jobs:4 ~base_seed:41 ~seeds_per_cell:1 in
+  Alcotest.(check int) "same seed count" serial.Explorer.seeds_run par.Explorer.seeds_run;
+  Alcotest.(check string) "matrix sweep identical" (render_summary serial)
+    (render_summary par)
+
 let suite =
   [
     Alcotest.test_case "plan generation deterministic" `Quick test_plan_generation_deterministic;
@@ -158,6 +193,10 @@ let suite =
     Alcotest.test_case "restart plans allow clean failure" `Quick
       test_restart_plans_allow_clean_failure;
     Alcotest.test_case "configuration matrix smoke" `Quick test_matrix_smoke;
+    Alcotest.test_case "parallel explore identical to serial" `Quick
+      test_parallel_explore_identical;
+    Alcotest.test_case "parallel matrix identical to serial" `Quick
+      test_parallel_matrix_identical;
   ]
 
 let () = Alcotest.run "check" [ ("explorer", suite) ]

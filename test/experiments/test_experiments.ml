@@ -300,6 +300,26 @@ let test_table1_deterministic () =
   in
   Alcotest.(check string) "same seed, byte-identical tables" (render ()) (render ())
 
+let test_parallel_registry_identical () =
+  (* Regenerating registry entries on a domain pool must render the
+     exact tables the serial sweep does, in the same order.  The cheap
+     breakdown entries share a Par.Once measurement cache, so this also
+     exercises concurrent forcing of that cell. *)
+  let entries =
+    List.filter_map Experiments.Registry.find
+      [ "tables2-5"; "table6"; "table7"; "table8"; "improvements" ]
+  in
+  Alcotest.(check int) "entries found" 5 (List.length entries);
+  let render (e : Experiments.Registry.entry) =
+    String.concat ""
+      (List.map Report.Table.render (e.Experiments.Registry.run ~quick:true ~metrics:false))
+  in
+  let serial = List.map render entries in
+  let par = Par.Pool.map_list ~jobs:4 render entries in
+  List.iteri
+    (fun i (s, p) -> Alcotest.(check string) (Printf.sprintf "entry %d identical" i) s p)
+    (List.combine serial par)
+
 let suite =
   [
     Alcotest.test_case "Table I shape and bands" `Slow test_table1_shape;
@@ -318,6 +338,8 @@ let suite =
     Alcotest.test_case "Section 5 uniprocessor bug" `Quick test_uniproc_bug;
     Alcotest.test_case "Section 5 streaming extension" `Quick test_streaming;
     Alcotest.test_case "registry runs everything" `Slow test_registry_runs_everything;
+    Alcotest.test_case "parallel regeneration identical" `Quick
+      test_parallel_registry_identical;
   ]
 
 let () = Alcotest.run "experiments" [ ("experiments", suite) ]

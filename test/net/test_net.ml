@@ -145,7 +145,7 @@ let test_udp_roundtrip () =
     Alcotest.(check int) "dst port" 2222 h.Udp.dst_port;
     Alcotest.(check int) "length" (8 + 19) h.Udp.length;
     Alcotest.(check bool) "checksum set" true (h.Udp.checksum <> 0);
-    Alcotest.(check string) "payload" "the quick brown fox" (Bytes.to_string payload)
+    Alcotest.(check string) "payload" "the quick brown fox" (Wire.Bytebuf.View.to_string payload)
   | Error e -> Alcotest.fail e
 
 let test_udp_checksum_detects_payload_corruption () =
@@ -178,7 +178,7 @@ let prop_udp_roundtrip =
     (fun payload ->
       let b = encode_udp payload in
       match Udp.decode (R.of_bytes b) ~src:(ip "16.0.0.1") ~dst:(ip "16.0.0.2") with
-      | Ok (_, p) -> Bytes.to_string p = payload
+      | Ok (_, p) -> Wire.Bytebuf.View.to_string p = payload
       | Error _ -> false)
 
 (* {1 Full frame} *)

@@ -1,0 +1,127 @@
+(* Tests for the domain pool and the domain-safe once-cell. *)
+
+let range n = List.init n (fun i -> i)
+
+let test_map_list_order () =
+  (* Results must come back in input order no matter how many domains
+     service the queue. *)
+  let tasks = range 100 in
+  let expect = List.map (fun i -> i * i) tasks in
+  List.iter
+    (fun jobs ->
+      let got = Par.Pool.map_list ~jobs (fun i -> i * i) tasks in
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d preserves order" jobs)
+        expect got)
+    [ 1; 2; 4; 7 ]
+
+let test_jobs_one_is_serial_map () =
+  (* jobs=1 is documented as a plain List.map: side effects happen in
+     input order on the calling domain. *)
+  let log = ref [] in
+  let got =
+    Par.Pool.map_list ~jobs:1
+      (fun i ->
+        log := i :: !log;
+        i + 1)
+      (range 10)
+  in
+  Alcotest.(check (list int)) "results" (List.map succ (range 10)) got;
+  Alcotest.(check (list int)) "evaluation order" (range 10) (List.rev !log)
+
+let test_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" []
+    (Par.Pool.map_list ~jobs:8 (fun i -> i) []);
+  Alcotest.(check (list int)) "singleton" [ 7 ]
+    (Par.Pool.map_list ~jobs:8 (fun i -> i) [ 7 ])
+
+let test_more_jobs_than_tasks () =
+  let got = Par.Pool.map_list ~jobs:16 (fun i -> i * 2) (range 3) in
+  Alcotest.(check (list int)) "jobs > tasks" [ 0; 2; 4 ] got
+
+let test_invalid_jobs () =
+  Alcotest.check_raises "jobs=0 rejected"
+    (Invalid_argument "Par.Pool.map_list: jobs must be >= 1") (fun () ->
+      ignore (Par.Pool.map_list ~jobs:0 (fun i -> i) [ 1 ]))
+
+exception Boom of int
+
+let test_first_failure_wins () =
+  (* Several tasks fail; the exception of the lowest-indexed failing
+     task must be the one re-raised, deterministically. *)
+  List.iter
+    (fun jobs ->
+      match
+        Par.Pool.map_list ~jobs
+          (fun i -> if i mod 3 = 2 then raise (Boom i) else i)
+          (range 20)
+      with
+      | _ -> Alcotest.failf "jobs=%d: expected Boom" jobs
+      | exception Boom i ->
+        Alcotest.(check int)
+          (Printf.sprintf "jobs=%d lowest failing index" jobs)
+          2 i)
+    [ 1; 4 ]
+
+let test_map_array () =
+  let got = Par.Pool.map_array ~jobs:4 (fun i -> i + 10) (Array.of_list (range 5)) in
+  Alcotest.(check (array int)) "map_array" [| 10; 11; 12; 13; 14 |] got
+
+let test_once_computes_once () =
+  let count = ref 0 in
+  let cell =
+    Par.Once.create (fun () ->
+        incr count;
+        !count * 100)
+  in
+  Alcotest.(check int) "first force" 100 (Par.Once.force cell);
+  Alcotest.(check int) "second force cached" 100 (Par.Once.force cell);
+  Alcotest.(check int) "computed exactly once" 1 !count
+
+let test_once_under_domains () =
+  (* Many domains racing to force the same cell must all observe the
+     same value and the compute function must run exactly once.  An
+     Atomic counter keeps the check domain-safe. *)
+  let count = Atomic.make 0 in
+  let cell =
+    Par.Once.create (fun () ->
+        Atomic.incr count;
+        (* Widen the race window a little. *)
+        ignore (Sys.opaque_identity (Array.make 1024 0));
+        42)
+  in
+  let values =
+    Par.Pool.map_list ~jobs:8 (fun _ -> Par.Once.force cell) (range 16)
+  in
+  List.iter (fun v -> Alcotest.(check int) "forced value" 42 v) values;
+  Alcotest.(check int) "computed exactly once" 1 (Atomic.get count)
+
+let test_once_retries_after_failure () =
+  let attempts = ref 0 in
+  let cell =
+    Par.Once.create (fun () ->
+        incr attempts;
+        if !attempts = 1 then failwith "transient" else !attempts)
+  in
+  (match Par.Once.force cell with
+  | _ -> Alcotest.fail "expected first force to raise"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "second force retries and caches" 2 (Par.Once.force cell);
+  Alcotest.(check int) "cached thereafter" 2 (Par.Once.force cell);
+  Alcotest.(check int) "two attempts total" 2 !attempts
+
+let suite =
+  [
+    Alcotest.test_case "map_list preserves input order" `Quick test_map_list_order;
+    Alcotest.test_case "jobs=1 is a serial List.map" `Quick test_jobs_one_is_serial_map;
+    Alcotest.test_case "empty and singleton inputs" `Quick test_empty_and_singleton;
+    Alcotest.test_case "more jobs than tasks" `Quick test_more_jobs_than_tasks;
+    Alcotest.test_case "jobs < 1 rejected" `Quick test_invalid_jobs;
+    Alcotest.test_case "lowest-index failure re-raised" `Quick test_first_failure_wins;
+    Alcotest.test_case "map_array" `Quick test_map_array;
+    Alcotest.test_case "once computes once" `Quick test_once_computes_once;
+    Alcotest.test_case "once under racing domains" `Quick test_once_under_domains;
+    Alcotest.test_case "once retries after failure" `Quick test_once_retries_after_failure;
+  ]
+
+let () = Alcotest.run "par" [ ("pool", suite) ]

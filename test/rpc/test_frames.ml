@@ -50,7 +50,7 @@ let test_roundtrip () =
       (Net.Ipv4.Addr.equal p.Frames.p_src.Frames.ip src.Frames.ip);
     Alcotest.(check int) "seq" 7 p.Frames.p_hdr.Proto.seq;
     Alcotest.(check int) "data_len" (Bytes.length payload) p.Frames.p_hdr.Proto.data_len;
-    Alcotest.(check bytes) "payload" payload p.Frames.p_payload
+    Alcotest.(check bytes) "payload" payload (Wire.Bytebuf.View.to_bytes p.Frames.p_payload)
 
 let test_checksum_detects () =
   let frame = build (Bytes.of_string "some sensitive data") in
@@ -67,7 +67,7 @@ let test_checksums_disabled_pass_corruption () =
   match Frames.parse no_cks frame with
   | Ok p ->
     Alcotest.(check bool) "corruption passes silently" true
-      (Bytes.get p.Frames.p_payload 6 = 'X')
+      (Wire.Bytebuf.View.get p.Frames.p_payload 6 = 'X')
   | Error e -> Alcotest.fail e
 
 let test_raw_ethernet_mode () =
@@ -80,7 +80,7 @@ let test_raw_ethernet_mode () =
   (* 28 bytes smaller: no IP or UDP headers. *)
   Alcotest.(check int) "raw frame size" (46 + Bytes.length payload) (Bytes.length frame);
   (match Frames.parse raw frame with
-  | Ok p -> Alcotest.(check bytes) "raw payload" payload p.Frames.p_payload
+  | Ok p -> Alcotest.(check bytes) "raw payload" payload (Wire.Bytebuf.View.to_bytes p.Frames.p_payload)
   | Error e -> Alcotest.fail e);
   (* The embedded end-to-end checksum still catches corruption. *)
   let corrupted = Bytes.copy frame in
@@ -109,7 +109,7 @@ let prop_roundtrip =
       let payload = Bytes.of_string s in
       let frame = build payload in
       match Frames.parse timing frame with
-      | Ok p -> Bytes.equal p.Frames.p_payload payload
+      | Ok p -> Wire.Bytebuf.View.equal_bytes p.Frames.p_payload payload
       | Error _ -> false)
 
 let suite =

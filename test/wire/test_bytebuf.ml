@@ -149,6 +149,122 @@ let prop_script_roundtrip =
       R.expect_end r;
       ok && W.length w = total && R.position r = total)
 
+(* {1 Non-copying views and sub-readers} *)
+
+module V = Wire.Bytebuf.View
+
+let test_view_basics () =
+  let data = Bytes.of_string "abcdefgh" in
+  let v = V.of_bytes ~pos:2 ~len:4 data in
+  Alcotest.(check int) "length" 4 (V.length v);
+  Alcotest.(check string) "to_string" "cdef" (V.to_string v);
+  Alcotest.(check string) "to_bytes copies content" "cdef"
+    (Bytes.to_string (V.to_bytes v));
+  Alcotest.(check char) "get" 'e' (V.get v 2);
+  Alcotest.(check bool) "equal_bytes" true (V.equal_bytes v (Bytes.of_string "cdef"));
+  Alcotest.(check bool) "equal_bytes mismatch" false
+    (V.equal_bytes v (Bytes.of_string "cdeX"));
+  Alcotest.(check int) "empty view" 0 (V.length V.empty)
+
+let test_view_is_zero_copy () =
+  (* A view aliases its buffer: mutating the buffer shows through.
+     Production frames are never mutated after delivery, but the test
+     proves no copy was taken. *)
+  let data = Bytes.of_string "abcdefgh" in
+  let v = V.of_bytes ~pos:2 ~len:4 data in
+  Alcotest.(check bool) "shares buffer" true (V.buffer v == data);
+  Alcotest.(check int) "offset" 2 (V.offset v);
+  Bytes.set data 3 'X';
+  Alcotest.(check string) "alias sees mutation" "cXef" (V.to_string v);
+  (* to_bytes, by contrast, is an independent copy. *)
+  let copy = V.to_bytes v in
+  Bytes.set data 4 'Y';
+  Alcotest.(check string) "copy unaffected" "cXef" (Bytes.to_string copy)
+
+let test_view_sub () =
+  let v = V.of_bytes ~pos:1 ~len:6 (Bytes.of_string "_abcdef_") in
+  let s = V.sub v ~pos:2 ~len:3 in
+  Alcotest.(check string) "nested window" "cde" (V.to_string s);
+  Alcotest.(check bool) "sub out of range" true
+    (try
+       ignore (V.sub v ~pos:4 ~len:3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_view_reassembly () =
+  (* add_to_buffer is the single copy fragment reassembly performs. *)
+  let buf = Buffer.create 16 in
+  V.add_to_buffer (V.of_bytes ~pos:0 ~len:3 (Bytes.of_string "abcXX")) buf;
+  V.add_to_buffer (V.of_bytes ~pos:2 ~len:3 (Bytes.of_string "XXdef")) buf;
+  Alcotest.(check string) "reassembled" "abcdef" (Buffer.contents buf);
+  let dst = Bytes.make 6 '.' in
+  V.blit (V.of_bytes ~pos:1 ~len:4 (Bytes.of_string "_wxyz_")) ~dst ~dst_pos:1;
+  Alcotest.(check string) "blit" ".wxyz." (Bytes.to_string dst)
+
+let test_reader_view_and_of_view () =
+  let r = R.of_bytes (Bytes.of_string "aabbccdd") in
+  R.skip r 2;
+  let v = R.view r 4 in
+  Alcotest.(check string) "view consumes" "bbcc" (V.to_string v);
+  Alcotest.(check int) "parent advanced" 2 (R.remaining r);
+  (* of_view gives an independent cursor each time. *)
+  let r1 = R.of_view v and r2 = R.of_view v in
+  Alcotest.(check string) "cursor 1" "bbcc" (R.string r1 4);
+  Alcotest.(check string) "cursor 2 independent" "bb" (R.string r2 2)
+
+let test_sub_reader_hard_bound () =
+  (* The sub-reader's window is a hard bound even though the parent has
+     more data after it. *)
+  let r = R.of_bytes (Bytes.of_string "aabbccddee") in
+  R.skip r 2;
+  let sr = R.sub_reader r 4 in
+  Alcotest.(check int) "parent skipped past window" 4 (R.remaining r);
+  Alcotest.(check string) "sub-reader content" "bbcc" (R.string sr 4);
+  Alcotest.(check bool) "overflow past window" true
+    (try
+       ignore (R.u8 sr);
+       false
+     with Wire.Bytebuf.Overflow _ -> true);
+  (* expect_end succeeds exactly at the window boundary. *)
+  R.expect_end sr
+
+let arb_window =
+  (* A buffer plus a window (pos, len) inside it. *)
+  QCheck.make
+    ~print:(fun (s, pos, len) -> Printf.sprintf "(%S, pos=%d, len=%d)" s pos len)
+    QCheck.Gen.(
+      string_size (int_range 1 64) >>= fun s ->
+      int_bound (String.length s) >>= fun pos ->
+      int_bound (String.length s - pos) >>= fun len -> return (s, pos, len))
+
+let prop_view_equals_bytes_sub =
+  QCheck.Test.make ~name:"view contents = Bytes.sub" ~count:500 arb_window
+    (fun (s, pos, len) ->
+      let b = Bytes.of_string s in
+      let v = V.of_bytes ~pos ~len b in
+      Bytes.equal (V.to_bytes v) (Bytes.sub b pos len)
+      && V.equal_bytes v (Bytes.sub b pos len)
+      && V.length v = len)
+
+let prop_sub_reader_confined =
+  QCheck.Test.make ~name:"sub_reader confined to its window" ~count:500 arb_window
+    (fun (s, pos, len) ->
+      let r = R.of_bytes (Bytes.of_string s) in
+      R.skip r pos;
+      let sr = R.sub_reader r len in
+      (* Reading exactly [len] bytes succeeds and matches the source... *)
+      let got = R.string sr len in
+      let confined =
+        (* ...and one more byte always overflows, parent data or not. *)
+        try
+          ignore (R.u8 sr);
+          false
+        with Wire.Bytebuf.Overflow _ -> true
+      in
+      got = String.sub s pos len
+      && confined
+      && R.remaining r = String.length s - pos - len)
+
 let suite =
   [
     Alcotest.test_case "write/read roundtrip" `Quick test_write_read_roundtrip;
@@ -158,6 +274,14 @@ let suite =
     Alcotest.test_case "range validation" `Quick test_ranges;
     Alcotest.test_case "reader window" `Quick test_reader_window;
     Alcotest.test_case "sub and skip" `Quick test_sub_and_skip;
+    Alcotest.test_case "view basics" `Quick test_view_basics;
+    Alcotest.test_case "view is zero-copy" `Quick test_view_is_zero_copy;
+    Alcotest.test_case "view sub-window" `Quick test_view_sub;
+    Alcotest.test_case "view reassembly helpers" `Quick test_view_reassembly;
+    Alcotest.test_case "reader view / of_view" `Quick test_reader_view_and_of_view;
+    Alcotest.test_case "sub_reader hard bound" `Quick test_sub_reader_hard_bound;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_script_roundtrip;
+    QCheck_alcotest.to_alcotest prop_view_equals_bytes_sub;
+    QCheck_alcotest.to_alcotest prop_sub_reader_confined;
   ]
