@@ -10,7 +10,7 @@
 JOBS ?=
 JOBS_FLAG = $(if $(JOBS),--jobs $(JOBS),)
 
-.PHONY: all build test check sim-check sim-matrix bench bench-json clean
+.PHONY: all build test check sim-check sim-matrix fuzz bench bench-json clean
 
 all: build
 
@@ -32,6 +32,14 @@ sim-check: build
 # configuration matrix, dumping shrunk plans + traces on failure.
 sim-matrix: build
 	dune exec bin/firefly.exe -- check --matrix --seeds 5 --out-dir check-failures $(JOBS_FLAG)
+
+# Deterministic wire-format fuzz: the canary self-test first (plants a
+# decoder bug and requires the fuzzer to find it), then a fixed-seed
+# run over mutated frames.  Minimized reproducers land in fuzz-failures/
+# on any property violation.
+fuzz: build
+	dune exec bin/firefly.exe -- fuzz --canary --seed 1 --iters 5000
+	dune exec bin/firefly.exe -- fuzz --seed 1 --iters 50000 --corpus-dir fuzz-failures
 
 # Regenerate every table of the paper at full call counts, plus the
 # Bechamel kernel microbenchmarks.

@@ -546,6 +546,103 @@ let check_cmd =
         (const run $ seeds $ base_seed $ threads $ calls $ payload $ bug $ fifo $ max_steps
         $ matrix $ uniproc $ streaming $ secured $ out_dir $ verbose $ jobs_term))
 
+(* {1 firefly fuzz} *)
+
+let fuzz_cmd =
+  let run seed iters corpus_dir canary no_sweep =
+    if iters < 1 then Error (`Msg "--iters must be >= 1")
+    else if seed < 0 then Error (`Msg "--seed must be >= 0")
+    else begin
+      if canary then begin
+        (* Self-test: plant a known trust-the-length bug in Udp.decode
+           and require the fuzzer to rediscover it. *)
+        let found, report = Fuzz.Driver.canary ~seed ~iters () in
+        print_string (Fuzz.Driver.to_string report);
+        if found then begin
+          say "canary: the planted Udp.decode length bug WAS found — the fuzzer sees real bugs.";
+          Ok ()
+        end
+        else begin
+          say "canary: the planted Udp.decode length bug was NOT found within %d iterations."
+            iters;
+          Stdlib.exit 1
+        end
+      end
+      else begin
+        (* Replay any persisted reproducers first: a corpus failure is a
+           regression even before new fuzzing starts. *)
+        let replay_failures =
+          match corpus_dir with
+          | None -> []
+          | Some dir ->
+            let results = Fuzz.Driver.replay_dir ~dir in
+            List.iter
+              (fun (path, f) ->
+                match f with
+                | None -> say "replay %s: ok" path
+                | Some f -> say "replay %s: %s" path (Fuzz.Oracle.to_string f))
+              results;
+            List.filter (fun (_, f) -> f <> None) results
+        in
+        let report = Fuzz.Driver.run ~sweep:(not no_sweep) ~seed ~iters () in
+        print_string (Fuzz.Driver.to_string report);
+        (match corpus_dir with
+        | Some dir when report.Fuzz.Driver.r_failures <> [] ->
+          List.iter (fun p -> say "reproducer written: %s" p)
+            (Fuzz.Driver.write_failures ~dir report);
+          say "replay later with: firefly fuzz --corpus-dir %s --iters 1" dir
+        | Some _ | None -> ());
+        if report.Fuzz.Driver.r_failures <> [] || replay_failures <> [] then Stdlib.exit 1;
+        Ok ()
+      end
+    end
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fuzz seed (the whole run is a pure function of it).") in
+  let iters =
+    Arg.(
+      value
+      & opt int 10_000
+      & info [ "iters" ] ~docv:"N"
+          ~doc:
+            "Mutated inputs to execute, including the systematic truncation sweep that runs \
+             first.")
+  in
+  let corpus_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus-dir" ] ~docv:"DIR"
+          ~doc:
+            "Replay every $(i,*.bin) reproducer in $(docv) before fuzzing, and persist any new \
+             minimized reproducer there (created if missing).")
+  in
+  let canary =
+    Arg.(
+      value
+      & flag
+      & info [ "canary" ]
+          ~doc:
+            "Self-test: plant a known length-trusting bug in the UDP decoder and verify the \
+             fuzzer finds it.  Exits 0 only if the planted bug is rediscovered.")
+  in
+  let no_sweep =
+    Arg.(
+      value
+      & flag
+      & info [ "no-sweep" ] ~doc:"Skip the exhaustive truncation sweep; random mutation only.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Deterministic structure-aware fuzzing of the wire surface: mutate valid frames \
+          (truncation at every offset, bit flips, length/version/count skew, header splicing) \
+          and drive every input through the Ethernet/IPv4/UDP/RPC decoders and the full \
+          frame parser, checking that no exception escapes, that accepted headers re-encode \
+          round-trip, and that the zero-copy view path decodes byte-identically to the \
+          copying path.  Failures are shrunk to minimized reproducers.")
+    Term.(
+      term_result ~usage:true (const run $ seed $ iters $ corpus_dir $ canary $ no_sweep))
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -553,4 +650,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "firefly" ~version:"1.0.0"
              ~doc:"A simulated reproduction of 'Performance of Firefly RPC' (SOSP 1989).")
-          [ list_cmd; repro_cmd; call_cmd; trace_cmd; profile_cmd; check_cmd ]))
+          [ list_cmd; repro_cmd; call_cmd; trace_cmd; profile_cmd; check_cmd; fuzz_cmd ]))

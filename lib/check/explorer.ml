@@ -156,24 +156,12 @@ let run_seed config ~seed =
 
 let shrink config outcome =
   if outcome.violations = [] then outcome
-  else begin
-    let attempt steps =
+  else
+    let still_fails steps =
       let o = run_plan config ~seed:outcome.seed ~plan:{ outcome.plan with steps } in
       if o.violations = [] then None else Some o
     in
-    let rec minimize best =
-      let steps = best.plan.Fault_plan.steps in
-      let rec try_remove i =
-        if i >= List.length steps then best
-        else
-          match attempt (List.filteri (fun j _ -> j <> i) steps) with
-          | Some smaller -> minimize smaller
-          | None -> try_remove (i + 1)
-      in
-      try_remove 0
-    in
-    minimize outcome
-  end
+    Shrinker.minimize_list ~still_fails ~steps:(fun o -> o.plan.Fault_plan.steps) outcome
 
 type summary = { seeds_run : int; failures : outcome list }
 

@@ -1,0 +1,57 @@
+(* Greedy delta-debugging kernels shared by the fault-plan explorer and
+   the wire fuzzer.  Both minimizers are deterministic: attempt order is
+   a pure function of the input, so shrunk reproducers are byte-stable
+   across runs — the replay contract. *)
+
+let minimize_list ~still_fails ~steps witness =
+  (* Remove any single element whose removal preserves failure, restart
+     from the front after each success — the explorer's historical
+     strategy, kept verbatim so shrunk fault plans stay identical. *)
+  let rec minimize best =
+    let items = steps best in
+    let rec try_remove i =
+      if i >= List.length items then best
+      else
+        match still_fails (List.filteri (fun j _ -> j <> i) items) with
+        | Some smaller -> minimize smaller
+        | None -> try_remove (i + 1)
+    in
+    try_remove 0
+  in
+  minimize witness
+
+let minimize_bytes ~still_fails b =
+  let fails b = still_fails b in
+  (* Phase 1: shorten.  Try cutting exponentially-shrinking chunks from
+     the tail, then from the head — truncation is how most decoder
+     reproducers get small, and big bites first keeps it near-linear. *)
+  let rec shorten b =
+    let n = Bytes.length b in
+    let rec try_cut chunk =
+      if chunk = 0 then None
+      else
+        let tail = Bytes.sub b 0 (n - chunk) in
+        if fails tail then Some tail
+        else
+          let head = Bytes.sub b chunk (n - chunk) in
+          if fails head then Some head else try_cut (chunk / 2)
+    in
+    if n = 0 then b
+    else
+      match try_cut (max 1 (n / 2)) with
+      | Some smaller -> shorten smaller
+      | None -> b
+  in
+  let b = shorten b in
+  (* Phase 2: canonicalize.  Zero every byte that can be zeroed while
+     the failure persists, left to right, so the surviving nonzero bytes
+     are exactly the ones the failure depends on. *)
+  let b = Bytes.copy b in
+  for i = 0 to Bytes.length b - 1 do
+    if Bytes.get b i <> '\000' then begin
+      let old = Bytes.get b i in
+      Bytes.set b i '\000';
+      if not (fails b) then Bytes.set b i old
+    end
+  done;
+  b

@@ -1,0 +1,22 @@
+(** Deterministic greedy minimization of failing inputs.
+
+    The explorer shrinks fault plans (lists of steps) and the wire
+    fuzzer shrinks frames (byte buffers); both use the same greedy
+    delta-debugging discipline: only keep a transformation if the
+    failure reproduces, and make attempts in a fixed order so the
+    minimal reproducer is a pure function of the original failure. *)
+
+val minimize_list :
+  still_fails:('a list -> 'b option) -> steps:('b -> 'a list) -> 'b -> 'b
+(** [minimize_list ~still_fails ~steps witness] greedily deletes single
+    elements of [steps witness] (restarting from the front after each
+    successful deletion), following each successful deletion's new
+    witness, until no single-element deletion still fails.  Returns the
+    witness of the minimal failing list. *)
+
+val minimize_bytes : still_fails:(Stdlib.Bytes.t -> bool) -> Stdlib.Bytes.t -> Stdlib.Bytes.t
+(** [minimize_bytes ~still_fails b] assumes [still_fails b = true] and
+    returns a smaller, canonicalized buffer that still fails: first cuts
+    exponentially-shrinking chunks off the tail and head, then zeroes
+    every byte the failure does not depend on.  The result is
+    deterministic for a given [b] and predicate. *)

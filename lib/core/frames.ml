@@ -67,8 +67,8 @@ let parse_rpc_and_payload r =
     if R.remaining r < hdr.Proto.data_len then Error "rpc: payload shorter than data_len"
     else Ok (hdr, R.view r hdr.Proto.data_len)
 
-let parse timing frame =
-  let r = R.of_bytes frame in
+let parse_view timing v =
+  let r = R.of_view v in
   match Net.Ethernet.decode r with
   | Error e -> Error e
   | Ok eth ->
@@ -76,29 +76,33 @@ let parse timing frame =
       if eth.Net.Ethernet.ethertype <> Net.Ethernet.ethertype_firefly_rpc then
         Error "frame: unexpected ethertype"
       else begin
-        (* Verify the embedded end-to-end checksum over header+payload:
-           with the field itself included, a valid region sums to
-           all-ones. *)
-        let rpc_start = Net.Ethernet.header_size in
-        let rpc_len = Bytes.length frame - rpc_start in
-        if
-          checksums_on timing
-          && not
-               ((* only verify if the sender set the field *)
-                Bytes.get_uint16_be frame (rpc_start + Proto.size - 2) = 0
-               || Wire.Checksum.verify frame ~pos:rpc_start ~len:rpc_len)
-        then Error "rpc: bad end-to-end checksum"
-        else
-          match parse_rpc_and_payload (R.of_bytes ~pos:rpc_start frame) with
-          | Error e -> Error e
-          | Ok (hdr, payload) ->
-            Ok
-              {
-                p_src =
-                  { mac = eth.Net.Ethernet.src; ip = hdr.Proto.activity.Proto.Activity.caller_ip };
-                p_hdr = hdr;
-                p_payload = payload;
-              }
+        let rpc_len = R.remaining r in
+        if rpc_len < Proto.size then Error "rpc: truncated header"
+        else begin
+          (* Verify the embedded end-to-end checksum over header+payload:
+             with the field itself included, a valid region sums to
+             all-ones. *)
+          let buf = V.buffer v in
+          let rpc_pos = V.offset v + Net.Ethernet.header_size in
+          if
+            checksums_on timing
+            && not
+                 ((* only verify if the sender set the field *)
+                  Bytes.get_uint16_be buf (rpc_pos + Proto.size - 2) = 0
+                 || Wire.Checksum.verify buf ~pos:rpc_pos ~len:rpc_len)
+          then Error "rpc: bad end-to-end checksum"
+          else
+            match parse_rpc_and_payload r with
+            | Error e -> Error e
+            | Ok (hdr, payload) ->
+              Ok
+                {
+                  p_src =
+                    { mac = eth.Net.Ethernet.src; ip = hdr.Proto.activity.Proto.Activity.caller_ip };
+                  p_hdr = hdr;
+                  p_payload = payload;
+                }
+        end
       end
     end
     else if eth.Net.Ethernet.ethertype <> Net.Ethernet.ethertype_ipv4 then
@@ -108,7 +112,12 @@ let parse timing frame =
       | Error e -> Error e
       | Ok ip -> (
         if ip.Net.Ipv4.protocol <> Net.Ipv4.protocol_udp then Error "frame: not UDP"
+        else if R.remaining r < ip.Net.Ipv4.payload_len then
+          Error "ipv4: total length exceeds frame"
         else
+          (* Confine UDP to exactly the IP payload: link-layer padding
+             after the datagram must not change what it means. *)
+          let r = R.sub_reader r ip.Net.Ipv4.payload_len in
           match Net.Udp.decode r ~src:ip.Net.Ipv4.src ~dst:ip.Net.Ipv4.dst with
           | Error e -> Error e
           | Ok (udp, datagram) ->
@@ -123,3 +132,5 @@ let parse timing frame =
                     p_hdr = hdr;
                     p_payload = payload;
                   })
+
+let parse timing frame = parse_view timing (V.of_bytes frame)

@@ -40,6 +40,14 @@ val parse : Hw.Timing.t -> Stdlib.Bytes.t -> (parsed, string) result
 (** Full receive-side validation: header decode at every layer plus
     end-to-end checksum verification (unless checksums are disabled in
     the configuration, §4.2.4 — then corruption passes, which the
-    fault-injection tests demonstrate). *)
+    fault-injection tests demonstrate).  Total: every malformed input
+    yields [Error], never an exception — the wire fuzzer holds it to
+    that. *)
+
+val parse_view : Hw.Timing.t -> Wire.Bytebuf.View.t -> (parsed, string) result
+(** [parse] over a non-copying window of a larger buffer (a frame still
+    sitting in a receive ring, say).  [parse] is [parse_view] over the
+    whole-buffer view; the fuzzer checks the two decode byte-identically
+    — including identical [Error] strings — at every offset. *)
 
 val frame_size : Hw.Timing.t -> payload_len:int -> int

@@ -1,0 +1,156 @@
+module W = Wire.Bytebuf.Writer
+module Rng = Sim.Rng
+module Timing = Hw.Timing
+module Config = Hw.Config
+module Frames = Rpc.Frames
+module Proto = Rpc.Proto
+
+(* The four wire regimes the stack can emit (§4.2.4 checksums off,
+   §4.2.6 raw Ethernet); the oracle re-parses every input under all of
+   them, so corpus entries don't carry their regime. *)
+let timing_udp = Timing.create Config.default
+let timing_udp_nocks = Timing.create { Config.default with udp_checksums = false }
+let timing_raw = Timing.create { Config.default with raw_ethernet = true }
+
+let timing_raw_nocks =
+  Timing.create { Config.default with raw_ethernet = true; udp_checksums = false }
+
+let all_timings =
+  [
+    ("udp", timing_udp);
+    ("udp-nocks", timing_udp_nocks);
+    ("raw", timing_raw);
+    ("raw-nocks", timing_raw_nocks);
+  ]
+
+let src = { Frames.mac = Net.Mac.of_station 1; ip = Net.Ipv4.Addr.of_string "16.0.0.1" }
+let dst = { Frames.mac = Net.Mac.of_station 2; ip = Net.Ipv4.Addr.of_string "16.0.0.2" }
+
+let random_bytes rng n = Bytes.init n (fun _ -> Char.chr (Rng.int rng 256))
+
+let random_hdr rng ~frag_idx ~frag_count ~data_len =
+  let ptype =
+    match Rng.int rng 5 with
+    | 0 -> Proto.Call
+    | 1 -> Proto.Result
+    | 2 -> Proto.Ack
+    | 3 -> Proto.Busy
+    | _ -> Proto.Error_reply
+  in
+  {
+    Proto.ptype;
+    please_ack = Rng.int rng 2 = 0;
+    no_frag_ack = Rng.int rng 2 = 0;
+    secured = false;
+    activity =
+      {
+        Proto.Activity.caller_ip = src.Frames.ip;
+        caller_space = Rng.int rng 8;
+        thread = Rng.int rng 64;
+      };
+    seq = Rng.int rng 100_000;
+    server_space = Rng.int rng 8;
+    interface_id = Int32.of_int (Rng.int rng 1000);
+    proc_idx = Rng.int rng 8;
+    frag_idx;
+    frag_count;
+    data_len;
+    checksum = 0;
+  }
+
+let frame rng timing ~payload_len =
+  let payload = random_bytes rng payload_len in
+  Frames.build timing ~src ~dst
+    ~hdr:(random_hdr rng ~frag_idx:0 ~frag_count:1 ~data_len:payload_len)
+    ~payload ~payload_pos:0 ~payload_len
+
+(* A multi-fragment result: one logical payload split across frames that
+   share activity and sequence number — the reassembly stage's food. *)
+let fragment_set rng timing ~frag_count ~frag_len =
+  let payload = random_bytes rng (frag_count * frag_len) in
+  let base = random_hdr rng ~frag_idx:0 ~frag_count ~data_len:frag_len in
+  let base = { base with Proto.ptype = Proto.Result } in
+  List.init frag_count (fun i ->
+      Frames.build timing ~src ~dst
+        ~hdr:{ base with Proto.frag_idx = i }
+        ~payload ~payload_pos:(i * frag_len) ~payload_len:frag_len)
+
+let bare_udp rng ~checksum ~payload_len =
+  let payload = random_bytes rng payload_len in
+  let w = W.create (Net.Udp.header_size + payload_len) in
+  Net.Udp.encode w ~src:src.Frames.ip ~dst:dst.Frames.ip ~src_port:(1 + Rng.int rng 0xfffe)
+    ~dst_port:(1 + Rng.int rng 0xfffe) ~checksum
+    ~payload:(fun w -> W.bytes w payload)
+    ();
+  W.to_bytes w
+
+let bare_ipv4 rng ~payload_len =
+  let payload = random_bytes rng payload_len in
+  let w = W.create (Net.Ipv4.header_size + payload_len) in
+  Net.Ipv4.encode w
+    {
+      Net.Ipv4.src = src.Frames.ip;
+      dst = dst.Frames.ip;
+      protocol = (if Rng.int rng 2 = 0 then Net.Ipv4.protocol_udp else Rng.int rng 256);
+      ttl = 1 + Rng.int rng 255;
+      ident = Rng.int rng 0x10000;
+      payload_len;
+    };
+  W.bytes w payload;
+  W.to_bytes w
+
+let bare_ethernet rng ~payload_len =
+  let payload = random_bytes rng payload_len in
+  let w = W.create (Net.Ethernet.header_size + payload_len) in
+  let ethertype =
+    match Rng.int rng 3 with
+    | 0 -> Net.Ethernet.ethertype_ipv4
+    | 1 -> Net.Ethernet.ethertype_firefly_rpc
+    | _ -> Rng.int rng 0x10000
+  in
+  Net.Ethernet.encode w
+    { Net.Ethernet.dst = Net.Mac.of_station (Rng.int rng 100);
+      src = Net.Mac.of_station (Rng.int rng 100);
+      ethertype };
+  W.bytes w payload;
+  W.to_bytes w
+
+let bare_rpc_header rng ~payload_len =
+  let payload = random_bytes rng payload_len in
+  let w = W.create (Proto.size + payload_len) in
+  let count = 1 + Rng.int rng 4 in
+  Proto.encode w (random_hdr rng ~frag_idx:(Rng.int rng count) ~frag_count:count ~data_len:payload_len);
+  W.bytes w payload;
+  W.to_bytes w
+
+let generate ~seed =
+  let rng = Rng.create ~seed:(seed lxor 0x5eed) in
+  let payload_sizes = [ 0; 1; 17; 1 + Rng.int rng 400; 1440 ] in
+  let frames =
+    List.concat_map
+      (fun (_, timing) -> List.map (fun n -> frame rng timing ~payload_len:n) payload_sizes)
+      all_timings
+  in
+  let fragment_sets =
+    fragment_set rng timing_udp ~frag_count:3 ~frag_len:(1 + Rng.int rng 300)
+    @ fragment_set rng timing_udp_nocks ~frag_count:2 ~frag_len:1440
+    @ fragment_set rng timing_raw ~frag_count:4 ~frag_len:(1 + Rng.int rng 200)
+  in
+  let bare =
+    [
+      bare_udp rng ~checksum:true ~payload_len:0;
+      bare_udp rng ~checksum:true ~payload_len:(Rng.int rng 200);
+      bare_udp rng ~checksum:false ~payload_len:(Rng.int rng 200);
+      bare_udp rng ~checksum:true ~payload_len:1440;
+      bare_ipv4 rng ~payload_len:0;
+      bare_ipv4 rng ~payload_len:(Rng.int rng 100);
+      bare_ipv4 rng ~payload_len:64;
+      bare_ethernet rng ~payload_len:0;
+      bare_ethernet rng ~payload_len:(Rng.int rng 100);
+      bare_rpc_header rng ~payload_len:0;
+      bare_rpc_header rng ~payload_len:(Rng.int rng 100);
+      bare_rpc_header rng ~payload_len:200;
+    ]
+  in
+  let noise = List.init 4 (fun i -> random_bytes rng (i * 37)) in
+  frames @ fragment_sets @ bare @ noise

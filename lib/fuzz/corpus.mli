@@ -1,0 +1,21 @@
+(** The seeded corpus of structurally valid wire inputs.
+
+    Everything the real stack can emit, produced by the real encoders:
+    full RPC frames under all four wire regimes (UDP/raw ×
+    checksums on/off), multi-fragment result sets for the reassembly
+    stage, bare single-layer inputs (UDP datagrams, IPv4 and Ethernet
+    headers, RPC headers) for the per-decoder stages, and a little pure
+    noise.  Deterministic: the same [seed] always yields the same
+    corpus, byte for byte. *)
+
+val all_timings : (string * Hw.Timing.t) list
+(** The four regimes, labelled: [udp], [udp-nocks], [raw], [raw-nocks]. *)
+
+val src : Rpc.Frames.endpoint
+val dst : Rpc.Frames.endpoint
+(** The fixed endpoints every corpus frame is built between; the oracle
+    decodes with the same pair so checksummed corpus entries verify. *)
+
+val generate : seed:int -> Stdlib.Bytes.t list
+(** Roughly fifty entries spanning every regime and payload class (0, 1,
+    mid-size, maximum, multi-fragment). *)

@@ -1,0 +1,87 @@
+module Rng = Sim.Rng
+
+(* Structure-aware mutation: as well as blind bit flips and truncation,
+   the mutator knows where the length, version/IHL and fragment-count
+   fields sit in every layout the corpus emits, and skews exactly those
+   — the mutations that historically break wire decoders. *)
+
+(* 16-bit fields worth skewing, as absolute offsets in each layout:
+   Ethernet ethertype; IPv4 total-length / fragment / checksum; UDP
+   length / checksum; RPC frag-idx / frag-count / data-len / checksum —
+   for a full UDP frame (RPC header at 42), a raw-Ethernet frame (RPC at
+   14), a bare datagram (UDP at 0) and a bare header (IPv4 or RPC at 0). *)
+let interesting_u16_offsets =
+  [
+    12; 16; 20; 24; 34; 38; 40; 66; 68; 70; 72 (* full UDP frame *);
+    38 + 2; 40 + 2; 42; 44 (* raw frame: RPC fields at 14 + {24,26,28,30} *);
+    4; 6 (* bare UDP length/checksum *);
+    2; 10 (* bare IPv4 total-length/checksum *);
+    26; 28 (* bare RPC frag-count/data-len *);
+  ]
+
+let interesting_u16_values len =
+  [ 0; 1; 7; 8; 9; 0x45; 0x4500; 0x4600; 0x5500; 0x8000; 0xffff;
+    max 0 (len - 1); len; (len + 1) land 0xffff ]
+
+let interesting_bytes = [ 0x00; 0x01; 0x44; 0x45; 0x46; 0x55; 0x7f; 0x80; 0xff ]
+
+let pick rng xs = List.nth xs (Rng.int rng (List.length xs))
+
+let max_len = 4096
+
+(* One mutation of [b], drawing randomness only from [rng] and splice
+   material only from [corpus] — fully deterministic under a seed. *)
+let apply rng ~corpus b =
+  let n = Bytes.length b in
+  match Rng.int rng 8 with
+  | 0 when n > 0 ->
+    (* single bit flip *)
+    let b = Bytes.copy b in
+    let i = Rng.int rng n in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)));
+    b
+  | 1 when n > 0 ->
+    (* interesting byte at a random offset *)
+    let b = Bytes.copy b in
+    Bytes.set b (Rng.int rng n) (Char.chr (pick rng interesting_bytes));
+    b
+  | 2 when n > 0 ->
+    (* truncate at a random offset *)
+    Bytes.sub b 0 (Rng.int rng n)
+  | 3 when n < max_len ->
+    (* extend with random bytes *)
+    let extra = 1 + Rng.int rng 32 in
+    let out = Bytes.create (n + extra) in
+    Bytes.blit b 0 out 0 n;
+    for i = n to n + extra - 1 do
+      Bytes.set out i (Char.chr (Rng.int rng 256))
+    done;
+    out
+  | 4 when n >= 2 ->
+    (* skew a known 16-bit field *)
+    let offsets = List.filter (fun o -> o + 2 <= n) interesting_u16_offsets in
+    let b = Bytes.copy b in
+    let off = if offsets = [] then 0 else pick rng offsets in
+    Bytes.set_uint16_be b off (pick rng (interesting_u16_values n));
+    b
+  | 5 when n > 0 ->
+    (* zero a run *)
+    let b = Bytes.copy b in
+    let i = Rng.int rng n in
+    let len = min (1 + Rng.int rng 8) (n - i) in
+    Bytes.fill b i len '\000';
+    b
+  | 6 ->
+    (* splice: another corpus entry's head onto this input's tail *)
+    let other = corpus.(Rng.int rng (Array.length corpus)) in
+    let cut = Rng.int rng (1 + min n (Bytes.length other)) in
+    let out = Bytes.create n in
+    Bytes.blit b 0 out 0 n;
+    Bytes.blit other 0 out 0 cut;
+    out
+  | _ when n >= 2 ->
+    (* overwrite a random u16 anywhere — lengths hide in odd places *)
+    let b = Bytes.copy b in
+    Bytes.set_uint16_be b (Rng.int rng (n - 1)) (pick rng (interesting_u16_values n));
+    b
+  | _ -> Bytes.cat b (Bytes.make 1 '\x00')

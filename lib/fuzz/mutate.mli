@@ -1,0 +1,12 @@
+(** Deterministic structure-aware mutation of wire inputs.
+
+    Blind mutations (bit flips, truncation, extension, zero runs) plus
+    mutations that know the wire formats: skewing the length, version
+    and fragment-count fields at their known offsets in every layout the
+    corpus produces, and splicing one input's header onto another's
+    body.  All randomness comes from the caller's {!Sim.Rng}, so a fuzz
+    run is a pure function of its seed. *)
+
+val apply : Sim.Rng.t -> corpus:Stdlib.Bytes.t array -> Stdlib.Bytes.t -> Stdlib.Bytes.t
+(** One mutation.  Never grows an input past an internal cap (4 KiB), so
+    stacked mutations stay bounded. *)

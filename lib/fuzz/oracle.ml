@@ -1,0 +1,266 @@
+module R = Wire.Bytebuf.Reader
+module V = Wire.Bytebuf.View
+module W = Wire.Bytebuf.Writer
+module Proto = Rpc.Proto
+module Frames = Rpc.Frames
+
+(* Three properties, checked on every input at every layer:
+
+   1. Totality — no exception escapes a decoder; malformed input means
+      [Error], nothing else.
+   2. Accept implies re-encode round-trips — a header the decoder
+      accepts, re-encoded by the matching encoder, must decode again to
+      the identical header (the decoders are lossy about don't-care
+      bits, so the round-trip is semantic, not byte-for-byte — except
+      Ethernet, whose codec is lossless and is held to the exact bytes).
+   3. The zero-copy path is the copying path — decoding through
+      [Reader.of_view] over a window of a larger buffer must agree
+      byte-identically (including the [Error] strings) with
+      [Reader.of_bytes] over a private copy. *)
+
+type kind =
+  | Exception_escaped of string
+  | Roundtrip_broken of string
+  | Differential of string
+
+type failure = { stage : string; kind : kind }
+
+let kind_tag = function
+  | Exception_escaped _ -> "exception"
+  | Roundtrip_broken _ -> "roundtrip"
+  | Differential _ -> "differential"
+
+let kind_message = function
+  | Exception_escaped m | Roundtrip_broken m | Differential m -> m
+
+(* Failure identity for dedup and shrinking: the stage and the property
+   that broke, not the message — messages carry input-size detail that
+   legitimately changes as a reproducer shrinks. *)
+let key f = f.stage ^ "/" ^ kind_tag f.kind
+
+let to_string f = Printf.sprintf "[%s] %s: %s" f.stage (kind_tag f.kind) (kind_message f.kind)
+
+let src_ip = Corpus.src.Frames.ip
+let dst_ip = Corpus.dst.Frames.ip
+
+(* The view path embeds the input mid-buffer, junk on both sides, so an
+   absolute-offset bug in any decoder shows up as a differential. *)
+let embed_pad = 5
+
+let embed input =
+  let b = Bytes.make (Bytes.length input + (2 * embed_pad)) '\xa5' in
+  Bytes.blit input 0 b embed_pad (Bytes.length input);
+  V.of_bytes ~pos:embed_pad ~len:(Bytes.length input) b
+
+let attempt f = try Ok (f ()) with exn -> Error (Printexc.to_string exn)
+
+(* Run [decode] over both reader paths; fail on an escaped exception or
+   any disagreement; hand an agreed [Ok] to [accepted]. *)
+let stage_result ~stage ~decode ~agree ~accepted input =
+  match
+    ( attempt (fun () -> decode (R.of_bytes (Bytes.copy input))),
+      attempt (fun () -> decode (R.of_view (embed input))) )
+  with
+  | Error exn, _ | _, Error exn -> Some { stage; kind = Exception_escaped exn }
+  | Ok (Ok a), Ok (Ok b) ->
+    if not (agree a b) then
+      Some { stage; kind = Differential "of_bytes and of_view accept different values" }
+    else accepted a
+  | Ok (Error ea), Ok (Error eb) ->
+    if String.equal ea eb then None
+    else
+      Some
+        {
+          stage;
+          kind =
+            Differential
+              (Printf.sprintf "of_bytes rejects with %S, of_view with %S" ea eb);
+        }
+  | Ok (Ok _), Ok (Error e) ->
+    Some { stage; kind = Differential ("of_bytes accepts, of_view rejects: " ^ e) }
+  | Ok (Error e), Ok (Ok _) ->
+    Some { stage; kind = Differential ("of_view accepts, of_bytes rejects: " ^ e) }
+
+let roundtrip ~stage ~encode ~decode ~equal h =
+  match attempt (fun () -> encode h) with
+  | Error exn ->
+    Some { stage; kind = Roundtrip_broken ("re-encode raised " ^ exn) }
+  | Ok bytes -> (
+    match attempt (fun () -> decode (R.of_bytes bytes)) with
+    | Error exn -> Some { stage; kind = Roundtrip_broken ("decode of re-encode raised " ^ exn) }
+    | Ok (Error e) -> Some { stage; kind = Roundtrip_broken ("re-encode rejected: " ^ e) }
+    | Ok (Ok h') ->
+      if equal h h' then None
+      else Some { stage; kind = Roundtrip_broken "re-encoded header decodes differently" })
+
+(* {1 Per-layer stages} *)
+
+let ethernet_stage input =
+  stage_result ~stage:"ethernet" ~decode:Net.Ethernet.decode ~agree:( = ) input
+    ~accepted:(fun h ->
+      (* The Ethernet codec is lossless: accept means the first 14 bytes
+         ARE the re-encoding. *)
+      let w = W.create Net.Ethernet.header_size in
+      Net.Ethernet.encode w h;
+      if Bytes.equal (W.to_bytes w) (Bytes.sub input 0 Net.Ethernet.header_size) then None
+      else
+        Some { stage = "ethernet"; kind = Roundtrip_broken "re-encode differs from input bytes" })
+
+let ipv4_stage input =
+  stage_result ~stage:"ipv4" ~decode:Net.Ipv4.decode ~agree:( = ) input
+    ~accepted:
+      (roundtrip ~stage:"ipv4"
+         ~encode:(fun h ->
+           let w = W.create Net.Ipv4.header_size in
+           Net.Ipv4.encode w h;
+           W.to_bytes w)
+         ~decode:Net.Ipv4.decode ~equal:( = ))
+
+let udp_agree (h1, p1) (h2, p2) = h1 = h2 && Bytes.equal (V.to_bytes p1) (V.to_bytes p2)
+
+let udp_stage input =
+  stage_result ~stage:"udp"
+    ~decode:(fun r -> Net.Udp.decode r ~src:src_ip ~dst:dst_ip)
+    ~agree:udp_agree input
+    ~accepted:(fun (h, payload) ->
+      (* Re-encode the canonical datagram: the accepted header's length
+         bounds the payload, trailing bytes beyond it are not part of
+         the datagram.  Compare ports, length and payload — the stored
+         checksum has two valid encodings of zero (RFC 768), so the
+         field itself is not compared. *)
+      let body = V.to_bytes payload in
+      roundtrip ~stage:"udp"
+        ~encode:(fun () ->
+          let w = W.create (Net.Udp.header_size + Bytes.length body) in
+          Net.Udp.encode w ~src:src_ip ~dst:dst_ip ~src_port:h.Net.Udp.src_port
+            ~dst_port:h.Net.Udp.dst_port ~checksum:(h.Net.Udp.checksum <> 0)
+            ~payload:(fun w -> W.bytes w body)
+            ();
+          W.to_bytes w)
+        ~decode:(fun r -> Net.Udp.decode r ~src:src_ip ~dst:dst_ip)
+        ~equal:(fun () (h', p') ->
+          h'.Net.Udp.src_port = h.Net.Udp.src_port
+          && h'.Net.Udp.dst_port = h.Net.Udp.dst_port
+          && h'.Net.Udp.length = h.Net.Udp.length
+          && V.equal_bytes p' body)
+        ())
+
+let rpc_header_stage input =
+  stage_result ~stage:"rpc-header" ~decode:Proto.decode ~agree:( = ) input
+    ~accepted:
+      (roundtrip ~stage:"rpc-header"
+         ~encode:(fun h ->
+           let w = W.create Proto.size in
+           Proto.encode w h;
+           W.to_bytes w)
+         ~decode:Proto.decode ~equal:( = ))
+
+(* {1 The full stack, under every regime} *)
+
+let parsed_agree (a : Frames.parsed) (b : Frames.parsed) =
+  a.Frames.p_src = b.Frames.p_src
+  && a.Frames.p_hdr = b.Frames.p_hdr
+  && Bytes.equal (V.to_bytes a.Frames.p_payload) (V.to_bytes b.Frames.p_payload)
+
+let frame_stage ~label ~timing input =
+  let stage = "frame[" ^ label ^ "]" in
+  match
+    ( attempt (fun () -> Frames.parse timing (Bytes.copy input)),
+      attempt (fun () -> Frames.parse_view timing (embed input)) )
+  with
+  | Error exn, _ | _, Error exn -> (Some { stage; kind = Exception_escaped exn }, None)
+  | Ok (Ok a), Ok (Ok b) ->
+    if parsed_agree a b then (None, Some a)
+    else (Some { stage; kind = Differential "parse and parse_view disagree" }, None)
+  | Ok (Error ea), Ok (Error eb) ->
+    if String.equal ea eb then (None, None)
+    else
+      ( Some
+          {
+            stage;
+            kind =
+              Differential (Printf.sprintf "parse rejects with %S, parse_view with %S" ea eb);
+          },
+        None )
+  | Ok (Ok _), Ok (Error e) ->
+    (Some { stage; kind = Differential ("parse accepts, parse_view rejects: " ^ e) }, None)
+  | Ok (Error e), Ok (Ok _) ->
+    (Some { stage; kind = Differential ("parse_view accepts, parse rejects: " ^ e) }, None)
+
+(* {1 Fragment reassembly} *)
+
+module Reasm = struct
+  (* A caller-side collector in miniature, enforcing the hardened
+     runtime's rules: fragments must share activity, sequence number and
+     fragment count; the completion scan checks every index is present —
+     exactly where the pre-hardening runtime raised [Not_found]. *)
+  type t = {
+    mutable current : (Proto.Activity.t * int * int) option;
+    frags : (int, Bytes.t) Hashtbl.t;
+  }
+
+  let create () = { current = None; frags = Hashtbl.create 8 }
+
+  let feed t (hdr : Proto.header) payload =
+    if hdr.Proto.frag_count <= 1 then Ok ()
+    else begin
+      let k = (hdr.Proto.activity, hdr.Proto.seq, hdr.Proto.frag_count) in
+      (match t.current with
+      | Some k' when k' = k -> ()
+      | _ ->
+        t.current <- Some k;
+        Hashtbl.reset t.frags);
+      if hdr.Proto.frag_idx < 0 || hdr.Proto.frag_idx >= hdr.Proto.frag_count then
+        Ok () (* the parser already rejects these; drop defensively *)
+      else begin
+        Hashtbl.replace t.frags hdr.Proto.frag_idx (V.to_bytes payload);
+        if Hashtbl.length t.frags < hdr.Proto.frag_count then Ok ()
+        else begin
+          let buf = Buffer.create 256 in
+          let complete = ref true in
+          for i = 0 to hdr.Proto.frag_count - 1 do
+            match Hashtbl.find_opt t.frags i with
+            | Some b -> Buffer.add_bytes buf b
+            | None -> complete := false
+          done;
+          t.current <- None;
+          Hashtbl.reset t.frags;
+          if !complete then Ok ()
+          else Error "reassembly completed with a missing fragment index"
+        end
+      end
+    end
+end
+
+let reassembly_stage reasm (p : Frames.parsed) =
+  match attempt (fun () -> Reasm.feed reasm p.Frames.p_hdr p.Frames.p_payload) with
+  | Error exn -> Some { stage = "reassembly"; kind = Exception_escaped exn }
+  | Ok (Error e) -> Some { stage = "reassembly"; kind = Roundtrip_broken e }
+  | Ok (Ok ()) -> None
+
+(* {1 The oracle} *)
+
+type outcome = { failure : failure option; full_stack_ok : bool }
+
+let first_failure checks = List.find_map (fun c -> c ()) checks
+
+let run ?reasm input =
+  let full_stack_ok = ref false in
+  let frame_check (label, timing) () =
+    let f, parsed = frame_stage ~label ~timing input in
+    if Option.is_some parsed then full_stack_ok := true;
+    match (f, parsed, reasm) with
+    | None, Some p, Some rs -> reassembly_stage rs p
+    | _ -> f
+  in
+  let failure =
+    first_failure
+      ([
+         (fun () -> ethernet_stage input);
+         (fun () -> ipv4_stage input);
+         (fun () -> udp_stage input);
+         (fun () -> rpc_header_stage input);
+       ]
+      @ List.map frame_check Corpus.all_timings)
+  in
+  { failure; full_stack_ok = !full_stack_ok }

@@ -6,6 +6,13 @@ type header = { src_port : int; dst_port : int; length : int; checksum : int }
 
 let header_size = 8
 
+(* The wire fuzzer's self-test hook (`firefly fuzz --canary`): when set,
+   [decode] loses its upper length-sanity bound — the classic
+   trust-the-header-length decoder bug — so downstream slicing can be
+   driven out of bounds by a skewed length field.  The fuzzer must
+   rediscover the resulting exception; never set outside that test. *)
+let canary_skip_length_check = ref false
+
 let encode w ~src ~dst ~src_port ~dst_port ?(checksum = true) ~payload () =
   let start = W.length w in
   W.u16 w src_port;
@@ -37,7 +44,8 @@ let decode r ~src ~dst =
     let dst_port = R.u16 hr in
     let length = R.u16 hr in
     let checksum = R.u16 hr in
-    if length < header_size || length > datagram_len then Error "udp: bad length"
+    if length < header_size || (length > datagram_len && not !canary_skip_length_check) then
+      Error "udp: bad length"
     else if
       checksum <> 0
       && not

@@ -30,4 +30,11 @@ val decode :
   (header * Wire.Bytebuf.View.t, string) result
 (** Consumes the whole datagram, verifying length and — when the
     checksum field is nonzero — the pseudo-header checksum.  Returns the
-    header and a non-copying view of the payload (aliasing the frame). *)
+    header and a non-copying view of the payload (aliasing the frame).
+    Total: malformed datagrams yield [Error], never an exception. *)
+
+val canary_skip_length_check : bool ref
+(** Fuzzer self-test only ([firefly fuzz --canary]): while set, [decode]
+    trusts the header's length field beyond the datagram's actual end —
+    a planted decoder bug the fuzzer must find as an escaping exception.
+    Default [false]; restore it after use. *)

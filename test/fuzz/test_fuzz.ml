@@ -1,0 +1,201 @@
+module Driver = Fuzz.Driver
+module Oracle = Fuzz.Oracle
+module Corpus = Fuzz.Corpus
+module R = Wire.Bytebuf.Reader
+module V = Wire.Bytebuf.View
+
+(* {1 Determinism and totality} *)
+
+let test_deterministic () =
+  let a = Driver.run ~seed:5 ~iters:4000 () in
+  let b = Driver.run ~seed:5 ~iters:4000 () in
+  Alcotest.(check string) "byte-identical reports" (Driver.to_string a) (Driver.to_string b);
+  let c = Driver.run ~seed:6 ~iters:4000 () in
+  Alcotest.(check bool) "different seed, different stream" false
+    (a.Driver.r_full_stack_ok = c.Driver.r_full_stack_ok
+    && Driver.to_string a = Driver.to_string c)
+
+let test_total_decoders () =
+  (* The tier-1 slice of the 50k CI acceptance run: every mutated frame
+     decodes without an escaped exception or property violation. *)
+  let r = Driver.run ~seed:3 ~iters:8000 () in
+  Alcotest.(check int) "executed the full budget" 8000 r.Driver.r_executed;
+  Alcotest.(check bool) "some mutants still parse" true (r.Driver.r_full_stack_ok > 0);
+  (match r.Driver.r_failures with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.fail
+      (Printf.sprintf "decoder property violated: [%s] %s: %s" f.Driver.f_stage f.Driver.f_tag
+         f.Driver.f_message))
+
+(* {1 The canary self-test} *)
+
+let test_canary_found () =
+  let found, r = Driver.canary ~seed:1 ~iters:5000 () in
+  Alcotest.(check bool) "planted bug rediscovered" true found;
+  Alcotest.(check bool) "canary restored" false !Net.Udp.canary_skip_length_check;
+  (* The planted bug is in Udp.decode's length handling: the exception
+     class must point there (the udp stage or the full-frame stage). *)
+  let stages =
+    List.filter_map
+      (fun f -> if f.Driver.f_tag = "exception" then Some f.Driver.f_stage else None)
+      r.Driver.r_failures
+  in
+  Alcotest.(check bool) "blamed a UDP-reaching stage" true
+    (List.exists (fun s -> s = "udp" || String.length s >= 5) stages)
+
+let test_canary_reproducer_minimal () =
+  (* Shrinking must cut the reproducer down to little more than a bare
+     UDP header with a skewed length field. *)
+  let found, r = Driver.canary ~seed:1 ~iters:5000 () in
+  Alcotest.(check bool) "found" true found;
+  let udp_repro =
+    List.find_opt (fun f -> f.Driver.f_stage = "udp") r.Driver.r_failures
+  in
+  match udp_repro with
+  | None -> () (* found through the frame stage only; nothing to assert *)
+  | Some f ->
+    Alcotest.(check bool)
+      (Printf.sprintf "minimized to the 8-byte header (got %d)" (Bytes.length f.Driver.f_input))
+      true
+      (Bytes.length f.Driver.f_input <= 16)
+
+(* {1 Reproducer persistence and replay} *)
+
+let with_temp_dir f =
+  (* Fixed name: only this suite uses it, and alcotest runs cases
+     sequentially within the executable. *)
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "firefly-fuzz-test" in
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  cleanup ();
+  Fun.protect ~finally:cleanup (fun () -> f dir)
+
+let test_persist_and_replay () =
+  with_temp_dir @@ fun dir ->
+  let _, r = Driver.canary ~seed:1 ~iters:5000 () in
+  let paths = Driver.write_failures ~dir r in
+  Alcotest.(check bool) "reproducers written" true (paths <> []);
+  List.iter (fun p -> Alcotest.(check bool) ("exists " ^ p) true (Sys.file_exists p)) paths;
+  (* With the planted bug gone, every reproducer must replay clean... *)
+  let clean = Driver.replay_dir ~dir in
+  Alcotest.(check int) "replayed every file" (List.length paths) (List.length clean);
+  List.iter
+    (fun (p, f) -> Alcotest.(check bool) ("clean replay " ^ p) true (f = None))
+    clean;
+  (* ...and with the bug re-planted, at least one must fail again. *)
+  Net.Udp.canary_skip_length_check := true;
+  Fun.protect ~finally:(fun () -> Net.Udp.canary_skip_length_check := false) @@ fun () ->
+  let dirty = Driver.replay_dir ~dir in
+  Alcotest.(check bool) "reproducer still bites under the bug" true
+    (List.exists (fun (_, f) -> f <> None) dirty)
+
+(* {1 The of_view / of_bytes differential (satellite)}
+
+   Independent of the oracle's own plumbing: decode every corpus entry
+   and a stream of seeded mutants through both reader paths at every
+   layer, and require identical results — including identical [Error]
+   strings. *)
+
+let embed input =
+  let pad = 3 in
+  let b = Bytes.make (Bytes.length input + (2 * pad)) '\xcc' in
+  Bytes.blit input 0 b pad (Bytes.length input);
+  V.of_bytes ~pos:pad ~len:(Bytes.length input) b
+
+let check_same name input decode to_repr =
+  let via_bytes =
+    try `R (to_repr (decode (R.of_bytes (Bytes.copy input)))) with e -> `Exn (Printexc.to_string e)
+  in
+  let via_view =
+    try `R (to_repr (decode (R.of_view (embed input)))) with e -> `Exn (Printexc.to_string e)
+  in
+  if via_bytes <> via_view then
+    Alcotest.fail
+      (Printf.sprintf "%s: of_bytes and of_view disagree on %d-byte input" name
+         (Bytes.length input))
+
+let repr_result to_s = function Ok v -> "ok:" ^ to_s v | Error e -> "error:" ^ e
+
+let differential_one input =
+  check_same "ethernet" input Net.Ethernet.decode
+    (repr_result (fun h -> Net.Mac.to_string h.Net.Ethernet.src));
+  check_same "ipv4" input Net.Ipv4.decode
+    (repr_result (fun h -> Net.Ipv4.Addr.to_string h.Net.Ipv4.src));
+  check_same "udp" input
+    (fun r -> Net.Udp.decode r ~src:Corpus.src.Rpc.Frames.ip ~dst:Corpus.dst.Rpc.Frames.ip)
+    (repr_result (fun (h, p) -> Printf.sprintf "%d:%d:%s" h.Net.Udp.src_port h.Net.Udp.length (V.to_string p)));
+  check_same "rpc-header" input Rpc.Proto.decode
+    (repr_result (Format.asprintf "%a" Rpc.Proto.pp));
+  List.iter
+    (fun (label, timing) ->
+      let a =
+        match Rpc.Frames.parse timing (Bytes.copy input) with
+        | Ok p -> "ok:" ^ V.to_string p.Rpc.Frames.p_payload
+        | Error e -> "error:" ^ e
+      in
+      let b =
+        match Rpc.Frames.parse_view timing (embed input) with
+        | Ok p -> "ok:" ^ V.to_string p.Rpc.Frames.p_payload
+        | Error e -> "error:" ^ e
+      in
+      Alcotest.(check string) ("frames[" ^ label ^ "] parse = parse_view") a b)
+    Corpus.all_timings
+
+let test_differential_corpus () =
+  let corpus = Corpus.generate ~seed:11 in
+  List.iter differential_one corpus;
+  (* Seeded mutants of the corpus, same stream the fuzzer would draw. *)
+  let arr = Array.of_list corpus in
+  let rng = Sim.Rng.create ~seed:12 in
+  for _ = 1 to 1500 do
+    let input = Fuzz.Mutate.apply rng ~corpus:arr arr.(Sim.Rng.int rng (Array.length arr)) in
+    differential_one input
+  done
+
+(* {1 Corpus sanity} *)
+
+let test_corpus_deterministic () =
+  let a = Corpus.generate ~seed:9 and b = Corpus.generate ~seed:9 in
+  Alcotest.(check int) "same size" (List.length a) (List.length b);
+  List.iter2 (fun x y -> Alcotest.(check bytes) "same entry" x y) a b
+
+let test_corpus_parses () =
+  (* Unmutated full-frame corpus entries must be accepted by at least
+     one regime's full-stack parse (bare-layer and noise entries are
+     rejected by all four; that's fine). *)
+  let corpus = Corpus.generate ~seed:2 in
+  let accepted =
+    List.length
+      (List.filter
+         (fun e ->
+           List.exists
+             (fun (_, t) -> Result.is_ok (Rpc.Frames.parse t e))
+             Corpus.all_timings)
+         corpus)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "a healthy share of the corpus parses (%d)" accepted)
+    true (accepted >= 25)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "fuzz",
+        [
+          Alcotest.test_case "deterministic runs" `Quick test_deterministic;
+          Alcotest.test_case "decoders stay total under mutation" `Quick test_total_decoders;
+          Alcotest.test_case "canary bug is found" `Quick test_canary_found;
+          Alcotest.test_case "canary reproducer shrinks small" `Quick
+            test_canary_reproducer_minimal;
+          Alcotest.test_case "persist and replay reproducers" `Quick test_persist_and_replay;
+          Alcotest.test_case "of_view = of_bytes across corpus and mutants" `Quick
+            test_differential_corpus;
+          Alcotest.test_case "corpus is deterministic" `Quick test_corpus_deterministic;
+          Alcotest.test_case "corpus mostly parses" `Quick test_corpus_parses;
+        ] );
+    ]

@@ -58,6 +58,33 @@ let test_ethernet_truncated () =
   | Ok _ -> Alcotest.fail "accepted truncated frame"
   | Error _ -> ()
 
+let test_ethernet_truncated_every_offset () =
+  let w = W.create 16 in
+  Ethernet.encode w
+    { Ethernet.dst = Mac.of_station 2; src = Mac.of_station 1; ethertype = Ethernet.ethertype_ipv4 };
+  let full = W.contents w in
+  for k = 0 to Ethernet.header_size - 1 do
+    match Ethernet.decode (R.of_bytes (Bytes.sub full 0 k)) with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %d-byte frame" k)
+    | Error e ->
+      Alcotest.(check string) (Printf.sprintf "truncated at %d" k) "ethernet: frame too short" e
+  done;
+  match Ethernet.decode (R.of_bytes full) with Ok _ -> () | Error e -> Alcotest.fail e
+
+let prop_ethernet_roundtrip =
+  QCheck.Test.make ~name:"ethernet header roundtrip" ~count:200
+    QCheck.(triple (int_bound 0xffffff) (int_bound 0xffffff) (int_bound 0xffff))
+    (fun (s, d, ethertype) ->
+      let h = { Ethernet.dst = Mac.of_station d; src = Mac.of_station s; ethertype } in
+      let w = W.create 16 in
+      Ethernet.encode w h;
+      match Ethernet.decode (R.of_bytes (W.contents w)) with
+      | Ok h' ->
+        Mac.equal h.Ethernet.dst h'.Ethernet.dst
+        && Mac.equal h.Ethernet.src h'.Ethernet.src
+        && h'.Ethernet.ethertype = ethertype
+      | Error _ -> false)
+
 (* {1 IPv4} *)
 
 let ip = Ipv4.Addr.of_string
@@ -103,6 +130,78 @@ let test_ipv4_checksum_detects_corruption () =
   match Ipv4.decode (R.of_bytes b) with
   | Ok _ -> Alcotest.fail "accepted corrupted header"
   | Error e -> Alcotest.(check string) "checksum error" "ipv4: bad header checksum" e
+
+(* Exhaustive error-branch coverage.  The checksum is verified before any
+   field parsing, so a crafted header must carry a correct checksum to
+   reach the branch under test. *)
+
+let valid_ipv4_bytes () =
+  let w = W.create 32 in
+  Ipv4.encode w (ipv4_header 32);
+  W.contents w
+
+let refix_ipv4_checksum b =
+  Bytes.set_uint16_be b 10 0;
+  Bytes.set_uint16_be b 10 (Wire.Checksum.checksum b ~pos:0 ~len:Ipv4.header_size)
+
+let expect_ipv4_error name want b =
+  match Ipv4.decode (R.of_bytes b) with
+  | Ok _ -> Alcotest.fail (name ^ ": accepted")
+  | Error e -> Alcotest.(check string) name want e
+
+let test_ipv4_truncated_every_offset () =
+  let full = valid_ipv4_bytes () in
+  for k = 0 to Ipv4.header_size - 1 do
+    expect_ipv4_error
+      (Printf.sprintf "truncated at %d" k)
+      "ipv4: truncated header" (Bytes.sub full 0 k)
+  done
+
+let test_ipv4_bad_version_and_ihl () =
+  List.iter
+    (fun vihl ->
+      let b = valid_ipv4_bytes () in
+      Bytes.set_uint8 b 0 vihl;
+      refix_ipv4_checksum b;
+      expect_ipv4_error
+        (Printf.sprintf "vihl 0x%02x" vihl)
+        (Printf.sprintf "ipv4: unsupported version/IHL 0x%02x" vihl)
+        b)
+    [ 0x55 (* version 5 *); 0x46 (* IHL 6: options *); 0x44 (* IHL 4: impossible *); 0x00 ]
+
+let test_ipv4_fragmented_rejected () =
+  List.iter
+    (fun frag ->
+      let b = valid_ipv4_bytes () in
+      Bytes.set_uint16_be b 6 frag;
+      refix_ipv4_checksum b;
+      expect_ipv4_error
+        (Printf.sprintf "frag 0x%04x" frag)
+        "ipv4: fragmented packet unsupported" b)
+    [ 0x2000 (* more-fragments *); 0x0001 (* nonzero offset *); 0x3fff ];
+  (* Don't-fragment alone is not fragmentation and must still pass. *)
+  let b = valid_ipv4_bytes () in
+  Bytes.set_uint16_be b 6 0x4000;
+  refix_ipv4_checksum b;
+  match Ipv4.decode (R.of_bytes b) with Ok _ -> () | Error e -> Alcotest.fail e
+
+let test_ipv4_bad_total_length () =
+  List.iter
+    (fun total ->
+      let b = valid_ipv4_bytes () in
+      Bytes.set_uint16_be b 2 total;
+      refix_ipv4_checksum b;
+      expect_ipv4_error (Printf.sprintf "total %d" total) "ipv4: bad total length" b)
+    [ 0; 1; Ipv4.header_size - 1 ]
+
+let test_ipv4_checksum_covers_every_byte () =
+  for i = 0 to Ipv4.header_size - 1 do
+    let b = valid_ipv4_bytes () in
+    Bytes.set_uint8 b i (Bytes.get_uint8 b i lxor 0x04);
+    match Ipv4.decode (R.of_bytes b) with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "bit flip at byte %d accepted" i)
+    | Error _ -> ()
+  done
 
 let prop_ipv4_roundtrip =
   QCheck.Test.make ~name:"ipv4 header roundtrip" ~count:200
@@ -172,6 +271,56 @@ let test_udp_no_checksum_mode () =
   | Ok (h, _) -> Alcotest.(check int) "zero checksum field" 0 h.Udp.checksum
   | Error e -> Alcotest.fail e
 
+let test_udp_truncated_every_offset () =
+  let full = encode_udp "xyz" in
+  for k = 0 to Udp.header_size - 1 do
+    match Udp.decode (R.of_bytes (Bytes.sub full 0 k)) ~src:(ip "16.0.0.1") ~dst:(ip "16.0.0.2") with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %d-byte datagram" k)
+    | Error e ->
+      Alcotest.(check string) (Printf.sprintf "truncated at %d" k) "udp: truncated header" e
+  done
+
+let test_udp_bad_length_field () =
+  (* Both sides of the length sanity check: below the header size and
+     beyond the datagram's actual end. *)
+  List.iter
+    (fun len ->
+      let b = encode_udp "0123456789" in
+      Bytes.set_uint16_be b 4 len;
+      match Udp.decode (R.of_bytes b) ~src:(ip "16.0.0.1") ~dst:(ip "16.0.0.2") with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted length=%d" len)
+      | Error e -> Alcotest.(check string) (Printf.sprintf "length=%d" len) "udp: bad length" e)
+    [ 0; 1; 7; 19 (* datagram is 18 *); 0xffff ]
+
+let test_udp_checksum_field_corruption () =
+  let b = encode_udp "payload" in
+  let c = Bytes.get_uint16_be b 6 in
+  Bytes.set_uint16_be b 6 (if c = 1 then 2 else 1);
+  match Udp.decode (R.of_bytes b) ~src:(ip "16.0.0.1") ~dst:(ip "16.0.0.2") with
+  | Ok _ -> Alcotest.fail "accepted corrupted checksum field"
+  | Error e -> Alcotest.(check string) "checksum error" "udp: bad checksum" e
+
+let test_udp_zero_checksum_convention () =
+  (* RFC 768: a computed checksum of zero is transmitted as 0xffff and
+     must verify on receive.  Search a 2-byte payload slot for an input
+     whose checksum computes to zero — ones-complement arithmetic
+     guarantees one exists. *)
+  let found = ref false in
+  let v = ref 0 in
+  while (not !found) && !v < 0x10000 do
+    let payload = Bytes.create 2 in
+    Bytes.set_uint16_be payload 0 !v;
+    let b = encode_udp (Bytes.to_string payload) in
+    if Bytes.get_uint16_be b 6 = 0xffff then begin
+      found := true;
+      match Udp.decode (R.of_bytes b) ~src:(ip "16.0.0.1") ~dst:(ip "16.0.0.2") with
+      | Ok (h, _) -> Alcotest.(check int) "0xffff on the wire" 0xffff h.Udp.checksum
+      | Error e -> Alcotest.fail e
+    end;
+    incr v
+  done;
+  Alcotest.(check bool) "found a zero-checksum input" true !found
+
 let prop_udp_roundtrip =
   QCheck.Test.make ~name:"udp payload roundtrip" ~count:200
     QCheck.(string_of_size (QCheck.Gen.int_range 0 1440))
@@ -208,10 +357,19 @@ let suite =
     Alcotest.test_case "mac wire format" `Quick test_mac_wire;
     Alcotest.test_case "ethernet roundtrip" `Quick test_ethernet_roundtrip;
     Alcotest.test_case "ethernet truncated" `Quick test_ethernet_truncated;
+    Alcotest.test_case "ethernet truncated at every offset" `Quick
+      test_ethernet_truncated_every_offset;
+    QCheck_alcotest.to_alcotest prop_ethernet_roundtrip;
     Alcotest.test_case "ipv4 addresses" `Quick test_addr;
     Alcotest.test_case "ipv4 roundtrip" `Quick test_ipv4_roundtrip;
     Alcotest.test_case "ipv4 checksum detects corruption" `Quick
       test_ipv4_checksum_detects_corruption;
+    Alcotest.test_case "ipv4 truncated at every offset" `Quick test_ipv4_truncated_every_offset;
+    Alcotest.test_case "ipv4 bad version/IHL" `Quick test_ipv4_bad_version_and_ihl;
+    Alcotest.test_case "ipv4 fragmented rejected" `Quick test_ipv4_fragmented_rejected;
+    Alcotest.test_case "ipv4 bad total length" `Quick test_ipv4_bad_total_length;
+    Alcotest.test_case "ipv4 checksum covers every byte" `Quick
+      test_ipv4_checksum_covers_every_byte;
     QCheck_alcotest.to_alcotest prop_ipv4_roundtrip;
     Alcotest.test_case "udp roundtrip" `Quick test_udp_roundtrip;
     Alcotest.test_case "udp checksum detects corruption" `Quick
@@ -219,6 +377,11 @@ let suite =
     Alcotest.test_case "udp pseudo-header binds addresses" `Quick
       test_udp_pseudo_header_binds_addresses;
     Alcotest.test_case "udp without checksums" `Quick test_udp_no_checksum_mode;
+    Alcotest.test_case "udp truncated at every offset" `Quick test_udp_truncated_every_offset;
+    Alcotest.test_case "udp bad length field" `Quick test_udp_bad_length_field;
+    Alcotest.test_case "udp corrupted checksum field" `Quick test_udp_checksum_field_corruption;
+    Alcotest.test_case "udp zero-checksum convention (RFC 768)" `Quick
+      test_udp_zero_checksum_convention;
     QCheck_alcotest.to_alcotest prop_udp_roundtrip;
     Alcotest.test_case "paper frame sizes (74/1514)" `Quick test_full_frame_sizes;
   ]

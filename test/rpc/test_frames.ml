@@ -112,6 +112,122 @@ let prop_roundtrip =
       | Ok p -> Wire.Bytebuf.View.equal_bytes p.Frames.p_payload payload
       | Error _ -> false)
 
+(* {1 Malformed frames stay [Error], never exceptions} *)
+
+let all_timings =
+  [
+    ("udp", timing);
+    ("udp-nocks", Timing.create { Config.default with udp_checksums = false });
+    ("raw", Timing.create { Config.default with raw_ethernet = true });
+    ("raw-nocks", Timing.create { Config.default with raw_ethernet = true; udp_checksums = false });
+  ]
+
+let test_truncation_never_raises () =
+  (* Every prefix of a valid frame under every regime must yield Error.
+     Regression: lengths 14..45 of a raw-mode frame used to raise
+     Invalid_argument out of the checksum-field peek. *)
+  List.iter
+    (fun (label, t) ->
+      let frame =
+        Frames.build t ~src ~dst ~hdr:(hdr ()) ~payload:(Bytes.create 64) ~payload_pos:0
+          ~payload_len:64
+      in
+      for k = 0 to Bytes.length frame - 1 do
+        match Frames.parse t (Bytes.sub frame 0 k) with
+        | Ok _ -> Alcotest.fail (Printf.sprintf "[%s] accepted %d-byte prefix" label k)
+        | Error _ -> ()
+        | exception e ->
+          Alcotest.fail
+            (Printf.sprintf "[%s] %d-byte prefix raised %s" label k (Printexc.to_string e))
+      done)
+    all_timings
+
+let test_ip_total_length_exceeds_frame () =
+  let frame = build (Bytes.of_string "twelve bytes") in
+  (* Inflate the IPv4 total length past the frame's end and refresh the
+     header checksum so the length check itself is reached. *)
+  Bytes.set_uint16_be frame 16 (Bytes.get_uint16_be frame 16 + 100);
+  Bytes.set_uint16_be frame 24 0;
+  Bytes.set_uint16_be frame 24 (Wire.Checksum.checksum frame ~pos:14 ~len:20);
+  match Frames.parse timing frame with
+  | Ok _ -> Alcotest.fail "accepted overlong total length"
+  | Error e -> Alcotest.(check string) "total length error" "ipv4: total length exceeds frame" e
+
+let test_trailing_padding_tolerated () =
+  (* Link-layer padding after the datagram must not change the parse:
+     the UDP layer is confined to exactly the IP payload. *)
+  let payload = Bytes.of_string "padded frame payload" in
+  let frame = build payload in
+  let padded = Bytes.cat frame (Bytes.make 17 '\xee') in
+  match Frames.parse timing padded with
+  | Ok p ->
+    Alcotest.(check bytes) "payload unchanged" payload
+      (Wire.Bytebuf.View.to_bytes p.Frames.p_payload)
+  | Error e -> Alcotest.fail e
+
+let test_parse_view_matches_parse () =
+  let module V = Wire.Bytebuf.View in
+  List.iter
+    (fun (label, t) ->
+      let frame =
+        Frames.build t ~src ~dst ~hdr:(hdr ()) ~payload:(Bytes.of_string "view parity")
+          ~payload_pos:0 ~payload_len:11
+      in
+      List.iter
+        (fun mutilate ->
+          let input = mutilate (Bytes.copy frame) in
+          (* Embed mid-buffer so absolute-offset bugs can't hide. *)
+          let big = Bytes.make (Bytes.length input + 9) '\x5a' in
+          Bytes.blit input 0 big 4 (Bytes.length input);
+          let v = V.of_bytes ~pos:4 ~len:(Bytes.length input) big in
+          let show = function
+            | Ok p -> "ok:" ^ V.to_string p.Frames.p_payload
+            | Error e -> "error:" ^ e
+          in
+          Alcotest.(check string)
+            (label ^ ": parse = parse_view")
+            (show (Frames.parse t input))
+            (show (Frames.parse_view t v)))
+        [
+          (fun b -> b);
+          (fun b -> Bytes.sub b 0 20);
+          (fun b ->
+            Bytes.set b 50 'X';
+            b);
+        ])
+    all_timings
+
+let prop_header_roundtrip =
+  QCheck.Test.make ~name:"randomized header roundtrip (all regimes)" ~count:120
+    QCheck.(
+      pair
+        (pair (int_bound 0xffff) (int_bound 0xffff))
+        (pair (pair (int_bound 0xffff) bool) (int_bound 3)))
+    (fun ((seq, proc_idx), ((thread, please_ack), regime)) ->
+      let _, t = List.nth all_timings regime in
+      let h =
+        {
+          (hdr ()) with
+          Proto.seq;
+          proc_idx;
+          please_ack;
+          activity = { Proto.Activity.caller_ip = src.Frames.ip; caller_space = 3; thread };
+        }
+      in
+      let payload = Bytes.make (seq mod 97) 'q' in
+      let frame =
+        Frames.build t ~src ~dst ~hdr:h ~payload ~payload_pos:0
+          ~payload_len:(Bytes.length payload)
+      in
+      match Frames.parse t frame with
+      | Ok p ->
+        p.Frames.p_hdr.Proto.seq = seq
+        && p.Frames.p_hdr.Proto.proc_idx = proc_idx
+        && p.Frames.p_hdr.Proto.please_ack = please_ack
+        && p.Frames.p_hdr.Proto.activity.Proto.Activity.thread = thread
+        && Wire.Bytebuf.View.equal_bytes p.Frames.p_payload payload
+      | Error _ -> false)
+
 let suite =
   [
     Alcotest.test_case "paper frame sizes" `Quick test_sizes;
@@ -122,4 +238,10 @@ let suite =
     Alcotest.test_case "raw ethernet mode" `Quick test_raw_ethernet_mode;
     Alcotest.test_case "wrong layer rejected" `Quick test_wrong_layer_rejected;
     QCheck_alcotest.to_alcotest prop_roundtrip;
+    Alcotest.test_case "truncation never raises (all regimes)" `Quick
+      test_truncation_never_raises;
+    Alcotest.test_case "ip total length exceeds frame" `Quick test_ip_total_length_exceeds_frame;
+    Alcotest.test_case "trailing link padding tolerated" `Quick test_trailing_padding_tolerated;
+    Alcotest.test_case "parse_view matches parse" `Quick test_parse_view_matches_parse;
+    QCheck_alcotest.to_alcotest prop_header_roundtrip;
   ]
