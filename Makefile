@@ -48,8 +48,10 @@ bench: build
 
 # Refresh the checked-in microbenchmark baseline (quick tables so the
 # run stays short; the kernel numbers are measured the same either way).
+# BENCH_7.json superseded BENCH_5.json when the tracing-overhead
+# measurements (spans-off vs spans-on) were added.
 bench-json: build
-	dune exec bench/main.exe -- --quick --json BENCH_5.json $(JOBS_FLAG)
+	dune exec bench/main.exe -- --quick --json BENCH_7.json $(JOBS_FLAG)
 
 clean:
 	dune clean

@@ -161,6 +161,30 @@ let measure_engine_throughput () =
   let events = Sim.Engine.events_executed eng in
   (float_of_int events /. dt, alloc /. float_of_int events)
 
+(* Tracing overhead: the same sequential Null-RPC workload run twice —
+   span recording disabled, then enabled — in real time and real
+   allocation.  The spans-off run is the cost everyone pays (it must
+   stay indistinguishable from a build without tracing: every recording
+   entry point short-circuits on one flag); the spans-on run is what
+   [firefly breakdown] pays for a fully-attributed window. *)
+let measure_tracing_overhead () =
+  let calls = 200 in
+  let run ~traced =
+    let w = Workload.World.create ~idle_load:false () in
+    let tr = Sim.Engine.trace w.Workload.World.eng in
+    Sim.Trace.set_enabled tr traced;
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    ignore (Workload.Driver.run w ~threads:1 ~calls ~proc:Workload.Driver.Null ());
+    let dt = Unix.gettimeofday () -. t0 in
+    let alloc = Gc.allocated_bytes () -. a0 in
+    let events = Sim.Engine.events_executed w.Workload.World.eng in
+    (float_of_int events /. dt, alloc /. float_of_int events, Sim.Trace.length tr)
+  in
+  let off = run ~traced:false in
+  let on = run ~traced:true in
+  (off, on)
+
 let collect_microbench () =
   let open Bechamel in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
@@ -183,9 +207,18 @@ let run_microbench () =
   let events_per_sec, alloc_per_event = measure_engine_throughput () in
   say "  %-32s %12.0f events/sec" "engine-throughput" events_per_sec;
   say "  %-32s %12.1f bytes alloc/event" "engine-allocation" alloc_per_event;
-  (kernels, events_per_sec, alloc_per_event)
+  let ((off_eps, off_ape, _), (on_eps, on_ape, on_spans)) = measure_tracing_overhead () in
+  say "  %-32s %12.0f events/sec  %8.1f bytes alloc/event" "workload-spans-off" off_eps off_ape;
+  say "  %-32s %12.0f events/sec  %8.1f bytes alloc/event  (%d spans)" "workload-spans-on"
+    on_eps on_ape on_spans;
+  say "  %-32s %11.1f%% events/sec, %+.1f bytes alloc/event" "tracing-overhead"
+    (100. *. ((off_eps /. on_eps) -. 1.))
+    (on_ape -. off_ape);
+  (kernels, events_per_sec, alloc_per_event, ((off_eps, off_ape), (on_eps, on_ape, on_spans)))
 
-let write_json ~file ~quick (kernels, events_per_sec, alloc_per_event) =
+let write_json ~file ~quick
+    (kernels, events_per_sec, alloc_per_event, ((off_eps, off_ape), (on_eps, on_ape, on_spans)))
+    =
   let open Obs.Json in
   let null_rpc =
     match List.assoc_opt "kernels/simulated-null-rpc" kernels with
@@ -195,12 +228,22 @@ let write_json ~file ~quick (kernels, events_per_sec, alloc_per_event) =
   let doc =
     Obj
       [
-        ("schema", Str "firefly-bench/1");
+        ("schema", Str "firefly-bench/2");
         ("quick", Bool quick);
         ("kernels_ns_per_iter", Obj (List.map (fun (n, v) -> (n, Num v)) kernels));
         ("simulated_null_rpc_ns", null_rpc);
         ("engine_events_per_sec", Num events_per_sec);
         ("engine_alloc_bytes_per_event", Num alloc_per_event);
+        ( "tracing_overhead",
+          Obj
+            [
+              ("spans_off_events_per_sec", Num off_eps);
+              ("spans_off_alloc_bytes_per_event", Num off_ape);
+              ("spans_on_events_per_sec", Num on_eps);
+              ("spans_on_alloc_bytes_per_event", Num on_ape);
+              ("spans_recorded", Num (float_of_int on_spans));
+              ("slowdown_frac", Num ((off_eps /. on_eps) -. 1.));
+            ] );
       ]
   in
   let oc = open_out file in

@@ -4,6 +4,7 @@
      firefly repro [ID...] [--quick]     regenerate paper tables
      firefly call  [options]             run an ad-hoc workload
      firefly trace [--proc P]            per-step breakdown of one call
+     firefly breakdown [--check]         causal latency attribution with conservation
      firefly check [--seeds N]           seeded fault-plan exploration
 
    `firefly call` exposes the configuration knobs (§4.2's improvements,
@@ -304,9 +305,14 @@ let trace_cmd =
         (fun a b -> Sim.Time.compare a.Sim.Trace.start_at b.Sim.Trace.start_at)
         (Sim.Trace.spans tr)
     in
+    let journal = w.Workload.World.obs.Obs.Ctx.journal in
+    say "journal: %d events retained, %d dropped (of %d recorded)" (Obs.Journal.length journal)
+      (Obs.Journal.dropped journal) (Obs.Journal.total journal);
+    if Sim.Trace.dropped tr > 0 then
+      say "trace: %d spans DROPPED at the capacity bound — the window is incomplete"
+        (Sim.Trace.dropped tr);
     match out with
     | Some path ->
-      let journal = w.Workload.World.obs.Obs.Ctx.journal in
       let json = Obs.Trace_export.chrome_trace ~journal ~spans () in
       Obs.Trace_export.write_file ~path json;
       say "wrote %d spans and %d journal events to %s" (List.length spans)
@@ -345,6 +351,122 @@ let trace_cmd =
          "Trace warmed-up calls: print the per-step time breakdown (Tables VI/VII), or export \
           a Perfetto/chrome://tracing JSON timeline with $(b,--out).")
     Term.(const run $ cfg_term $ proc $ calls $ out)
+
+(* {1 firefly breakdown} *)
+
+let breakdown_cmd =
+  let run flags proc calls pctl check out csv =
+    if calls < 1 then Error (`Msg "--calls must be >= 1")
+    else begin
+      let caller_config, server_config = configs flags in
+      let w =
+        Workload.World.create ~caller_config ~server_config ~seed:flags.seed ~idle_load:false ()
+      in
+      let windows = Workload.Driver.run_breakdown w ~calls ~proc () in
+      let tr = Sim.Engine.trace w.Workload.World.eng in
+      let spans = Sim.Trace.spans tr in
+      let windows =
+        List.map
+          (fun (i, t0, t1) -> { Obs.Attrib.w_call = i; w_start = t0; w_stop = t1 })
+          windows
+      in
+      let percentile = Option.map (fun p -> p /. 100.) pctl in
+      let r = Obs.Attrib.attribute ~spans ~windows () in
+      (match out with
+      | Some path when Filename.check_suffix path ".json" ->
+        let journal = w.Workload.World.obs.Obs.Ctx.journal in
+        Obs.Trace_export.write_file ~path (Obs.Trace_export.chrome_trace ~journal ~spans ());
+        say "wrote %d spans (%d calls) to %s — open at https://ui.perfetto.dev" (List.length spans)
+          calls path
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Obs.Attrib.to_csv ?percentile r));
+        say "wrote per-stage CSV to %s" path
+      | None ->
+        if csv then print_string (Obs.Attrib.to_csv ?percentile r)
+        else print_string (Report.Table.render (Obs.Attrib.table ?percentile r)));
+      if Sim.Trace.dropped tr > 0 then
+        say "trace: %d spans DROPPED at the capacity bound — attribution is incomplete"
+          (Sim.Trace.dropped tr);
+      if not check then Ok ()
+      else begin
+        (* The gate: conservation on every call, plus (for the two
+           calibrated scenarios) drift against the Table VI constants. *)
+        let scenario =
+          match proc with
+          | Workload.Driver.Null -> Some Obs.Attrib.Null_call
+          | Workload.Driver.Max_arg -> Some Obs.Attrib.Max_arg_call
+          | _ -> None
+        in
+        let result =
+          match scenario with
+          | Some scenario -> Obs.Attrib.check r ~scenario
+          | None ->
+            if Obs.Attrib.conservation_ok r then Ok ()
+            else
+              Error
+                [
+                  Printf.sprintf "conservation: worst call attributed only %.2f%% of its latency"
+                    (100. *. r.Obs.Attrib.r_min_coverage);
+                ]
+        in
+        match result with
+        | Ok () ->
+          say "check: OK — %.2f%% of end-to-end latency attributed (worst call %.2f%%)"
+            (100. *. r.Obs.Attrib.r_coverage)
+            (100. *. r.Obs.Attrib.r_min_coverage);
+          Ok ()
+        | Error msgs ->
+          List.iter (fun m -> say "check: FAIL — %s" m) msgs;
+          Stdlib.exit 1
+      end
+    end
+  in
+  let proc =
+    Arg.(
+      value & opt proc_conv Workload.Driver.Null & info [ "proc" ] ~doc:"Procedure to attribute.")
+  in
+  let calls =
+    Arg.(value & opt int 20 & info [ "calls" ] ~docv:"N" ~doc:"Timed calls to aggregate over.")
+  in
+  let pctl =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "percentile" ] ~docv:"P"
+          ~doc:"Add a per-stage percentile column, e.g. $(b,--percentile 95).")
+  in
+  let check =
+    Arg.(
+      value
+      & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit non-zero unless every call's attributed time (stages + queueing) reaches 99% \
+             of its measured latency and, for null/maxarg, no Table VI stage drifts beyond \
+             tolerance from its calibrated cost.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the result to $(docv): $(i,*.json) gets the Perfetto span timeline, anything \
+             else the per-stage CSV.")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Print CSV instead of the table.") in
+  Cmd.v
+    (Cmd.info "breakdown"
+       ~doc:
+         "Causal latency attribution: run traced calls, stitch each call's spans across both \
+          machines and the wire, and account its end-to-end latency into per-stage service \
+          time, identified queueing and an explicit unattributed residual (a live re-derivation \
+          of Tables VI-VIII).  $(b,--check) enforces conservation and calibration drift bounds.")
+    Term.(
+      term_result ~usage:true (const run $ cfg_term $ proc $ calls $ pctl $ check $ out $ csv))
 
 (* {1 firefly profile} *)
 
@@ -650,4 +772,13 @@ let () =
        (Cmd.group ~default
           (Cmd.info "firefly" ~version:"1.0.0"
              ~doc:"A simulated reproduction of 'Performance of Firefly RPC' (SOSP 1989).")
-          [ list_cmd; repro_cmd; call_cmd; trace_cmd; profile_cmd; check_cmd; fuzz_cmd ]))
+          [
+            list_cmd;
+            repro_cmd;
+            call_cmd;
+            trace_cmd;
+            breakdown_cmd;
+            profile_cmd;
+            check_cmd;
+            fuzz_cmd;
+          ]))

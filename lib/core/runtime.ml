@@ -128,13 +128,22 @@ let cat_rt = "runtime"
 let charge_rt ctx ~label span = Cpu_set.charge ctx ~cat:cat_rt ~label span
 
 (* Blocking packet-buffer allocation: the fast path assumes buffers are
-   free; under exhaustion a thread polls until one returns. *)
+   free; under exhaustion a thread polls until one returns.  Time spent
+   polling is buffer-pool queueing delay, recorded against the waiting
+   call. *)
 let alloc_bufs t ctx n =
   let pool = Machine.pool (machine t) in
   for _ = 1 to n do
-    while not (Nub.Bufpool.try_alloc pool) do
-      Cpu_set.yield_cpu ctx (fun () -> Engine.delay (engine t) (Time.us 100))
-    done
+    if not (Nub.Bufpool.try_alloc pool) then begin
+      let eng = engine t in
+      let start_at = Engine.now eng in
+      while not (Nub.Bufpool.try_alloc pool) do
+        Cpu_set.yield_cpu ctx (fun () -> Engine.delay eng (Time.us 100))
+      done;
+      Sim.Trace.add ~track:"pool" ~kind:Sim.Trace.Queue ~call:(Cpu_set.trace_call ctx)
+        (Engine.trace eng) ~cat:"queue" ~label:"Wait for packet buffer"
+        ~site:(Machine.name (machine t)) ~start_at ~stop_at:(Engine.now eng)
+    end
   done
 
 let free_bufs t n =
@@ -441,6 +450,14 @@ let call_ether client ctx (b : ether_binding) ~proc_idx ~args =
     Rpc_error.fail (Rpc_error.Bad_procedure proc_idx);
   let p = b.be_intf.Idl.procs.(proc_idx) in
   Sim.Stats.Counter.incr t.c_calls;
+  (* Open a causal trace for this call: everything the calling thread
+     charges until the result returns — and, via frame registration and
+     wakeup propagation, everything the server and both controllers do
+     on its behalf — attributes to this id.  Pure bookkeeping; a no-op
+     id of [Sim.Trace.no_call] flows through when tracing is off. *)
+  let prev_call = Cpu_set.trace_call ctx in
+  Cpu_set.set_trace_call ctx (Sim.Trace.new_call (Engine.trace (engine t)));
+  Fun.protect ~finally:(fun () -> Cpu_set.set_trace_call ctx prev_call) @@ fun () ->
   charge_rt ctx ~label:"Calling stub (call & return)" (Timing.calling_stub tmg);
   (* Starter: obtain a packet buffer with a partially filled header. *)
   charge_rt ctx ~label:"Starter" (Timing.starter tmg);
@@ -839,6 +856,13 @@ let send_result t ctx entry ~opts ~(sa : server_act) ~dst ~(h0 : Proto.header)
 let handle_call t ctx entry (d : Node.delivery) ~opts =
   let tmg = timing t in
   let h = d.Node.d_hdr in
+  (* Re-derive the call id from the delivered frame (the payload view
+     aliases the frame buffer) rather than trusting whatever wakeup last
+     stamped this worker's context — backlog drains and handoffs reuse
+     worker threads across calls. *)
+  (let tr = Engine.trace (engine t) in
+   if Sim.Trace.enabled tr then
+     Cpu_set.set_trace_call ctx (Sim.Trace.frame_call tr (V.buffer d.Node.d_payload)));
   charge_rt ctx ~label:"Receiver (receive call pkt)" (Timing.receiver_recv tmg);
   let sa = find_act t h.Proto.activity in
   let seq = h.Proto.seq in
@@ -937,6 +961,9 @@ let call_local client ctx (server : t) intf ~proc_idx ~args =
     Rpc_error.fail (Rpc_error.Bad_procedure proc_idx);
   let p = intf.Idl.procs.(proc_idx) in
   Sim.Stats.Counter.incr t.c_calls;
+  let prev_call = Cpu_set.trace_call ctx in
+  Cpu_set.set_trace_call ctx (Sim.Trace.new_call (Engine.trace (engine t)));
+  Fun.protect ~finally:(fun () -> Cpu_set.set_trace_call ctx prev_call) @@ fun () ->
   charge_rt ctx ~label:"Calling stub (call & return)" (Timing.calling_stub tmg);
   charge_rt ctx ~label:"Starter (local)" (Timing.local_starter tmg);
   alloc_bufs t ctx 1;
@@ -1053,6 +1080,9 @@ let call_decnet client ctx (b : decnet_binding) ~proc_idx ~args =
     Rpc_error.fail (Rpc_error.Bad_procedure proc_idx);
   let p = b.dn_intf.Idl.procs.(proc_idx) in
   Sim.Stats.Counter.incr t.c_calls;
+  let prev_call = Cpu_set.trace_call ctx in
+  Cpu_set.set_trace_call ctx (Sim.Trace.new_call (Engine.trace (engine t)));
+  Fun.protect ~finally:(fun () -> Cpu_set.set_trace_call ctx prev_call) @@ fun () ->
   charge_rt ctx ~label:"Calling stub (call & return)" (Timing.calling_stub tmg);
   charge_rt ctx ~label:"Starter" (Timing.starter tmg);
   let payload = encode_payload t p Marshal.In_call_packet args (payload_bound p) in

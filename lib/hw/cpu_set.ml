@@ -17,7 +17,7 @@ type t = {
   tracks : string array;  (* per-CPU trace track names, "cpu0".."cpuN-1" *)
 }
 
-type ctx = { set : t; affinity : affinity; mutable idx : int }
+type ctx = { set : t; affinity : affinity; mutable idx : int; mutable trace_id : int }
 
 let create ?obs eng ~site ~cpus =
   if cpus < 1 then invalid_arg "Cpu_set.create: need at least one CPU";
@@ -68,7 +68,21 @@ let find_free_any t =
   let rec go i = if i < 0 then None else if not t.busy.(i) then Some i else go (i - 1) in
   go (t.n - 1)
 
-let acquire t ~affinity ~priority =
+(* A suspended acquire is CPU queueing delay: record it (kind [Queue])
+   against the waiting call so the attribution engine can separate
+   contention from service time.  The pre-suspend [Engine.now] is a pure
+   read and [Sim.Trace.add] no-ops while tracing is off, so the untraced
+   path is unchanged. *)
+let suspend_queued ?(call = Sim.Trace.no_call) t push =
+  let start_at = Engine.now t.eng in
+  let idx = Engine.suspend t.eng push in
+  let stop_at = Engine.now t.eng in
+  if Time.span_compare (Time.diff stop_at start_at) Time.zero_span > 0 then
+    Sim.Trace.add ~track:t.tracks.(idx) ~kind:Sim.Trace.Queue ~call (Engine.trace t.eng)
+      ~cat:"queue" ~label:"Wait for free CPU" ~site:t.name ~start_at ~stop_at;
+  idx
+
+let acquire ?call t ~affinity ~priority =
   match affinity with
   | Cpu0 ->
     if not t.busy.(0) then begin
@@ -81,13 +95,13 @@ let acquire t ~affinity ~priority =
         | Interrupt -> t.q0_int
         | Thread -> t.q0_thread
       in
-      Engine.suspend t.eng (fun w -> Queue.push w q)
+      suspend_queued ?call t (fun w -> Queue.push w q)
   | Any -> (
     match find_free_any t with
     | Some i ->
       take t i;
       i
-    | None -> Engine.suspend t.eng (fun w -> Queue.push w t.q_any))
+    | None -> suspend_queued ?call t (fun w -> Queue.push w t.q_any))
 
 (* Handing a CPU to a waiter keeps it busy; only update levels when it
    actually goes idle. *)
@@ -106,19 +120,27 @@ let release t idx =
 
 let with_cpu ?(affinity = Any) ?(priority = Thread) t f =
   let idx = acquire t ~affinity ~priority in
-  let ctx = { set = t; affinity; idx } in
+  let ctx = { set = t; affinity; idx; trace_id = Sim.Trace.no_call } in
   Fun.protect ~finally:(fun () -> release t ctx.idx) (fun () -> f ctx)
 
-let charge ctx ~cat ~label d =
+let charge ?kind ?call ctx ~cat ~label d =
   if Time.span_compare d Time.zero_span > 0 then begin
     let t = ctx.set in
+    let call =
+      match call with
+      | Some c -> c
+      | None -> ctx.trace_id
+    in
     let start_at = Engine.now t.eng in
     Engine.delay t.eng d;
-    Sim.Trace.add ~track:t.tracks.(ctx.idx) (Engine.trace t.eng) ~cat ~label ~site:t.name
-      ~start_at ~stop_at:(Engine.now t.eng)
+    Sim.Trace.add ~track:t.tracks.(ctx.idx) ?kind ~call (Engine.trace t.eng) ~cat ~label
+      ~site:t.name ~start_at ~stop_at:(Engine.now t.eng)
   end
 
 let cpu_index ctx = ctx.idx
+let track ctx = ctx.set.tracks.(ctx.idx)
+let trace_call ctx = ctx.trace_id
+let set_trace_call ctx call = ctx.trace_id <- call
 
 let yield_cpu ctx f =
   let t = ctx.set in
@@ -127,7 +149,8 @@ let yield_cpu ctx f =
      CPU we actually hold.  The thread may come back on a different CPU,
      as on the real machine. *)
   Fun.protect
-    ~finally:(fun () -> ctx.idx <- acquire t ~affinity:ctx.affinity ~priority:Thread)
+    ~finally:(fun () ->
+      ctx.idx <- acquire ~call:ctx.trace_id t ~affinity:ctx.affinity ~priority:Thread)
     f
 
 let average_busy t ~upto = Sim.Stats.Level.average t.level ~upto

@@ -33,11 +33,26 @@ val with_cpu : ?affinity:affinity -> ?priority:priority -> t -> (ctx -> 'a) -> '
     CPU 0 stays available for interrupt work.  [Interrupt] priority is
     only meaningful with [affinity = Cpu0]. *)
 
-val charge : ctx -> cat:string -> label:string -> Sim.Time.span -> unit
+val charge :
+  ?kind:Sim.Trace.kind -> ?call:int -> ctx -> cat:string -> label:string -> Sim.Time.span -> unit
 (** [charge ctx ~cat ~label d] keeps the CPU busy for [d] and records a
-    trace span.  Zero-length charges are skipped entirely. *)
+    trace span.  Zero-length charges are skipped entirely.  The span is
+    attributed to [call] when given, otherwise to the context's current
+    trace call ({!set_trace_call}); [kind] defaults to service time. *)
 
 val cpu_index : ctx -> int
+
+val track : ctx -> string
+(** The trace track name of the CPU currently held ("cpu0".."cpuN-1"). *)
+
+val trace_call : ctx -> int
+(** The call id charges on this context are attributed to;
+    {!Sim.Trace.no_call} unless {!set_trace_call} was called. *)
+
+val set_trace_call : ctx -> int -> unit
+(** Attributes subsequent {!charge}s on this context to the given call
+    id (from {!Sim.Trace.new_call}).  Reset it to {!Sim.Trace.no_call}
+    when the call completes; pure bookkeeping, no engine effects. *)
 
 val yield_cpu : ctx -> (unit -> 'a) -> 'a
 (** [yield_cpu ctx f] releases the held CPU, runs [f] (typically a

@@ -9,7 +9,9 @@ module Time = Sim.Time
    before its QBus write starts (no cut-through, §4.2.1), and each frame
    costs the engine a housekeeping recovery after the transfer. *)
 
-type job = Tx of Bytes.t | Rx_drain of { frame : Bytes.t; ready_at : Time.t }
+type job =
+  | Tx of { frame : Bytes.t; enq_at : Time.t }
+  | Rx_drain of { frame : Bytes.t; ready_at : Time.t; enq_at : Time.t }
 
 type t = {
   eng : Engine.t;
@@ -70,27 +72,40 @@ let on_frame_start t ~frame ~wire =
   else begin
     t.staging_used <- t.staging_used + 1;
     let ready_at = Time.add (Engine.now t.eng) wire in
-    if cut_through t then enqueue_job t (Rx_drain { frame; ready_at })
+    if cut_through t then enqueue_job t (Rx_drain { frame; ready_at; enq_at = Engine.now t.eng })
     else
       Engine.spawn t.eng ~name:"deqna-rx-wire" (fun () ->
           Engine.delay t.eng wire;
-          enqueue_job t (Rx_drain { frame; ready_at }))
+          enqueue_job t (Rx_drain { frame; ready_at; enq_at = Engine.now t.eng }))
   end
 
-let trace_span ?(track = "deqna") t ~label ~start_at ~stop_at =
-  Sim.Trace.add ~track (Engine.trace t.eng) ~cat:"send+receive" ~label ~site:t.site ~start_at
-    ~stop_at
+let trace_span ?(track = "deqna") ?kind ?call t ~label ~start_at ~stop_at =
+  Sim.Trace.add ~track ?kind ?call (Engine.trace t.eng) ~cat:"send+receive" ~label ~site:t.site
+    ~start_at ~stop_at
 
-let use_qbus t span ~label =
+(* The frame's call id, recovered from the sender's registration by
+   physical buffer identity ([Sim.Trace.register_frame]). *)
+let call_of_frame t frame = Sim.Trace.frame_call (Engine.trace t.eng) frame
+
+(* Queueing delay on the controller's shared resources is recorded
+   separately from service time so the attribution engine can tell
+   contention from work.  Zero-length waits record nothing. *)
+let trace_queue ?(track = "deqna") t ~label ~call ~start_at ~stop_at =
+  if Time.span_compare (Time.diff stop_at start_at) Time.zero_span > 0 then
+    trace_span ~track ~kind:Sim.Trace.Queue ~call t ~label ~start_at ~stop_at
+
+let use_qbus ?(call = Sim.Trace.no_call) t span ~label =
+  let wait_from = Engine.now t.eng in
   Sim.Resource.acquire t.qbus;
   let start_at = Engine.now t.eng in
+  trace_queue t ~label:"Wait for QBus" ~call ~start_at:wait_from ~stop_at:start_at;
   Engine.delay t.eng span;
-  trace_span t ~label ~start_at ~stop_at:(Engine.now t.eng);
+  trace_span ~call t ~label ~start_at ~stop_at:(Engine.now t.eng);
   Sim.Resource.release t.qbus
 
-let transmit_traced t frame =
+let transmit_traced ?call t frame =
   let len = Bytes.length frame in
-  Ether_link.transmit t.link ~src:t.dev_mac frame;
+  Ether_link.transmit ?call t.link ~src:t.dev_mac frame;
   (* [transmit] blocks through medium acquisition, the wire time and
      the interframe gap; reconstruct the pure wire interval for the
      Table VI "Transmission time on Ethernet" step. *)
@@ -99,10 +114,13 @@ let transmit_traced t frame =
   let neg d = Time.span_scale (-1.) d in
   let wire_end = Time.add after (neg (Ether_link.interframe_span t.link)) in
   let wire_start = Time.add wire_end (neg wire) in
-  trace_span ~track:"wire" t ~label:"Transmission time on Ethernet" ~start_at:wire_start
+  trace_span ~track:"wire" ?call t ~label:"Transmission time on Ethernet" ~start_at:wire_start
     ~stop_at:wire_end
 
-let do_tx t frame =
+let do_tx t frame ~enq_at =
+  let call = call_of_frame t frame in
+  trace_queue t ~label:"Controller transmit queue" ~call ~start_at:enq_at
+    ~stop_at:(Engine.now t.eng);
   let qspan = Timing.qbus_transmit t.timing ~bytes:(Bytes.length frame) in
   let qlabel = "QBus/Controller transmit latency" in
   if cut_through t then begin
@@ -110,29 +128,34 @@ let do_tx t frame =
        controller): the engine is busy for the longer of the two. *)
     let qbus_done = Sim.Gate.create t.eng in
     Engine.spawn t.eng ~name:"deqna-tx-dma" (fun () ->
-        use_qbus t qspan ~label:qlabel;
+        use_qbus ~call t qspan ~label:qlabel;
         Sim.Gate.open_ qbus_done);
     Engine.delay t.eng (Timing.cut_through_setup t.timing);
-    transmit_traced t frame;
+    transmit_traced ~call t frame;
     Sim.Gate.wait qbus_done
   end
   else begin
-    use_qbus t qspan ~label:qlabel;
-    transmit_traced t frame
+    use_qbus ~call t qspan ~label:qlabel;
+    transmit_traced ~call t frame
   end;
   Sim.Stats.Counter.incr t.c_tx;
   journal t (Obs.Journal.Packet_tx { bytes = Bytes.length frame });
   Engine.delay t.eng (jitter t (Timing.deqna_tx_recovery t.timing))
 
-let do_rx_drain t frame ~ready_at =
+let do_rx_drain t frame ~ready_at ~enq_at =
   let len = Bytes.length frame in
   if t.credits = 0 then begin
     Sim.Stats.Counter.incr t.c_no_buffer;
     t.staging_used <- t.staging_used - 1
   end
   else begin
+    let call = call_of_frame t frame in
+    trace_queue t ~label:"Controller receive queue" ~call ~start_at:enq_at
+      ~stop_at:(Engine.now t.eng);
     t.credits <- t.credits - 1;
-    use_qbus t (Timing.qbus_receive t.timing ~bytes:len) ~label:"QBus/Controller receive latency";
+    use_qbus ~call t
+      (Timing.qbus_receive t.timing ~bytes:len)
+      ~label:"QBus/Controller receive latency";
     (* Under cut-through the write may outrun reception: the frame is
        only complete in memory at [ready_at]. *)
     let now = Engine.now t.eng in
@@ -148,11 +171,11 @@ let do_rx_drain t frame ~ready_at =
 let engine_loop t () =
   let rec loop () =
     match Queue.take_opt t.jobs with
-    | Some (Tx frame) ->
-      do_tx t frame;
+    | Some (Tx { frame; enq_at }) ->
+      do_tx t frame ~enq_at;
       loop ()
-    | Some (Rx_drain { frame; ready_at }) ->
-      do_rx_drain t frame ~ready_at;
+    | Some (Rx_drain { frame; ready_at; enq_at }) ->
+      do_rx_drain t frame ~ready_at ~enq_at;
       loop ()
     | None ->
       Sim.Condvar.await t.engine_kick;
@@ -232,12 +255,13 @@ let reattach_to_link t =
    begins transmitting when CPU 0 prods it (the "activate Ethernet
    controller" step); a busy engine picks the job up when it gets
    there. *)
-let queue_tx t frame = Queue.push (Tx frame) t.jobs
+let queue_tx t frame = Queue.push (Tx { frame; enq_at = Engine.now t.eng }) t.jobs
 let start_transmit t = ignore (Sim.Condvar.signal t.engine_kick)
 let add_rx_credits t n = t.credits <- t.credits + n
 let rx_credits t = t.credits
 let set_interrupt_handler t f = t.irq_handler <- f
 let take_rx t = Queue.take_opt t.rx_done
+let peek_rx t = Queue.peek_opt t.rx_done
 
 let interrupt_done t =
   t.irq_asserted <- false;

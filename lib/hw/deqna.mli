@@ -73,6 +73,11 @@ val set_interrupt_handler : t -> (unit -> unit) -> unit
 val take_rx : t -> Stdlib.Bytes.t option
 (** Pops the oldest completed receive, if any. *)
 
+val peek_rx : t -> Stdlib.Bytes.t option
+(** The oldest completed receive without removing it — a pure read, used
+    by the interrupt handler to attribute its entry cost to the frame it
+    is about to drain. *)
+
 val interrupt_done : t -> unit
 (** Clears the interrupt line; re-raises immediately if completions
     arrived while the driver was finishing. *)

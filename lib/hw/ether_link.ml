@@ -116,11 +116,19 @@ let release_held t =
     t.held <- None;
     deliver t ~src:h.hf_src h.hf_frame ~wire:h.hf_wire
 
-let transmit t ~src frame =
+let transmit ?(call = Sim.Trace.no_call) t ~src frame =
   let len = Bytes.length frame in
   if len < Net.Ethernet.header_size then invalid_arg "Ether_link.transmit: runt frame";
   if len > Net.Ethernet.max_frame_size then invalid_arg "Ether_link.transmit: giant frame";
+  let wait_from = Engine.now t.eng in
   Sim.Resource.acquire t.medium;
+  (* Time spent waiting for another station's frame (plus its interframe
+     gap) is Ethernet queueing delay, not transmission time. *)
+  let acquired_at = Engine.now t.eng in
+  if Time.span_compare (Time.diff acquired_at wait_from) Time.zero_span > 0 then
+    Sim.Trace.add ~track:"wire" ~kind:Sim.Trace.Queue ~call (Engine.trace t.eng)
+      ~cat:"send+receive" ~label:"Wait for Ethernet medium" ~site:"ether" ~start_at:wait_from
+      ~stop_at:acquired_at;
   Fun.protect
     ~finally:(fun () -> Sim.Resource.release t.medium)
     (fun () ->

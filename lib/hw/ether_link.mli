@@ -52,13 +52,15 @@ val attach :
 val detach : t -> station -> unit
 (** Removes a station (server crash experiments). *)
 
-val transmit : t -> src:Net.Mac.t -> Stdlib.Bytes.t -> unit
+val transmit : ?call:int -> t -> src:Net.Mac.t -> Stdlib.Bytes.t -> unit
 (** [transmit t ~src frame] waits for the medium, occupies it for the
     frame's wire time plus the interframe gap, and delivers to the
     destination (first 6 bytes of the frame).  Blocks the calling
     process for the whole occupancy — the transmitting controller is
     busy throughout (no cut-through is modelled by the {e caller}
-    sequencing its QBus transfer before this call). *)
+    sequencing its QBus transfer before this call).  When tracing is on,
+    a non-zero wait for the medium is recorded as a queueing span
+    attributed to [call] (default {!Sim.Trace.no_call}). *)
 
 val wire_span : t -> bytes:int -> Sim.Time.span
 val interframe_span : t -> Sim.Time.span

@@ -70,6 +70,11 @@ let create ?obs eng timing ~cpus ~deqna ~pool =
 let set_fast_handler t f = t.fast <- f
 let set_datalink_handler t f = t.datalink <- f
 
+(* The call id carried by a frame, if tracing registered one.  Pure
+   reads throughout: when tracing is off every lookup short-circuits to
+   [Sim.Trace.no_call] and nothing else changes. *)
+let frame_call t frame = Sim.Trace.frame_call (Engine.trace t.eng) frame
+
 let interrupt_body t ctx =
   Sim.Stats.Counter.incr t.c_irq;
   journal t Obs.Journal.Interrupt;
@@ -80,6 +85,14 @@ let interrupt_body t ctx =
   | Some h ->
     Obs.Metrics.Histogram.observe_span h
       (Time.diff (Engine.now t.eng) (Deqna.last_irq_at t.deqna)));
+  (* Attribute the handler's entry cost to the frame it was raised for —
+     the head of the completion queue (non-empty whenever the interrupt
+     fires). *)
+  if Sim.Trace.enabled (Engine.trace t.eng) then
+    Cpu_set.set_trace_call ctx
+      (match Deqna.peek_rx t.deqna with
+      | Some frame -> frame_call t frame
+      | None -> Sim.Trace.no_call);
   charge ctx ~label:"General I/O interrupt handler" (Timing.io_interrupt t.timing);
   charge ctx ~label:"Uniprocessor interrupt entry" (Timing.uniproc_interrupt_entry t.timing);
   let rec drain () =
@@ -87,6 +100,8 @@ let interrupt_body t ctx =
     | None -> ()
     | Some frame ->
       Sim.Stats.Counter.incr t.c_rx;
+      if Sim.Trace.enabled (Engine.trace t.eng) then
+        Cpu_set.set_trace_call ctx (frame_call t frame);
       (* On-the-fly receive buffer replacement: hand the controller a
          fresh buffer before processing this one (§3.2).  If the pool is
          dry the controller will drop until buffers return. *)
@@ -124,6 +139,7 @@ let start t ~rx_buffers =
       let rec loop () =
         let frame = Sim.Mailbox.recv t.datalink_q in
         Cpu_set.with_cpu t.cpus (fun ctx ->
+            Cpu_set.set_trace_call ctx (frame_call t frame);
             (* Datalink demultiplexing outside the interrupt routine:
                dispatch + the module walk the fast path avoids. *)
             charge ctx ~label:"Datalink thread dispatch" (Timing.dispatch t.timing);
@@ -136,12 +152,28 @@ let start t ~rx_buffers =
 let send t ~ctx frame =
   charge ctx ~label:"Handle trap to Nub" (Timing.trap_to_nub t.timing);
   charge ctx ~label:"Queue packet for transmission" (Timing.queue_packet t.timing);
+  (* Register the outgoing frame under the sending thread's call id so
+     the receive path (which sees the same buffer) can attribute its
+     work to the same RPC. *)
+  let call = Cpu_set.trace_call ctx in
+  Sim.Trace.register_frame (Engine.trace t.eng) frame ~call;
   Deqna.queue_tx t.deqna frame;
   (* The interprocessor interrupt: 10 us of signalling latency, then
-     CPU 0 runs the prod at interrupt priority. *)
-  Engine.schedule t.eng ~after:(Timing.ipi_latency t.timing) (fun () ->
+     CPU 0 runs the prod at interrupt priority.  The signalling interval
+     is pure latency on the call's critical path — no CPU is busy — so
+     record it directly rather than through [charge]. *)
+  let ipi = Timing.ipi_latency t.timing in
+  let tr = Engine.trace t.eng in
+  if Sim.Trace.enabled tr then begin
+    let ipi_sent = Engine.now t.eng in
+    Sim.Trace.add ~track:"ipi" ~call tr ~cat ~site:(Cpu_set.site t.cpus)
+      ~label:"Interprocessor interrupt to CPU 0" ~start_at:ipi_sent
+      ~stop_at:(Time.add ipi_sent ipi)
+  end;
+  Engine.schedule t.eng ~after:ipi (fun () ->
       Engine.spawn t.eng ~name:"ipi" (fun () ->
           Cpu_set.with_cpu ~affinity:Cpu_set.Cpu0 ~priority:Cpu_set.Interrupt t.cpus (fun ctx ->
+              Cpu_set.set_trace_call ctx call;
               journal t Obs.Journal.Ipi;
               charge ctx ~label:"Uniprocessor interrupt entry"
                 (Timing.uniproc_interrupt_entry t.timing);

@@ -12,6 +12,10 @@ type t = {
   obs : Obs.Ctx.t option;
   wake_hist : Obs.Metrics.Histogram.t option;
   mutable notified_at : Time.t option;
+  mutable w_call : int;
+      (* trace call id carried from the last notify's waker to the woken
+         thread, so server-side threads inherit the RPC they are woken
+         for; pure bookkeeping, Sim.Trace.no_call when unknown *)
 }
 
 let create ?obs eng timing ~cpus =
@@ -22,7 +26,17 @@ let create ?obs eng timing ~cpus =
           ~name:"wakeup_latency_us")
       obs
   in
-  { eng; timing; cpus; pending = 0; cv = Sim.Condvar.create eng; obs; wake_hist; notified_at = None }
+  {
+    eng;
+    timing;
+    cpus;
+    pending = 0;
+    cv = Sim.Condvar.create eng;
+    obs;
+    wake_hist;
+    notified_at = None;
+    w_call = Sim.Trace.no_call;
+  }
 
 let busy_wait t = (Timing.config t.timing).Hw.Config.busy_wait
 
@@ -38,12 +52,21 @@ let record_wakeup t =
   | _ -> ());
   t.notified_at <- None
 
+(* Adopt the waker's call id so the woken thread's subsequent charges
+   (dispatch, unmarshalling, the server procedure) attribute to the RPC
+   that woke it.  Never clobber a valid id with "unknown": the caller
+   thread already carries its own call id across its await. *)
+let adopt_call t ctx =
+  if t.w_call >= 0 then Cpu_set.set_trace_call ctx t.w_call;
+  t.w_call <- Sim.Trace.no_call
+
 let clear_notified t = t.notified_at <- None
 
 let spin t ctx ~deadline =
   let rec loop () =
     if t.pending > 0 then begin
       t.pending <- t.pending - 1;
+      adopt_call t ctx;
       record_wakeup t;
       `Ok
     end
@@ -68,6 +91,7 @@ let wait_common t ctx ~timeout =
     spin t ctx ~deadline
   else if t.pending > 0 then begin
     t.pending <- t.pending - 1;
+    adopt_call t ctx;
     record_wakeup t;
     `Ok
   end
@@ -85,6 +109,7 @@ let wait_common t ctx ~timeout =
     in
     (match outcome with
     | `Ok ->
+      adopt_call t ctx;
       (* The woken thread pays to be dispatched onto a processor. *)
       Cpu_set.charge ctx ~cat ~label:"Dispatch woken thread" (Timing.dispatch t.timing);
       record_wakeup t
@@ -109,6 +134,8 @@ let notify t ~waker =
   | Some o ->
     Obs.Ctx.record o ~at:(Engine.now t.eng) ~site:(Cpu_set.site t.cpus) Obs.Journal.Thread_wakeup);
   if t.notified_at = None then t.notified_at <- Some (Engine.now t.eng);
+  (let c = Cpu_set.trace_call waker in
+   if c >= 0 then t.w_call <- c);
   Cpu_set.charge waker ~cat ~label:"Wakeup RPC thread" (Timing.wakeup t.timing);
   Cpu_set.charge waker ~cat ~label:"Uniprocessor wakeup path"
     (Timing.uniproc_wakeup_extra t.timing);

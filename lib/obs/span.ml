@@ -1,0 +1,198 @@
+module Trace = Sim.Trace
+module Time = Sim.Time
+
+(* A recorded span interval, grouped per RPC and arranged causally: a
+   nesting forest per (site, track) lane plus the cross-lane edges that
+   stitch one call's work across CPUs, controllers, the wire and the
+   two machines.  Built after a traced run from the flat span list —
+   recording stays cheap; structure is recovered here. *)
+
+type node = { span : Trace.span; mutable children : node list }
+type edge = { e_from : Trace.span; e_to : Trace.span }
+
+type call = {
+  id : int;
+  spans : Trace.span list;  (** every span of this call, in causal (time) order *)
+  roots : node list;  (** interval-containment forest, lane by lane *)
+  edges : edge list;  (** consecutive-segment hops between lanes *)
+}
+
+let duration_ns (s : Trace.span) = Time.to_ns (Trace.duration s)
+
+(* Causal order: by start time; an enclosing span (longer, same start)
+   sorts before the work inside it; remaining ties resolve on the lane
+   and label so the order is total and deterministic. *)
+let causal_compare (a : Trace.span) (b : Trace.span) =
+  let c = Time.compare a.Trace.start_at b.Trace.start_at in
+  if c <> 0 then c
+  else
+    let c = compare (duration_ns b) (duration_ns a) in
+    if c <> 0 then c
+    else
+      let c = String.compare a.Trace.site b.Trace.site in
+      if c <> 0 then c
+      else
+        let c = String.compare a.Trace.track b.Trace.track in
+        if c <> 0 then c else String.compare a.Trace.label b.Trace.label
+
+let same_lane (a : Trace.span) (b : Trace.span) =
+  String.equal a.Trace.site b.Trace.site && String.equal a.Trace.track b.Trace.track
+
+let contains (p : Trace.span) (c : Trace.span) =
+  Time.compare p.Trace.start_at c.Trace.start_at <= 0
+  && Time.compare p.Trace.stop_at c.Trace.stop_at >= 0
+
+(* Build the containment forest of one lane's (already causally sorted)
+   spans with an open-span stack, like matching brackets. *)
+let forest_of_lane lane =
+  let roots = ref [] in
+  let stack = ref [] in
+  List.iter
+    (fun s ->
+      let n = { span = s; children = [] } in
+      let rec place () =
+        match !stack with
+        | [] -> roots := n :: !roots
+        | top :: rest ->
+          if contains top.span s then top.children <- n :: top.children
+          else begin
+            stack := rest;
+            place ()
+          end
+      in
+      place ();
+      stack := n :: !stack)
+    lane;
+  let rec rev_all n =
+    n.children <- List.rev_map (fun c -> rev_all c; c) n.children |> List.rev;
+    ()
+  in
+  let rs = List.rev !roots in
+  List.iter rev_all rs;
+  rs
+
+let forest spans =
+  (* Partition into lanes preserving causal order, then build each. *)
+  let lanes = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Trace.span) ->
+      let key = (s.Trace.site, s.Trace.track) in
+      match Hashtbl.find_opt lanes key with
+      | Some l -> l := s :: !l
+      | None ->
+        Hashtbl.add lanes key (ref [ s ]);
+        order := key :: !order)
+    spans;
+  List.concat_map
+    (fun key -> forest_of_lane (List.rev !(Hashtbl.find lanes key)))
+    (List.rev !order)
+
+(* Causal hops: each consecutive pair of the call's spans that sit on
+   different lanes.  With frame-level call stitching these are exactly
+   the transfers of control — CPU to controller, controller to wire,
+   wire to the peer machine and back. *)
+let edges_of spans =
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+      go (if same_lane a b then acc else { e_from = a; e_to = b } :: acc) rest
+    | _ -> List.rev acc
+  in
+  go [] spans
+
+let of_spans all =
+  let by_call = Hashtbl.create 16 in
+  let ids = ref [] in
+  List.iter
+    (fun (s : Trace.span) ->
+      if s.Trace.call >= 0 then
+        match Hashtbl.find_opt by_call s.Trace.call with
+        | Some l -> l := s :: !l
+        | None ->
+          Hashtbl.add by_call s.Trace.call (ref [ s ]);
+          ids := s.Trace.call :: !ids)
+    all;
+  List.map
+    (fun id ->
+      let spans = List.stable_sort causal_compare (List.rev !(Hashtbl.find by_call id)) in
+      { id; spans; roots = forest spans; edges = edges_of spans })
+    (List.sort compare !ids)
+
+let unattributed all = List.filter (fun (s : Trace.span) -> s.Trace.call < 0) all
+
+(* {1 Well-formedness} *)
+
+(* Open/close balance: within one lane, spans must nest like brackets —
+   each child inside its parent, siblings non-overlapping — i.e. the
+   interleaving "open at start_at, close at stop_at" event stream is
+   balanced.  Partial overlap on a lane means a recording bug (two
+   charges on one CPU cannot interleave). *)
+let check_tree call =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let describe (s : Trace.span) =
+    Printf.sprintf "%s/%s %S [%d, %d]" s.Trace.site s.Trace.track s.Trace.label
+      (Time.since_start_ns s.Trace.start_at)
+      (Time.since_start_ns s.Trace.stop_at)
+  in
+  let rec check_siblings parent = function
+    | [] -> Ok ()
+    | n :: rest -> (
+      let bad_parent =
+        match parent with
+        | Some p when not (contains p.span n.span) -> true
+        | _ -> false
+      in
+      if bad_parent then
+        fail "child escapes parent: %s inside %s" (describe n.span)
+          (describe (Option.get parent).span)
+      else
+        match rest with
+        | next :: _
+          when Time.compare n.span.Trace.stop_at next.span.Trace.start_at > 0
+               && not (contains n.span next.span) ->
+          fail "siblings overlap: %s then %s" (describe n.span) (describe next.span)
+        | _ -> (
+          match check_siblings (Some n) n.children with
+          | Error _ as e -> e
+          | Ok () -> check_siblings parent rest))
+  in
+  (* Validate lane by lane: roots of different lanes may overlap freely
+     (a controller works while a CPU computes). *)
+  let lanes = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      let key = (n.span.Trace.site, n.span.Trace.track) in
+      match Hashtbl.find_opt lanes key with
+      | Some l -> l := n :: !l
+      | None -> Hashtbl.add lanes key (ref [ n ]))
+    call.roots;
+  Hashtbl.fold
+    (fun _ l acc ->
+      match acc with
+      | Error _ -> acc
+      | Ok () -> check_siblings None (List.rev !l))
+    lanes (Ok ())
+
+(* Edge well-formedness: both ends belong to this call, endpoints sit on
+   different lanes, and causality runs forward — the destination cannot
+   start before the source does. *)
+let check_edges call =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let member s = List.exists (fun s' -> s' == s) call.spans in
+  let rec go = function
+    | [] -> Ok ()
+    | e :: rest ->
+      if e.e_from.Trace.call <> call.id || e.e_to.Trace.call <> call.id then
+        fail "edge endpoint from another call (%d or %d, expected %d)" e.e_from.Trace.call
+          e.e_to.Trace.call call.id
+      else if not (member e.e_from && member e.e_to) then Error "edge endpoint not in call"
+      else if same_lane e.e_from e.e_to then
+        fail "edge within one lane: %s/%s" e.e_from.Trace.site e.e_from.Trace.track
+      else if Time.compare e.e_to.Trace.start_at e.e_from.Trace.start_at < 0 then
+        fail "edge runs backwards in time (%S -> %S)" e.e_from.Trace.label e.e_to.Trace.label
+      else go rest
+  in
+  go call.edges
+
+let cross_machine_edges call =
+  List.filter (fun e -> not (String.equal e.e_from.Trace.site e.e_to.Trace.site)) call.edges

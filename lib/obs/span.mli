@@ -1,0 +1,49 @@
+(** Per-call causal span trees over a raw {!Sim.Trace} dump.
+
+    Recording keeps spans flat and cheap (a label, a lane, an interval,
+    a call id); this module recovers the structure after the run: spans
+    grouped per RPC, nested by interval containment within each
+    [(site, track)] lane, and linked by the cross-lane causal edges that
+    follow one call through CPUs, controllers, the wire and both
+    machines. *)
+
+type node = { span : Sim.Trace.span; mutable children : node list }
+
+type edge = { e_from : Sim.Trace.span; e_to : Sim.Trace.span }
+(** A causal hop between two consecutive segments of one call that sit
+    on different lanes. *)
+
+type call = {
+  id : int;
+  spans : Sim.Trace.span list;  (** every span of the call, causally ordered *)
+  roots : node list;  (** containment forest, lane by lane *)
+  edges : edge list;  (** consecutive-segment hops between lanes *)
+}
+
+val of_spans : Sim.Trace.span list -> call list
+(** Group spans by call id (ascending); spans with no call id are
+    dropped — see {!unattributed}.  Deterministic: ties in start time
+    resolve on duration, lane and label, then recording order. *)
+
+val unattributed : Sim.Trace.span list -> Sim.Trace.span list
+(** The spans carrying no call id (background work: retransmit timers,
+    idle-load traffic, controller recovery). *)
+
+val causal_compare : Sim.Trace.span -> Sim.Trace.span -> int
+(** The total order used by {!of_spans}. *)
+
+val contains : Sim.Trace.span -> Sim.Trace.span -> bool
+(** [contains p c] iff [c]'s interval lies within [p]'s. *)
+
+val check_tree : call -> (unit, string) result
+(** Open/close balance: within every lane of the call, spans nest like
+    brackets — each child inside its parent, siblings non-overlapping.
+    Partial overlap on one lane indicates a recording bug. *)
+
+val check_edges : call -> (unit, string) result
+(** Edge well-formedness: endpoints belong to this call, sit on
+    different lanes, and run forward in time. *)
+
+val cross_machine_edges : call -> edge list
+(** The subset of edges whose endpoints sit on different sites — the
+    frame-level stitches between machines. *)

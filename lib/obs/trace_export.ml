@@ -31,16 +31,23 @@ let metadata ~what ~pid ?tid ~name () =
   Json.Obj fields
 
 let span_event ~pid ~tid (s : Sim.Trace.span) =
+  (* Surface the causal call id and the service/queue kind so Perfetto
+     queries can slice one RPC out of the timeline. *)
+  let args =
+    (if s.call >= 0 then [ ("call", num s.call) ] else [])
+    @ match s.kind with Sim.Trace.Queue -> [ ("kind", Json.Str "queue") ] | Sim.Trace.Service -> []
+  in
   Json.Obj
-    [
-      ("name", Json.Str s.label);
-      ("cat", Json.Str s.cat);
-      ("ph", Json.Str "X");
-      ("ts", Json.Num (Sim.Time.since_start_us s.start_at));
-      ("dur", Json.Num (Sim.Time.to_us (Sim.Trace.duration s)));
-      ("pid", num pid);
-      ("tid", num tid);
-    ]
+    ([
+       ("name", Json.Str s.label);
+       ("cat", Json.Str s.cat);
+       ("ph", Json.Str "X");
+       ("ts", Json.Num (Sim.Time.since_start_us s.start_at));
+       ("dur", Json.Num (Sim.Time.to_us (Sim.Trace.duration s)));
+       ("pid", num pid);
+       ("tid", num tid);
+     ]
+    @ match args with [] -> [] | args -> [ ("args", Json.Obj args) ])
 
 let instant_args = function
   | Journal.Packet_tx { bytes } | Journal.Packet_rx { bytes } -> [ ("bytes", num bytes) ]
@@ -129,11 +136,29 @@ let chrome_trace ?journal ~spans () =
       entries
   in
   let counters = counter_events ~pids entries in
+  (* Completeness metadata: a viewer (or CI) can tell whether the
+     journal ring overwrote events during the traced window — a
+     timeline with drops is not the whole story. *)
+  let completeness =
+    match journal with
+    | None -> []
+    | Some j ->
+      [
+        ( "metadata",
+          Json.Obj
+            [
+              ("journal_events", num (Journal.length j));
+              ("journal_dropped", num (Journal.dropped j));
+              ("journal_total", num (Journal.total j));
+            ] );
+      ]
+  in
   Json.Obj
-    [
-      ("traceEvents", Json.Arr (meta @ span_events @ instants @ counters));
-      ("displayTimeUnit", Json.Str "ms");
-    ]
+    ([
+       ("traceEvents", Json.Arr (meta @ span_events @ instants @ counters));
+       ("displayTimeUnit", Json.Str "ms");
+     ]
+    @ completeness)
 
 let write_file ~path json =
   let oc = open_out path in

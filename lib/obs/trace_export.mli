@@ -14,7 +14,11 @@ val chrome_trace : ?journal:Journal.t -> spans:Sim.Trace.span list -> unit -> Js
 (** The full [{"traceEvents": [...], "displayTimeUnit": "ms"}] object.
     Deterministic: sites and tracks are numbered in sorted order and
     events are emitted in a fixed order, so equal inputs render to
-    byte-identical JSON. *)
+    byte-identical JSON.  Span events carry the causal call id and the
+    queue/service kind in their [args]; when a journal is supplied, a
+    top-level [metadata] object reports its retained/dropped/total
+    event counts, so a consumer can tell whether the ring overwrote
+    part of the window. *)
 
 val write_file : path:string -> Json.t -> unit
 (** Writes the JSON (plus a trailing newline) to [path]. *)

@@ -1,3 +1,5 @@
+type kind = Service | Queue
+
 type span = {
   cat : string;
   label : string;
@@ -5,7 +7,11 @@ type span = {
   track : string;
   start_at : Time.t;
   stop_at : Time.t;
+  kind : kind;
+  call : int;
 }
+
+let no_call = -1
 
 type t = {
   mutable on : bool;
@@ -13,25 +19,64 @@ type t = {
   mutable count : int;
   mutable capacity : int option;
   mutable n_dropped : int;
+  mutable next_call : int;
+  mutable frames : (Bytes.t * int) list; (* newest first, bounded *)
 }
 
-let create ?capacity () = { on = false; recorded = []; count = 0; capacity; n_dropped = 0 }
+(* The frame registry only ever holds the frames of calls currently in
+   flight; a traced window runs a handful of sequential calls, so a
+   small bound suffices and keeps the physical-identity scan cheap. *)
+let frame_registry_bound = 64
+
+let create ?capacity () =
+  { on = false; recorded = []; count = 0; capacity; n_dropped = 0; next_call = 0; frames = [] }
+
 let enabled t = t.on
 let set_enabled t b = t.on <- b
 let set_capacity t c = t.capacity <- c
 
-let add ?(track = "") t ~cat ~label ~site ~start_at ~stop_at =
+let add ?(track = "") ?(kind = Service) ?(call = no_call) t ~cat ~label ~site ~start_at
+    ~stop_at =
   if t.on then
     match t.capacity with
     | Some cap when t.count >= cap -> t.n_dropped <- t.n_dropped + 1
     | _ ->
-      t.recorded <- { cat; label; site; track; start_at; stop_at } :: t.recorded;
+      t.recorded <- { cat; label; site; track; start_at; stop_at; kind; call } :: t.recorded;
       t.count <- t.count + 1
+
+let new_call t =
+  if not t.on then no_call
+  else begin
+    let id = t.next_call in
+    t.next_call <- id + 1;
+    id
+  end
+
+let register_frame t frame ~call =
+  if t.on && call >= 0 then begin
+    let rest =
+      if List.length t.frames >= frame_registry_bound then
+        List.filteri (fun i _ -> i < frame_registry_bound - 1) t.frames
+      else t.frames
+    in
+    t.frames <- (frame, call) :: rest
+  end
+
+let frame_call t frame =
+  if not t.on then no_call
+  else
+    let rec find = function
+      | [] -> no_call
+      | (f, c) :: rest -> if f == frame then c else find rest
+    in
+    find t.frames
 
 let clear t =
   t.recorded <- [];
   t.count <- 0;
-  t.n_dropped <- 0
+  t.n_dropped <- 0;
+  t.next_call <- 0;
+  t.frames <- []
 
 let spans t = List.rev t.recorded
 let length t = t.count

@@ -7,8 +7,24 @@
     them, reproducing the paper's accounting from an actual simulated
     call rather than from constants.
 
+    Spans additionally carry a {!kind} (service time vs queueing delay)
+    and a per-call id, so the attribution engine ({!Obs.Attrib}) can
+    rebuild each call's causal timeline and check that the per-stage
+    accounting conserves the measured end-to-end latency.  Call ids
+    propagate across the wire by frame identity: the sender registers
+    the frame bytes it hands to the controller ({!register_frame}), and
+    the receive path recovers the id from the same physical buffer
+    ({!frame_call}).
+
     Tracing is off by default (the throughput experiments execute
-    millions of steps); experiments enable it around a single call. *)
+    millions of steps); experiments enable it around a single call.
+    Every entry point here is a strict no-op (and allocates nothing)
+    while tracing is disabled, keeping the untraced path byte-identical
+    to a build without tracing at all. *)
+
+type kind =
+  | Service  (** time a resource spent working on the call *)
+  | Queue  (** time the call waited for a busy resource *)
 
 type span = {
   cat : string;  (** coarse grouping, e.g. ["send+receive"] or ["runtime"] *)
@@ -21,7 +37,15 @@ type span = {
           export ({!Obs.Trace_export}). *)
   start_at : Time.t;
   stop_at : Time.t;
+  kind : kind;  (** service time or queueing delay; default [Service] *)
+  call : int;
+      (** id of the RPC this interval belongs to, allocated by
+          {!new_call}; {!no_call} when the time is not attributable to
+          any one call (idle load, background drains) *)
 }
+
+val no_call : int
+(** The sentinel call id ([-1]) marking unattributed spans. *)
 
 type t
 
@@ -38,6 +62,8 @@ val set_capacity : t -> int option -> unit
 
 val add :
   ?track:string ->
+  ?kind:kind ->
+  ?call:int ->
   t ->
   cat:string ->
   label:string ->
@@ -48,10 +74,30 @@ val add :
 (** Records a span; a no-op while tracing is disabled.  When a capacity
     is set and already reached, the span is discarded and counted in
     {!dropped} — the earliest spans are retained, which is what a
-    latency accounting of the first call(s) wants. *)
+    latency accounting of the first call(s) wants.  [kind] defaults to
+    [Service] and [call] to {!no_call}, so pre-existing call sites need
+    no change. *)
+
+val new_call : t -> int
+(** Allocates the next call id for the traced window; returns {!no_call}
+    while tracing is disabled.  Ids restart from 0 at every {!clear}, so
+    a traced window's calls are numbered [0 .. n-1] deterministically. *)
+
+val register_frame : t -> Bytes.t -> call:int -> unit
+(** Associates the physical identity of [frame] with [call], so the
+    receive path (which sees the same buffer object) can recover the
+    call id via {!frame_call}.  A no-op while tracing is disabled or
+    when [call] is {!no_call}.  The registry is bounded (oldest entries
+    evicted), sized for the handful of in-flight frames a traced window
+    produces. *)
+
+val frame_call : t -> Bytes.t -> int
+(** The call id registered for this frame object (physical equality), or
+    {!no_call} if unknown or tracing is disabled. *)
 
 val clear : t -> unit
-(** Drops all recorded spans and resets the {!dropped} counter. *)
+(** Drops all recorded spans, resets the {!dropped} counter, the call-id
+    allocator, and the frame registry. *)
 
 val spans : t -> span list
 (** All recorded spans, in recording order. *)

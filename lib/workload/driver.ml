@@ -166,6 +166,39 @@ let run_traced (w : World.t) ?options ?(warmup = 2) ~calls ~proc () =
   World.run_until_quiet w gate;
   List.rev !latencies
 
+(* Like [run_traced], but returns the measured window of each timed
+   call alongside the trace: the i-th timed call is call id i (the
+   trace's call-id allocator restarts at the [Sim.Trace.clear], and
+   only traced calls allocate), so the windows line up with the span
+   dump for Obs.Attrib. *)
+let run_breakdown (w : World.t) ?options ?(warmup = 2) ~calls ~proc () =
+  let binding = World.test_binding w ?options () in
+  let gate = Sim.Gate.create w.World.eng in
+  let windows = ref [] in
+  Machine.spawn_thread w.World.caller ~name:"breakdown-call" (fun () ->
+      Cpu_set.with_cpu (Machine.cpus w.World.caller) (fun ctx ->
+          let client = Rpc.Runtime.new_client w.World.caller_rt in
+          let once () =
+            ignore
+              (Rpc.Runtime.call binding client ctx ~proc_idx:(proc_idx proc) ~args:(args_of proc))
+          in
+          for _ = 1 to warmup do
+            once ()
+          done;
+          Obs.Journal.clear w.World.obs.Obs.Ctx.journal;
+          let tr = Engine.trace w.World.eng in
+          Sim.Trace.clear tr;
+          Sim.Trace.set_enabled tr true;
+          for i = 0 to calls - 1 do
+            let t0 = Engine.now w.World.eng in
+            once ();
+            windows := (i, t0, Engine.now w.World.eng) :: !windows
+          done;
+          Sim.Trace.set_enabled tr false);
+      Sim.Gate.open_ gate);
+  World.run_until_quiet w gate;
+  List.rev !windows
+
 let measure_single_call (w : World.t) ?options ~proc () =
   let binding = World.test_binding w ?options () in
   let gate = Sim.Gate.create w.World.eng in

@@ -59,6 +59,20 @@ val run_traced :
     journal from the world's {!Obs.Ctx.t} afterwards.  Drives
     [firefly trace] and the Perfetto exporter. *)
 
+val run_breakdown :
+  World.t ->
+  ?options:Rpc.Runtime.call_options ->
+  ?warmup:int ->
+  calls:int ->
+  proc:proc ->
+  unit ->
+  (int * Sim.Time.t * Sim.Time.t) list
+(** Like {!run_traced}, but returns each timed call's measured window
+    [(call_id, start, stop)].  Call ids are [0 .. calls-1] in order —
+    exactly the ids the trace's spans carry — ready to feed
+    [Obs.Attrib.attribute].  Read the spans from [Sim.Engine.trace]
+    afterwards. *)
+
 val measure_single_call :
   World.t -> ?options:Rpc.Runtime.call_options -> proc:proc -> unit -> Sim.Time.span
 (** One warmed-up call's latency: makes a few calls to populate the

@@ -237,6 +237,207 @@ let test_percentile_agreement () =
       [ 0.01; 0.25; 0.5; 0.9; 0.95; 0.99; 1.0 ]
   done
 
+(* Property: JSON string escaping round-trips arbitrary byte strings —
+   quotes, backslashes, control characters, high bytes — through
+   emit + parse unchanged. *)
+let test_json_string_escaping_roundtrip () =
+  let rng = Sim.Rng.create ~seed:4177 in
+  let cases =
+    [ ""; "\""; "\\"; "\\\""; "\n\r\t"; "\000\001\031"; "a\127b"; String.make 3 '\255' ]
+    @ List.init 60 (fun _ ->
+          String.init (Sim.Rng.int rng 40) (fun _ -> Char.chr (Sim.Rng.int rng 256)))
+  in
+  List.iter
+    (fun s ->
+      match Json.parse (Json.to_string (Json.Str s)) with
+      | Ok (Json.Str s') ->
+        if not (String.equal s s') then
+          Alcotest.failf "escaping mangled %S into %S" s s'
+      | Ok _ -> Alcotest.failf "string %S parsed back as a non-string" s
+      | Error e -> Alcotest.failf "emitted string %S does not parse: %s" s e)
+    cases
+
+(* {1 Causal span trees (Obs.Span)} *)
+
+let span ?(site = "m") ?(track = "cpu0") ?(kind = Sim.Trace.Service) ?(call = 0) ~label a b =
+  {
+    Sim.Trace.cat = "test";
+    label;
+    site;
+    track;
+    start_at = at a;
+    stop_at = at b;
+    kind;
+    call;
+  }
+
+let test_span_grouping_and_edges_synthetic () =
+  let spans =
+    [
+      span ~label:"outer" 0 100;
+      span ~label:"inner" 10 40;
+      span ~site:"n" ~track:"cpu1" ~label:"remote" 120 180;
+      span ~call:1 ~label:"other call" 50 60;
+      span ~call:(-1) ~label:"background" 0 500;
+    ]
+  in
+  let calls = Obs.Span.of_spans spans in
+  Alcotest.(check (list int)) "calls grouped by id, ascending" [ 0; 1 ]
+    (List.map (fun c -> c.Obs.Span.id) calls);
+  let c0 = List.hd calls in
+  Alcotest.(check int) "call 0 has its three spans" 3 (List.length c0.Obs.Span.spans);
+  (* The forest nests inner under outer on one lane; the remote span is
+     a separate root. *)
+  let root_labels =
+    List.map (fun n -> n.Obs.Span.span.Sim.Trace.label) c0.Obs.Span.roots
+  in
+  Alcotest.(check (list string)) "containment roots" [ "outer"; "remote" ] root_labels;
+  (match c0.Obs.Span.roots with
+  | { Obs.Span.children = [ child ]; _ } :: _ ->
+    Alcotest.(check string) "inner nests under outer" "inner" child.Obs.Span.span.Sim.Trace.label
+  | _ -> Alcotest.fail "expected outer to contain inner");
+  (* One cross-lane edge: the last caller-lane span to the remote one. *)
+  (match c0.Obs.Span.edges with
+  | [ e ] ->
+    Alcotest.(check string) "edge source" "inner" e.Obs.Span.e_from.Sim.Trace.label;
+    Alcotest.(check string) "edge target" "remote" e.Obs.Span.e_to.Sim.Trace.label
+  | es -> Alcotest.failf "expected 1 edge, got %d" (List.length es));
+  Alcotest.(check int) "cross-machine edge subset" 1
+    (List.length (Obs.Span.cross_machine_edges c0));
+  (match (Obs.Span.check_tree c0, Obs.Span.check_edges c0) with
+  | Ok (), Ok () -> ()
+  | Error m, _ | _, Error m -> Alcotest.failf "well-formed call rejected: %s" m);
+  Alcotest.(check int) "background span is unattributed" 1
+    (List.length (Obs.Span.unattributed spans))
+
+let test_span_balance_detects_partial_overlap () =
+  (* Two spans on one lane that interleave like misnested brackets:
+     open A, open B, close A, close B.  The balance check must flag it. *)
+  let ill = [ span ~label:"A" 0 50; span ~label:"B" 30 80 ] in
+  match Obs.Span.of_spans ill with
+  | [ c ] -> (
+    match Obs.Span.check_tree c with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "partial overlap on one lane passed the balance check")
+  | _ -> Alcotest.fail "expected one call"
+
+(* The real thing: trace a breakdown window and require every call's
+   tree and edge set to be well-formed, with cross-machine edges
+   stitching caller and server. *)
+let test_span_properties_on_real_trace () =
+  let w = Workload.World.create ~idle_load:false () in
+  let windows = Workload.Driver.run_breakdown w ~calls:3 ~proc:Workload.Driver.Null () in
+  Alcotest.(check int) "three windows" 3 (List.length windows);
+  let spans = Sim.Trace.spans (Sim.Engine.trace w.Workload.World.eng) in
+  let calls = Obs.Span.of_spans spans in
+  Alcotest.(check (list int)) "call ids 0..2" [ 0; 1; 2 ]
+    (List.map (fun c -> c.Obs.Span.id) calls);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "call %d has spans" c.Obs.Span.id)
+        true
+        (List.length c.Obs.Span.spans > 10);
+      List.iter
+        (fun (s : Sim.Trace.span) ->
+          Alcotest.(check int) "span carries its call id" c.Obs.Span.id s.Sim.Trace.call)
+        c.Obs.Span.spans;
+      (match Obs.Span.check_tree c with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "call %d tree ill-formed: %s" c.Obs.Span.id m);
+      (match Obs.Span.check_edges c with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "call %d edges ill-formed: %s" c.Obs.Span.id m);
+      (* An RPC necessarily hops machines: caller -> server -> caller. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "call %d crosses machines" c.Obs.Span.id)
+        true
+        (List.length (Obs.Span.cross_machine_edges c) >= 2))
+    calls
+
+(* {1 Attribution and conservation (Obs.Attrib)} *)
+
+let breakdown_report ~proc ~calls =
+  let w = Workload.World.create ~idle_load:false () in
+  let windows = Workload.Driver.run_breakdown w ~calls ~proc () in
+  let spans = Sim.Trace.spans (Sim.Engine.trace w.Workload.World.eng) in
+  let windows =
+    List.map (fun (i, t0, t1) -> { Obs.Attrib.w_call = i; w_start = t0; w_stop = t1 }) windows
+  in
+  Obs.Attrib.attribute ~spans ~windows ()
+
+let test_attrib_conservation_null () =
+  let r = breakdown_report ~proc:Workload.Driver.Null ~calls:4 in
+  Alcotest.(check int) "one account per call" 4 (List.length r.Obs.Attrib.r_calls);
+  List.iter
+    (fun (c : Obs.Attrib.call_account) ->
+      (* The sweep partitions the window: the identity holds exactly,
+         not approximately. *)
+      let sum = c.ca_service_us +. c.ca_queue_us +. c.ca_unattributed_us in
+      if abs_float (sum -. c.ca_elapsed_us) > 1e-6 then
+        Alcotest.failf "call %d: %.6f attributed of %.6f elapsed" c.ca_call sum c.ca_elapsed_us;
+      if c.ca_unattributed_us > 0.01 *. c.ca_elapsed_us then
+        Alcotest.failf "call %d: residual %.1f us exceeds 1%% of %.1f us" c.ca_call
+          c.ca_unattributed_us c.ca_elapsed_us)
+    r.Obs.Attrib.r_calls;
+  Alcotest.(check bool) "conservation gate passes" true (Obs.Attrib.conservation_ok r);
+  match Obs.Attrib.check r ~scenario:Obs.Attrib.Null_call with
+  | Ok () -> ()
+  | Error msgs -> Alcotest.failf "check failed: %s" (String.concat "; " msgs)
+
+let test_attrib_drift_and_check_maxarg () =
+  let r = breakdown_report ~proc:Workload.Driver.Max_arg ~calls:2 in
+  (match Obs.Attrib.check r ~scenario:Obs.Attrib.Max_arg_call with
+  | Ok () -> ()
+  | Error msgs -> Alcotest.failf "maxarg check failed: %s" (String.concat "; " msgs));
+  (* The calibrated expectations honour packet sizes: MaxArg ships one
+     1514-byte call packet and a 74-byte result. *)
+  Alcotest.(check (option (float 1e-9)))
+    "wire expectation large+small" (Some 1290.)
+    (Obs.Attrib.expected_us Obs.Attrib.Max_arg_call "Transmission time on Ethernet");
+  Alcotest.(check (option (float 1e-9)))
+    "checksum runs on both sides of both packets" (Some 970.)
+    (Obs.Attrib.expected_us Obs.Attrib.Max_arg_call "Calculate UDP checksum");
+  Alcotest.(check (option (float 1e-9)))
+    "null is two small packets" (Some 440.)
+    (Obs.Attrib.expected_us Obs.Attrib.Null_call "Wakeup RPC thread");
+  let drift = Obs.Attrib.drift r ~scenario:Obs.Attrib.Max_arg_call in
+  Alcotest.(check bool) "every calibrated stage measured" true (List.length drift >= 12);
+  (* A report missing a calibrated stage must fail the gate. *)
+  let broken =
+    {
+      r with
+      Obs.Attrib.r_stages =
+        List.filter
+          (fun (s : Obs.Attrib.stage) ->
+            not (String.equal s.st_label "Wakeup RPC thread"))
+          r.Obs.Attrib.r_stages;
+    }
+  in
+  match Obs.Attrib.check broken ~scenario:Obs.Attrib.Max_arg_call with
+  | Ok () -> Alcotest.fail "check accepted a report missing a calibrated stage"
+  | Error _ -> ()
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.equal (String.sub hay i n) needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_attrib_rendering () =
+  let r = breakdown_report ~proc:Workload.Driver.Null ~calls:2 in
+  let table = Report.Table.render (Obs.Attrib.table ~percentile:0.95 r) in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle table) then Alcotest.failf "table missing %S" needle)
+    [ "Wakeup RPC thread"; "UNATTRIBUTED RESIDUAL"; "p95"; "END-TO-END" ];
+  let csv = Obs.Attrib.to_csv r in
+  (match String.split_on_char '\n' csv with
+  | header :: _ ->
+    Alcotest.(check string) "csv header"
+      "stage,kind,column,caller_us,server_us,wire_us,mean_us,p50_us,p99_us" header
+  | [] -> Alcotest.fail "empty csv");
+  Alcotest.(check bool) "csv carries the totals" true (contains ~needle:"TOTAL end-to-end" csv)
+
 (* {1 End-to-end Chrome trace export} *)
 
 let test_chrome_trace_export () =
@@ -288,6 +489,20 @@ let test_chrome_trace_export () =
   (* ...at least one counter track... *)
   let counters = List.filter (fun e -> ph e = "C") events in
   Alcotest.(check bool) "has a counter track" true (counters <> []);
+  (* ...carrying the journal's completeness metadata... *)
+  (match Json.member "metadata" parsed with
+  | Some meta ->
+    let field name =
+      match Option.bind (Json.member name meta) Json.num with
+      | Some v -> int_of_float v
+      | None -> Alcotest.failf "metadata field %s missing" name
+    in
+    Alcotest.(check int) "metadata event count matches the journal" (Journal.length journal)
+      (field "journal_events");
+    Alcotest.(check int) "no drops in a one-call window" 0 (field "journal_dropped");
+    Alcotest.(check int) "total = retained + dropped" (Journal.total journal)
+      (field "journal_events" + field "journal_dropped")
+  | None -> Alcotest.fail "no completeness metadata object");
   (* ...and the export is deterministic. *)
   let again = Json.to_string (Obs.Trace_export.chrome_trace ~journal ~spans ()) in
   Alcotest.(check string) "byte-identical re-export" text again
@@ -300,6 +515,23 @@ let () =
           Alcotest.test_case "emit" `Quick test_json_emit;
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "string escaping round-trips" `Quick
+            test_json_string_escaping_roundtrip;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "grouping, nesting and edges" `Quick
+            test_span_grouping_and_edges_synthetic;
+          Alcotest.test_case "balance flags partial overlap" `Quick
+            test_span_balance_detects_partial_overlap;
+          Alcotest.test_case "well-formed on a real trace" `Quick
+            test_span_properties_on_real_trace;
+        ] );
+      ( "attrib",
+        [
+          Alcotest.test_case "conservation on Null()" `Quick test_attrib_conservation_null;
+          Alcotest.test_case "drift gate on MaxArg(b)" `Quick test_attrib_drift_and_check_maxarg;
+          Alcotest.test_case "table and CSV rendering" `Quick test_attrib_rendering;
         ] );
       ( "metrics",
         [

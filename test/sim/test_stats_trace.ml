@@ -164,6 +164,59 @@ let test_trace_filter_combos () =
     (Trace.labels tr ~cat:"recv");
   Alcotest.(check (list string)) "labels under a cat matching nothing" [] (Trace.labels tr ~cat:"?")
 
+let test_trace_call_ids () =
+  let tr = Trace.create () in
+  (* Disabled: the allocator hands out the sentinel and never advances. *)
+  Alcotest.(check int) "new_call off" Trace.no_call (Trace.new_call tr);
+  Trace.set_enabled tr true;
+  Alcotest.(check int) "ids start at 0" 0 (Trace.new_call tr);
+  Alcotest.(check int) "ids increment" 1 (Trace.new_call tr);
+  Trace.clear tr;
+  Alcotest.(check int) "clear restarts the allocator" 0 (Trace.new_call tr);
+  (* Spans default to Service/no_call; explicit kind and call stick. *)
+  let at n = Time.of_ns_since_start n in
+  Trace.add tr ~cat:"c" ~label:"plain" ~site:"m" ~start_at:(at 0) ~stop_at:(at 1);
+  Trace.add ~kind:Trace.Queue ~call:0 tr ~cat:"c" ~label:"tagged" ~site:"m" ~start_at:(at 1)
+    ~stop_at:(at 2);
+  match Trace.spans tr with
+  | [ plain; tagged ] ->
+    Alcotest.(check int) "default call is the sentinel" Trace.no_call plain.Trace.call;
+    Alcotest.(check bool) "default kind is Service" true (plain.Trace.kind = Trace.Service);
+    Alcotest.(check int) "explicit call sticks" 0 tagged.Trace.call;
+    Alcotest.(check bool) "explicit kind sticks" true (tagged.Trace.kind = Trace.Queue)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_trace_frame_registry () =
+  let tr = Trace.create () in
+  let frame = Bytes.create 8 in
+  let twin = Bytes.create 8 in
+  (* Disabled: registration is a no-op and lookups return the sentinel. *)
+  Trace.register_frame tr frame ~call:3;
+  Alcotest.(check int) "lookup off" Trace.no_call (Trace.frame_call tr frame);
+  Trace.set_enabled tr true;
+  Trace.register_frame tr frame ~call:3;
+  Alcotest.(check int) "frame recovered by identity" 3 (Trace.frame_call tr frame);
+  (* Physical identity, not structural equality: an equal-but-distinct
+     buffer is a different frame. *)
+  Alcotest.(check int) "equal bytes do not alias" Trace.no_call (Trace.frame_call tr twin);
+  (* The sentinel call id is never registered. *)
+  Trace.register_frame tr twin ~call:Trace.no_call;
+  Alcotest.(check int) "no_call never registers" Trace.no_call (Trace.frame_call tr twin);
+  (* Re-registration (a retransmitted buffer) takes the newest id. *)
+  Trace.register_frame tr frame ~call:7;
+  Alcotest.(check int) "latest registration wins" 7 (Trace.frame_call tr frame);
+  (* The registry is bounded: old entries evict once enough newer
+     frames register. *)
+  for i = 0 to 99 do
+    Trace.register_frame tr (Bytes.create 4) ~call:i
+  done;
+  Alcotest.(check int) "old frames evict" Trace.no_call (Trace.frame_call tr frame);
+  Trace.clear tr;
+  Trace.register_frame tr frame ~call:1;
+  Trace.set_enabled tr false;
+  Alcotest.(check int) "lookups short-circuit when disabled" Trace.no_call
+    (Trace.frame_call tr frame)
+
 let suite =
   [
     Alcotest.test_case "counter" `Quick test_counter;
@@ -176,4 +229,6 @@ let suite =
     Alcotest.test_case "trace spans and filters" `Quick test_trace;
     Alcotest.test_case "trace capacity bound" `Quick test_trace_capacity;
     Alcotest.test_case "trace filter combinations" `Quick test_trace_filter_combos;
+    Alcotest.test_case "trace call-id allocator" `Quick test_trace_call_ids;
+    Alcotest.test_case "trace frame registry" `Quick test_trace_frame_registry;
   ]
