@@ -10,7 +10,7 @@
 JOBS ?=
 JOBS_FLAG = $(if $(JOBS),--jobs $(JOBS),)
 
-.PHONY: all build test check sim-check sim-matrix fuzz bench bench-json clean
+.PHONY: all build test check sim-check sim-matrix fuzz bench bench-json socket-smoke clean
 
 all: build
 
@@ -40,6 +40,13 @@ sim-matrix: build
 fuzz: build
 	dune exec bin/firefly.exe -- fuzz --canary --seed 1 --iters 5000
 	dune exec bin/firefly.exe -- fuzz --seed 1 --iters 50000 --corpus-dir fuzz-failures
+
+# Real loopback-UDP smoke: null and maxarg over 127.0.0.1 with the
+# simulator's exact frame bytes, printed as measured-vs-calibrated
+# cross-validation.  Exits 0 with a message where sockets are
+# unavailable.
+socket-smoke: build
+	dune exec bin/firefly.exe -- call --transport socket --calls 200
 
 # Regenerate every table of the paper at full call counts, plus the
 # Bechamel kernel microbenchmarks.

@@ -19,11 +19,11 @@
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
-let run_experiment ~quick (e : Experiments.Registry.entry) =
+let run_experiment ~transport ~quick (e : Experiments.Registry.entry) =
   say "";
   say "### %s — %s" e.Experiments.Registry.id e.Experiments.Registry.title;
   let t0 = Unix.gettimeofday () in
-  let tables = e.Experiments.Registry.run ~quick ~metrics:false in
+  let tables = e.Experiments.Registry.run ~transport ~quick ~metrics:false in
   List.iter (fun t -> print_string (Report.Table.render t)) tables;
   say "  (computed in %.1fs of wall-clock)" (Unix.gettimeofday () -. t0)
 
@@ -31,16 +31,16 @@ let run_experiment ~quick (e : Experiments.Registry.entry) =
    in registry order — the tables come out identical to the serial
    sweep, only the wall-clock annotations (inherently run-to-run noise)
    can differ. *)
-let render_experiment ~quick (e : Experiments.Registry.entry) =
+let render_experiment ~transport ~quick (e : Experiments.Registry.entry) =
   let t0 = Unix.gettimeofday () in
-  let tables = e.Experiments.Registry.run ~quick ~metrics:false in
+  let tables = e.Experiments.Registry.run ~transport ~quick ~metrics:false in
   let body = String.concat "" (List.map Report.Table.render tables) in
   (body, Unix.gettimeofday () -. t0)
 
-let run_experiments ~quick ~jobs entries =
-  if jobs <= 1 then List.iter (run_experiment ~quick) entries
+let run_experiments ~transport ~quick ~jobs entries =
+  if jobs <= 1 then List.iter (run_experiment ~transport ~quick) entries
   else
-    let rendered = Par.Pool.map_list ~jobs (render_experiment ~quick) entries in
+    let rendered = Par.Pool.map_list ~jobs (render_experiment ~transport ~quick) entries in
     List.iter2
       (fun (e : Experiments.Registry.entry) (body, dt) ->
         say "";
@@ -185,6 +185,52 @@ let measure_tracing_overhead () =
   let on = run ~traced:true in
   (off, on)
 
+(* Real loopback round trips over the socket backend — wall-clock
+   kernels that only exist when the environment has working sockets. *)
+let run_socket_bench () =
+  say "";
+  say "### loopback-socket round trips (real wall-clock)";
+  if not (Realnet.Udp_socket.available ()) then
+    say "  loopback UDP sockets unavailable: skipped"
+  else begin
+    let intf = Workload.Test_interface.interface in
+    match Realnet.Udp_socket.start_server ~intf ~impls:(Realnet.Crossval.test_impls ()) () with
+    | Error e -> say "  cannot start loopback server (%s): skipped" e
+    | Ok server ->
+      Fun.protect ~finally:(fun () -> Realnet.Udp_socket.stop_server server) @@ fun () ->
+      (match
+         Realnet.Udp_socket.connect ~port:(Realnet.Udp_socket.server_port server) ~intf ()
+       with
+      | Error e -> say "  cannot connect (%s): skipped" e
+      | Ok c ->
+        Fun.protect ~finally:(fun () -> Realnet.Udp_socket.close c) @@ fun () ->
+        let time_us ~iters f =
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to iters do
+            f ()
+          done;
+          (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e6
+        in
+        let iters = 500 in
+        for _ = 1 to 10 do
+          ignore (Realnet.Udp_socket.call c ~proc_idx:Workload.Test_interface.null_idx ~args:[])
+        done;
+        let null_us =
+          time_us ~iters (fun () ->
+              ignore
+                (Realnet.Udp_socket.call c ~proc_idx:Workload.Test_interface.null_idx ~args:[]))
+        in
+        let arg = Workload.Test_interface.pattern Workload.Test_interface.buffer_bytes in
+        let maxarg_us =
+          time_us ~iters (fun () ->
+              ignore
+                (Realnet.Udp_socket.call c ~proc_idx:Workload.Test_interface.max_arg_idx
+                   ~args:[ Rpc.Marshal.V_bytes arg ]))
+        in
+        say "  %-32s %12.1f us/call" "socket-null-rpc" null_us;
+        say "  %-32s %12.1f us/call" "socket-maxarg-rpc" maxarg_us)
+  end
+
 let collect_microbench () =
   let open Bechamel in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
@@ -259,9 +305,16 @@ let () =
   let list_only = ref false in
   let jobs = ref (Par.Pool.default_jobs ()) in
   let json = ref None in
+  let transport = ref "sim" in
   let args =
     [
       ("--quick", Arg.Set quick, "reduced call counts");
+      ( "--transport",
+        Arg.Symbol
+          ([ "sim"; "local"; "socket" ], fun s -> transport := s),
+        " bind-time transport for transport-sensitive tables (sim = simulated Ethernet, \
+         local = same-machine shared memory); socket additionally times real loopback-UDP \
+         round trips" );
       ("--microbench", Arg.Set micro, "also run Bechamel kernel microbenchmarks");
       ("--only", Arg.String (fun s -> only := s :: !only), "ID run a single experiment");
       ("--list", Arg.Set list_only, "list experiment ids");
@@ -296,7 +349,11 @@ let () =
               None)
           (List.rev ids)
     in
-    run_experiments ~quick:!quick ~jobs:!jobs entries;
+    let registry_transport : Experiments.Registry.transport =
+      match !transport with "local" -> `Local | _ -> `Auto
+    in
+    run_experiments ~transport:registry_transport ~quick:!quick ~jobs:!jobs entries;
+    if !transport = "socket" then run_socket_bench ();
     if !micro then begin
       let results = run_microbench () in
       match !json with

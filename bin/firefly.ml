@@ -135,7 +135,7 @@ let jobs_term =
            output.")
 
 let repro_cmd =
-  let run quick metrics jobs ids =
+  let run quick metrics jobs transport ids =
     let entries =
       match ids with
       | [] -> Experiments.Registry.all
@@ -155,7 +155,7 @@ let repro_cmd =
           say "### %s — %s" e.Experiments.Registry.id e.Experiments.Registry.title;
           List.iter
             (fun t -> print_string (Report.Table.render t))
-            (e.Experiments.Registry.run ~quick ~metrics))
+            (e.Experiments.Registry.run ~transport ~quick ~metrics))
         entries
     else begin
       (* Each entry regenerates on a worker domain (every simulation
@@ -165,7 +165,7 @@ let repro_cmd =
         Par.Pool.map_list ~jobs
           (fun (e : Experiments.Registry.entry) ->
             String.concat ""
-              (List.map Report.Table.render (e.Experiments.Registry.run ~quick ~metrics)))
+              (List.map Report.Table.render (e.Experiments.Registry.run ~transport ~quick ~metrics)))
           entries
       in
       List.iter2
@@ -184,10 +184,21 @@ let repro_cmd =
       & info [ "metrics" ]
           ~doc:"Add measured latency-percentile columns where supported (Table I).")
   in
+  let transport =
+    Arg.(
+      value
+      & opt (enum [ ("sim", (`Auto : Experiments.Registry.transport)); ("local", `Local) ])
+          `Auto
+      & info [ "transport" ]
+          ~doc:
+            "Bind-time transport for the transport-sensitive experiments (Table I): \
+             $(b,sim) (default) measures over the simulated Ethernet, $(b,local) over \
+             same-machine shared memory — the paper's RPC-on-one-machine row.")
+  in
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
   Cmd.v
     (Cmd.info "repro" ~doc:"Regenerate the paper's tables (all, or the given IDs).")
-    Term.(const run $ quick $ metrics $ jobs_term $ ids)
+    Term.(const run $ quick $ metrics $ jobs_term $ transport $ ids)
 
 (* {1 firefly call} *)
 
@@ -207,6 +218,31 @@ let call_cmd =
       | Some n -> Workload.Driver.Get_data n
       | None -> proc
     in
+    match transport with
+    | `Socket ->
+      (* The real-UDP path: whole RPCs over a loopback kernel socket
+         (the same Frames.build bytes, a real network stack), printed
+         beside the simulator's calibrated latencies for the same
+         procedures. *)
+      if not (Realnet.Udp_socket.available ()) then
+        say
+          "loopback UDP sockets are unavailable in this environment: skipping the \
+           real-socket run"
+      else begin
+        let sim_us proc =
+          let w =
+            Workload.World.create ~caller_config ~server_config ~seed:flags.seed
+              ~idle_load:false ()
+          in
+          Sim.Time.to_us (Workload.Driver.measure_single_call w ~proc ())
+        in
+        let sim_null_us = sim_us Workload.Driver.Null in
+        let sim_maxarg_us = sim_us Workload.Driver.Max_arg in
+        match Realnet.Crossval.table ~calls ~sim_null_us ~sim_maxarg_us () with
+        | Error e -> say "socket transport unavailable: %s — skipping" e
+        | Ok t -> print_string (Report.Table.render t)
+      end
+    | (`Auto | `Local | `Udp | `Decnet) as transport ->
     let w =
       Workload.World.create ~caller_config ~server_config ~seed:flags.seed ()
     in
@@ -270,8 +306,23 @@ let call_cmd =
   let transport =
     Arg.(
       value
-      & opt (enum [ ("auto", `Auto); ("udp", `Udp); ("decnet", `Decnet) ]) `Auto
-      & info [ "transport" ] ~doc:"Bind-time transport: auto, udp or decnet.")
+      & opt
+          (enum
+             [
+               ("auto", `Auto);
+               ("sim", `Auto);
+               ("local", `Local);
+               ("udp", `Udp);
+               ("decnet", `Decnet);
+               ("socket", `Socket);
+             ])
+          `Auto
+      & info [ "transport" ]
+          ~doc:
+            "Bind-time transport: $(b,auto)/$(b,sim) (the simulated Ethernet), \
+             $(b,local) (same-machine shared memory, the paper's local call), $(b,udp), \
+             $(b,decnet), or $(b,socket) — a real loopback UDP socket carrying the same \
+             frame bytes, reported as measured-vs-calibrated cross-validation.")
   in
   let metrics =
     Arg.(
@@ -311,6 +362,11 @@ let trace_cmd =
     if Sim.Trace.dropped tr > 0 then
       say "trace: %d spans DROPPED at the capacity bound — the window is incomplete"
         (Sim.Trace.dropped tr);
+    if Sim.Trace.frame_evictions tr > 0 then
+      say
+        "trace: %d frame-registry evictions — some packet spans may be missing their call \
+         attribution"
+        (Sim.Trace.frame_evictions tr);
     match out with
     | Some path ->
       let json = Obs.Trace_export.chrome_trace ~journal ~spans () in
@@ -390,6 +446,11 @@ let breakdown_cmd =
       if Sim.Trace.dropped tr > 0 then
         say "trace: %d spans DROPPED at the capacity bound — attribution is incomplete"
           (Sim.Trace.dropped tr);
+      if Sim.Trace.frame_evictions tr > 0 then
+        say
+          "trace: %d frame-registry evictions — some packet spans may be missing their \
+           call attribution"
+          (Sim.Trace.frame_evictions tr);
       if not check then Ok ()
       else begin
         (* The gate: conservation on every call, plus (for the two

@@ -33,6 +33,14 @@ let import t runtime ~name ~version ?options ?auth ?(transport = `Auto) () =
     else begin
       let server_machine = Runtime.machine ee.ee_runtime in
       match transport with
+      | `Local ->
+        (* Shared memory cannot reach another machine; an explicit
+           request for it against a remote exporter is a binding error,
+           not something to silently downgrade. *)
+        Rpc_error.fail
+          (Rpc_error.Unbound_interface
+             (Printf.sprintf "%s v%d (local transport requested, but the exporter is remote)"
+                name version))
       | `Decnet ->
         (* Make sure the exporter is listening, then bind a session. *)
         Runtime.decnet_listen ee.ee_runtime (Decnet.endpoint (Runtime.node ee.ee_runtime));

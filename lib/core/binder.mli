@@ -37,7 +37,7 @@ val import :
   version:int ->
   ?options:Runtime.call_options ->
   ?auth:Secure.key ->
-  ?transport:[ `Auto | `Udp | `Decnet ] ->
+  ?transport:[ `Auto | `Local | `Udp | `Decnet ] ->
   unit ->
   Runtime.binding
 (** @raise Rpc_error.Rpc ([Unbound_interface]) if nobody exports it.
@@ -46,9 +46,10 @@ val import :
 
     [transport] is the §3.1 bind-time choice.  [`Auto] (default) picks
     shared memory for a same-machine exporter and the custom
-    IP/UDP/Ethernet protocol otherwise; [`Udp] forces the custom
-    protocol; [`Decnet] binds over a DECNet connection (same-machine
-    imports still use shared memory, and [auth] is unsupported —
-    DECNet calls present no key). *)
+    IP/UDP/Ethernet protocol otherwise; [`Local] requires shared memory
+    and fails ([Unbound_interface]) when the exporter is remote; [`Udp]
+    forces the custom protocol; [`Decnet] binds over a DECNet
+    connection (same-machine imports still use shared memory, and
+    [auth] is unsupported — DECNet calls present no key). *)
 
 val exporters : t -> (string * int) list

@@ -286,3 +286,33 @@ let charge_args timing ctx side dir p values =
       Time.zero_span (zip_args p values)
   in
   Hw.Cpu_set.charge ctx ~cat:"runtime" ~label:"Marshalling" total
+
+(* Merge Var_out results into the full argument list for result-packet
+   encoding. *)
+let merge_outs p in_values outs =
+  let rec go args ins outs =
+    match args, ins with
+    | [], [] ->
+      if outs <> [] then
+        Rpc_error.fail (Rpc_error.Marshal_failure "too many results from implementation");
+      []
+    | a :: args, v :: ins -> (
+      match a.Idl.mode with
+      | Idl.Var_out -> (
+        match outs with
+        | o :: rest -> o :: go args ins rest
+        | [] ->
+          Rpc_error.fail
+            (Rpc_error.Marshal_failure ("missing result for VAR OUT argument " ^ a.Idl.arg_name)))
+      | Idl.Value | Idl.Var_in -> v :: go args ins outs)
+    | _ -> Rpc_error.fail (Rpc_error.Marshal_failure "argument count mismatch")
+  in
+  go p.Idl.args in_values outs
+
+let extract_outs p values =
+  List.filter_map
+    (fun (a, v) ->
+      match a.Idl.mode with
+      | Idl.Var_out -> Some v
+      | Idl.Value | Idl.Var_in -> None)
+    (List.combine p.Idl.args values)

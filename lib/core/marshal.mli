@@ -48,6 +48,16 @@ val decode_args :
 
 val placeholder : Idl.ty -> value
 
+val merge_outs : Idl.proc -> value list -> value list -> value list
+(** [merge_outs p in_values outs] splices the implementation's [Var_out]
+    results back into the full argument list (the form result-packet
+    encoding wants).  Shared by every transport's server side.
+    @raise Rpc_error.Rpc on a count mismatch. *)
+
+val extract_outs : Idl.proc -> value list -> value list
+(** The [Var_out] subset of a full result-argument list, in declaration
+    order — what {!Runtime.call} returns to the caller. *)
+
 (** {1 Cost model} *)
 
 type side = Caller_side | Server_side

@@ -163,36 +163,6 @@ let encode_payload t p dir values bound =
   Marshal.encode_args w dir p values;
   W.contents w
 
-(* Merge Var_out results into the full argument list for result-packet
-   encoding. *)
-let merge_outs p in_values outs =
-  let rec go args ins outs =
-    match args, ins with
-    | [], [] ->
-      if outs <> [] then
-        Rpc_error.fail (Rpc_error.Marshal_failure "too many results from implementation");
-      []
-    | a :: args, v :: ins -> (
-      match a.Idl.mode with
-      | Idl.Var_out -> (
-        match outs with
-        | o :: rest -> o :: go args ins rest
-        | [] ->
-          Rpc_error.fail
-            (Rpc_error.Marshal_failure ("missing result for VAR OUT argument " ^ a.Idl.arg_name)))
-      | Idl.Value | Idl.Var_in -> v :: go args ins outs)
-    | _ -> Rpc_error.fail (Rpc_error.Marshal_failure "argument count mismatch")
-  in
-  go p.Idl.args in_values outs
-
-let extract_outs p values =
-  List.filter_map
-    (fun (a, v) ->
-      match a.Idl.mode with
-      | Idl.Var_out -> Some v
-      | Idl.Value | Idl.Var_in -> None)
-    (List.combine p.Idl.args values)
-
 (* {1 Server dispatch (shared by both transports)}
 
    Returns the (possibly sealed) result payload and whether it is
@@ -251,7 +221,7 @@ let dispatch t ctx ~intf_id ~proc_idx ~payload ~secured ~seq ~trusted :
           | Error e -> Error e
           | Ok outs -> (
             try
-              let full = merge_outs p in_values outs in
+              let full = Marshal.merge_outs p in_values outs in
               let result = encode_payload t p Marshal.In_result_packet full (payload_bound p) in
               (* VAR OUT results are written in place by the server
                  procedure — no server-side copy (§2.2); Value/Text
@@ -318,50 +288,35 @@ type decnet_binding = {
   mutable dn_next_call : int;
 }
 
-type binding =
-  | B_ether of ether_binding
-  | B_local of { bl_server : t; bl_intf : Idl.interface }
-  | B_decnet of decnet_binding
+type local_binding = { bl_server : t; bl_intf : Idl.interface }
 
-let bind_ether ?auth t ~dst ~server_space intf ~options =
-  ignore t;
-  B_ether
-    {
-      be_dst = dst;
-      be_space = server_space;
-      be_intf = intf;
-      be_id = Idl.interface_id intf;
-      be_opts = options;
-      be_auth = auth;
-    }
+(* The transport implementation modules live below, after the call
+   machinery each one wraps; [bind_ether]/[bind_local]/[bind_decnet]
+   pack them into {!binding}s there. *)
 
-let bind_local t ~server intf ~options =
-  ignore t;
-  ignore options;
-  B_local { bl_server = server; bl_intf = intf }
+(* {1 The shared Starter prologue}
 
-let bind_decnet t ~ep ~peer ~server_space intf =
-  B_decnet
-    {
-      dn_ep = ep;
-      dn_peer = peer;
-      dn_space = server_space;
-      dn_intf = intf;
-      dn_id = Idl.interface_id intf;
-      dn_lock = Sim.Mutex.create (engine t);
-      dn_conn = None;
-      dn_next_call = 0;
-    }
+   Every transport starts a call the same way: bounds-check the
+   procedure, count the call, open a causal trace for it (everything the
+   calling thread charges until the result returns — and, via frame
+   registration and wakeup propagation, everything the server and both
+   controllers do on its behalf — attributes to this id; a no-op id of
+   [Sim.Trace.no_call] flows through when tracing is off), and charge
+   the calling stub.  The transport-specific Starter/Transporter/Ender
+   body runs under that trace id. *)
 
-let binding_interface = function
-  | B_ether b -> b.be_intf
-  | B_local b -> b.bl_intf
-  | B_decnet b -> b.dn_intf
-
-let is_local = function
-  | B_ether _ -> false
-  | B_local _ -> true
-  | B_decnet _ -> false
+let start_call client ctx intf ~proc_idx body =
+  let t = client.cl_rt in
+  let tmg = timing t in
+  if proc_idx < 0 || proc_idx >= Array.length intf.Idl.procs then
+    Rpc_error.fail (Rpc_error.Bad_procedure proc_idx);
+  let p = intf.Idl.procs.(proc_idx) in
+  Sim.Stats.Counter.incr t.c_calls;
+  let prev_call = Cpu_set.trace_call ctx in
+  Cpu_set.set_trace_call ctx (Sim.Trace.new_call (Engine.trace (engine t)));
+  Fun.protect ~finally:(fun () -> Cpu_set.set_trace_call ctx prev_call) @@ fun () ->
+  charge_rt ctx ~label:"Calling stub (call & return)" (Timing.calling_stub tmg);
+  body t tmg p
 
 (* {1 The Ethernet transport — caller side} *)
 
@@ -444,21 +399,7 @@ let await t ctx entry ~opts ~on_timeout ~handle =
 let calls_made t = Sim.Stats.Counter.value t.c_calls
 
 let call_ether client ctx (b : ether_binding) ~proc_idx ~args =
-  let t = client.cl_rt in
-  let tmg = timing t in
-  if proc_idx < 0 || proc_idx >= Array.length b.be_intf.Idl.procs then
-    Rpc_error.fail (Rpc_error.Bad_procedure proc_idx);
-  let p = b.be_intf.Idl.procs.(proc_idx) in
-  Sim.Stats.Counter.incr t.c_calls;
-  (* Open a causal trace for this call: everything the calling thread
-     charges until the result returns — and, via frame registration and
-     wakeup propagation, everything the server and both controllers do
-     on its behalf — attributes to this id.  Pure bookkeeping; a no-op
-     id of [Sim.Trace.no_call] flows through when tracing is off. *)
-  let prev_call = Cpu_set.trace_call ctx in
-  Cpu_set.set_trace_call ctx (Sim.Trace.new_call (Engine.trace (engine t)));
-  Fun.protect ~finally:(fun () -> Cpu_set.set_trace_call ctx prev_call) @@ fun () ->
-  charge_rt ctx ~label:"Calling stub (call & return)" (Timing.calling_stub tmg);
+  start_call client ctx b.be_intf ~proc_idx @@ fun t tmg p ->
   (* Starter: obtain a packet buffer with a partially filled header. *)
   charge_rt ctx ~label:"Starter" (Timing.starter tmg);
   client.cl_seq <- client.cl_seq + 1;
@@ -614,7 +555,7 @@ let call_ether client ctx (b : ether_binding) ~proc_idx ~args =
     Marshal.charge_args tmg ctx Marshal.Caller_side Marshal.In_result_packet p full;
     (* Ender: return the result packet to the free pool. *)
     charge_rt ctx ~label:"Ender" (Timing.ender tmg);
-    extract_outs p full
+    Marshal.extract_outs p full
   with Give_up msg -> Rpc_error.fail (Rpc_error.Call_failed msg)
 
 (* {1 The Ethernet transport — server side} *)
@@ -954,17 +895,9 @@ let local_worker_loop t ctx =
   in
   loop ()
 
-let call_local client ctx (server : t) intf ~proc_idx ~args =
-  let t = client.cl_rt in
-  let tmg = timing t in
-  if proc_idx < 0 || proc_idx >= Array.length intf.Idl.procs then
-    Rpc_error.fail (Rpc_error.Bad_procedure proc_idx);
-  let p = intf.Idl.procs.(proc_idx) in
-  Sim.Stats.Counter.incr t.c_calls;
-  let prev_call = Cpu_set.trace_call ctx in
-  Cpu_set.set_trace_call ctx (Sim.Trace.new_call (Engine.trace (engine t)));
-  Fun.protect ~finally:(fun () -> Cpu_set.set_trace_call ctx prev_call) @@ fun () ->
-  charge_rt ctx ~label:"Calling stub (call & return)" (Timing.calling_stub tmg);
+let call_local client ctx (b : local_binding) ~proc_idx ~args =
+  let server = b.bl_server in
+  start_call client ctx b.bl_intf ~proc_idx @@ fun t tmg p ->
   charge_rt ctx ~label:"Starter (local)" (Timing.local_starter tmg);
   alloc_bufs t ctx 1;
   (* One pool buffer models the local call packet; it must return to the
@@ -975,7 +908,7 @@ let call_local client ctx (server : t) intf ~proc_idx ~args =
   charge_rt ctx ~label:"Transporter send (local)" (Timing.local_transporter_send tmg);
   let lc =
     {
-      lc_intf_id = Idl.interface_id intf;
+      lc_intf_id = Idl.interface_id b.bl_intf;
       lc_proc = proc_idx;
       lc_payload = payload;
       lc_reply = None;
@@ -1000,7 +933,7 @@ let call_local client ctx (server : t) intf ~proc_idx ~args =
     let full = Marshal.decode_args (R.of_bytes result_payload) Marshal.In_result_packet p in
     Marshal.charge_args tmg ctx Marshal.Caller_side Marshal.In_result_packet p full;
     charge_rt ctx ~label:"Ender (local)" (Timing.local_ender tmg);
-    extract_outs p full
+    Marshal.extract_outs p full
 
 (* {1 RPC over DECNet}
 
@@ -1074,16 +1007,7 @@ let decnet_listen t ep =
           serve ()))
 
 let call_decnet client ctx (b : decnet_binding) ~proc_idx ~args =
-  let t = client.cl_rt in
-  let tmg = timing t in
-  if proc_idx < 0 || proc_idx >= Array.length b.dn_intf.Idl.procs then
-    Rpc_error.fail (Rpc_error.Bad_procedure proc_idx);
-  let p = b.dn_intf.Idl.procs.(proc_idx) in
-  Sim.Stats.Counter.incr t.c_calls;
-  let prev_call = Cpu_set.trace_call ctx in
-  Cpu_set.set_trace_call ctx (Sim.Trace.new_call (Engine.trace (engine t)));
-  Fun.protect ~finally:(fun () -> Cpu_set.set_trace_call ctx prev_call) @@ fun () ->
-  charge_rt ctx ~label:"Calling stub (call & return)" (Timing.calling_stub tmg);
+  start_call client ctx b.dn_intf ~proc_idx @@ fun t tmg p ->
   charge_rt ctx ~label:"Starter" (Timing.starter tmg);
   let payload = encode_payload t p Marshal.In_call_packet args (payload_bound p) in
   Marshal.charge_args tmg ctx Marshal.Caller_side Marshal.In_call_packet p args;
@@ -1127,10 +1051,93 @@ let call_decnet client ctx (b : decnet_binding) ~proc_idx ~args =
               in
               Marshal.charge_args tmg ctx Marshal.Caller_side Marshal.In_result_packet p full;
               charge_rt ctx ~label:"Ender" (Timing.ender tmg);
-              extract_outs p full)
+              Marshal.extract_outs p full)
         in
         get_reply ()
       with Rpc_error.Rpc (Rpc_error.Call_failed _) as e -> fail_transport e)
+
+(* {1 The transport personalities}
+
+   Each in-simulator transport is a module satisfying {!Transport.S}
+   over this runtime's [client] and the simulated-CPU context; a
+   {!binding} packs one such module with its per-import state.  The
+   real-socket backend (library [realnet]) satisfies the same signature
+   with its own client/ctx types, outside the simulator. *)
+
+module type SIM_TRANSPORT =
+  Transport.S with type client = client and type ctx = Cpu_set.ctx
+
+module Ether_transport = struct
+  type binding = ether_binding
+  type nonrec client = client
+  type ctx = Cpu_set.ctx
+
+  let kind = Transport.Simulated_ether
+  let name = "sim-ether"
+  let interface b = b.be_intf
+  let invoke b client ctx ~proc_idx ~args = call_ether client ctx b ~proc_idx ~args
+end
+
+module Local_transport = struct
+  type binding = local_binding
+  type nonrec client = client
+  type ctx = Cpu_set.ctx
+
+  let kind = Transport.Shared_memory
+  let name = "local"
+  let interface b = b.bl_intf
+  let invoke b client ctx ~proc_idx ~args = call_local client ctx b ~proc_idx ~args
+end
+
+module Decnet_transport = struct
+  type binding = decnet_binding
+  type nonrec client = client
+  type ctx = Cpu_set.ctx
+
+  let kind = Transport.Session
+  let name = "decnet"
+  let interface b = b.dn_intf
+  let invoke b client ctx ~proc_idx ~args = call_decnet client ctx b ~proc_idx ~args
+end
+
+type binding = B : (module SIM_TRANSPORT with type binding = 'b) * 'b -> binding
+
+let bind_ether ?auth t ~dst ~server_space intf ~options =
+  ignore t;
+  B
+    ( (module Ether_transport),
+      {
+        be_dst = dst;
+        be_space = server_space;
+        be_intf = intf;
+        be_id = Idl.interface_id intf;
+        be_opts = options;
+        be_auth = auth;
+      } )
+
+let bind_local t ~server intf ~options =
+  ignore t;
+  ignore options;
+  B ((module Local_transport), { bl_server = server; bl_intf = intf })
+
+let bind_decnet t ~ep ~peer ~server_space intf =
+  B
+    ( (module Decnet_transport),
+      {
+        dn_ep = ep;
+        dn_peer = peer;
+        dn_space = server_space;
+        dn_intf = intf;
+        dn_id = Idl.interface_id intf;
+        dn_lock = Sim.Mutex.create (engine t);
+        dn_conn = None;
+        dn_next_call = 0;
+      } )
+
+let binding_interface (B ((module T), b)) = T.interface b
+let transport_kind (B ((module T), _)) = T.kind
+let transport_name (B ((module T), _)) = T.name
+let is_local b = transport_kind b = Transport.Shared_memory
 
 (* {1 Export / call} *)
 
@@ -1153,11 +1160,9 @@ let export ?auth t intf ~impls ~workers =
     ~name:(intf.Idl.intf_name ^ "-local-worker")
     (fun () -> Cpu_set.with_cpu (Machine.cpus mach) (fun ctx -> local_worker_loop t ctx))
 
-let call binding client ctx ~proc_idx ~args =
-  match binding with
-  | B_ether b -> call_ether client ctx b ~proc_idx ~args
-  | B_local { bl_server; bl_intf } -> call_local client ctx bl_server bl_intf ~proc_idx ~args
-  | B_decnet b -> call_decnet client ctx b ~proc_idx ~args
+let is_exported t intf = Hashtbl.mem t.rt_exports (Idl.interface_id intf)
+
+let call (B ((module T), b)) client ctx ~proc_idx ~args = T.invoke b client ctx ~proc_idx ~args
 
 let call_by_name binding client ctx ~proc ~args =
   let intf = binding_interface binding in

@@ -8,7 +8,11 @@
     importing an interface yields a {!binding} whose transport was
     chosen at bind time — the custom packet-exchange protocol over
     IP/UDP/Ethernet for a remote server, shared memory for a server on
-    the same machine (§3.1).
+    the same machine, a DECNet session otherwise (§3.1).  Each transport
+    is a module satisfying {!Transport.S}; a binding packs the module
+    with its state, and {!call} dispatches through the pack, so further
+    personalities (library [realnet]'s real UDP sockets) implement the
+    same signature without touching this runtime.
 
     {!call} is the generic stub: it performs the five caller-stub steps
     of §3.1.1 (Starter, marshal, Transporter, unmarshal, Ender) with the
@@ -100,7 +104,15 @@ val decnet_listen : t -> Decnet.endpoint -> unit
     space (one server thread per connection). *)
 
 val binding_interface : binding -> Idl.interface
+
+val transport_kind : binding -> Transport.kind
+(** Which {!Transport.S} personality this binding packs. *)
+
+val transport_name : binding -> string
 val is_local : binding -> bool
+
+val is_exported : t -> Idl.interface -> bool
+(** Whether {!export} has installed this interface on the runtime. *)
 
 val call :
   binding ->

@@ -1,0 +1,53 @@
+(* The transport personality layer.
+
+   The paper's runtime hard-wires three transports (§3.1): the custom
+   packet-exchange protocol on the Ethernet, shared memory for a server
+   on the same machine, and DECNet sessions for everything else.  Here
+   each is a module satisfying one signature, and a binding is an
+   existential pack of (transport module, its binding state) — so the
+   Starter/Transporter/Ender pipeline of [Runtime.call] is written once
+   against the signature and the plumbing underneath is swappable,
+   including for backends that do not live inside the simulator at all
+   (library [realnet]'s real Unix UDP socket backend). *)
+
+type kind =
+  | Simulated_ether  (** the packet-exchange protocol over the simulated wire *)
+  | Shared_memory  (** same-address-space hand-off (the paper's local call) *)
+  | Session  (** a sequenced connection (DECNet); transport-level reliability *)
+  | Real_socket  (** a real kernel socket outside the simulator *)
+
+let kind_to_string = function
+  | Simulated_ether -> "sim"
+  | Shared_memory -> "local"
+  | Session -> "session"
+  | Real_socket -> "socket"
+
+module type S = sig
+  type binding
+  (** One imported interface's transport state: destination addressing,
+      retransmission options, connection cache — whatever this
+      personality needs to move a call. *)
+
+  type client
+  (** The calling thread's RPC identity (activity + sequence state). *)
+
+  type ctx
+  (** The execution context calls charge their costs to: a simulated CPU
+      for in-simulator transports, unit for real-socket ones. *)
+
+  val kind : kind
+  val name : string
+
+  val interface : binding -> Idl.interface
+
+  val invoke :
+    binding ->
+    client ->
+    ctx ->
+    proc_idx:int ->
+    args:Marshal.value list ->
+    Marshal.value list
+  (** The Transporter: move the call to the server, run it, return the
+      full result values (callers extract the VAR OUT subset).  Raises
+      {!Rpc_error.Rpc} on dispatch or communication failure. *)
+end

@@ -1,0 +1,35 @@
+(** The [TRANSPORT] signature: one interface, many packet-moving
+    personalities.
+
+    A binding produced by {!Runtime.bind_ether}, {!Runtime.bind_local}
+    or {!Runtime.bind_decnet} packs a module satisfying {!S} together
+    with that module's binding state; {!Runtime.call} dispatches through
+    the pack.  Library [realnet] provides a fourth implementation over a
+    real Unix UDP socket, reusing the same {!Frames} encoders so the
+    bytes on the loopback wire are exactly the simulator's bytes. *)
+
+type kind =
+  | Simulated_ether  (** the packet-exchange protocol over the simulated wire *)
+  | Shared_memory  (** same-address-space hand-off (the paper's local call) *)
+  | Session  (** a sequenced connection (DECNet); transport-level reliability *)
+  | Real_socket  (** a real kernel socket outside the simulator *)
+
+val kind_to_string : kind -> string
+
+module type S = sig
+  type binding
+  type client
+  type ctx
+
+  val kind : kind
+  val name : string
+  val interface : binding -> Idl.interface
+
+  val invoke :
+    binding ->
+    client ->
+    ctx ->
+    proc_idx:int ->
+    args:Marshal.value list ->
+    Marshal.value list
+end

@@ -6,9 +6,9 @@ let single_call ?caller_config ?server_config ~proc () =
   let w = Workload.World.create ?caller_config ?server_config () in
   Workload.Driver.measure_single_call w ~proc ()
 
-let throughput ?caller_config ?server_config ?seed ~threads ~calls ~proc () =
+let throughput ?caller_config ?server_config ?seed ?transport ~threads ~calls ~proc () =
   let w = Workload.World.create ?caller_config ?server_config ?seed () in
-  Workload.Driver.run w ~threads ~calls ~proc ()
+  Workload.Driver.run w ?transport ~threads ~calls ~proc ()
 
 let seconds_per_10000 (o : Workload.Driver.outcome) =
   if o.Workload.Driver.rpcs_per_sec > 0. then 10000. /. o.Workload.Driver.rpcs_per_sec else 0.

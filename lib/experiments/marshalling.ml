@@ -100,9 +100,24 @@ let measure_all () =
    sweep, possibly forced from several worker domains. *)
 let measured = Par.Once.create measure_all
 
+(* A scenario lookup that cannot fail anonymously: a missing row means
+   the measurement sweep and the table definitions disagree, and the
+   error should say which scenario is absent and which exist — a bare
+   [Hashtbl.find] here used to surface as a context-free [Not_found]
+   from deep inside the table renderer. *)
+let overhead_of r name =
+  match Hashtbl.find_opt r name with
+  | Some v -> v
+  | None ->
+    let have = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) r []) in
+    invalid_arg
+      (Printf.sprintf
+         "Experiments.Marshalling: no measurement for scenario %S (measured scenarios: %s)"
+         name (String.concat ", " have))
+
 let increment name =
   let r = Par.Once.force measured in
-  Hashtbl.find r name -. Hashtbl.find r "null"
+  overhead_of r name -. overhead_of r "null"
 
 let table2 () =
   [

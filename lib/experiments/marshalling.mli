@@ -12,6 +12,12 @@ type row = {
   measured_us : float;
 }
 
+val increment : string -> float
+(** Measured overhead (µs) of the named scenario over [Null()], from the
+    memoized measurement sweep.
+    @raise Invalid_argument naming the missing scenario (and listing the
+    measured ones) if it was never measured — a sweep/table mismatch. *)
+
 val table2 : unit -> row list  (** by-value 4-byte integers: 1, 2, 4 *)
 
 val table3 : unit -> row list  (** fixed-length array VAR OUT: 4, 400 bytes *)

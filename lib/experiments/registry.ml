@@ -1,7 +1,9 @@
+type transport = [ `Auto | `Local | `Udp | `Decnet ]
+
 type entry = {
   id : string;
   title : string;
-  run : quick:bool -> metrics:bool -> Report.Table.t list;
+  run : transport:transport -> quick:bool -> metrics:bool -> Report.Table.t list;
 }
 
 let all =
@@ -10,91 +12,91 @@ let all =
       id = "table1";
       title = "Time for 10000 RPCs (latency & throughput vs caller threads)";
       run =
-        (fun ~quick ~metrics ->
+        (fun ~transport ~quick ~metrics ->
           let calls = if quick then 400 else 10000 in
-          [ Table1.table ~calls ~metrics () ]);
+          [ Table1.table ~calls ~metrics ~transport () ]);
     };
     {
       id = "tables2-5";
       title = "Marshalling times (integers, arrays, Text.T)";
-      run = (fun ~quick:_ ~metrics:_ -> Marshalling.tables ());
+      run = (fun ~transport:_ ~quick:_ ~metrics:_ -> Marshalling.tables ());
     };
     {
       id = "table6";
       title = "Latency of steps in the send+receive operation";
-      run = (fun ~quick:_ ~metrics:_ -> [ List.nth (Breakdown.tables ()) 0 ]);
+      run = (fun ~transport:_ ~quick:_ ~metrics:_ -> [ List.nth (Breakdown.tables ()) 0 ]);
     };
     {
       id = "table7";
       title = "Latency of stubs and RPC runtime";
-      run = (fun ~quick:_ ~metrics:_ -> [ List.nth (Breakdown.tables ()) 1 ]);
+      run = (fun ~transport:_ ~quick:_ ~metrics:_ -> [ List.nth (Breakdown.tables ()) 1 ]);
     };
     {
       id = "table8";
       title = "Calculated vs measured latency";
-      run = (fun ~quick:_ ~metrics:_ -> [ List.nth (Breakdown.tables ()) 2 ]);
+      run = (fun ~transport:_ ~quick:_ ~metrics:_ -> [ List.nth (Breakdown.tables ()) 2 ]);
     };
     {
       id = "table9";
       title = "Interrupt routine: Modula-2+ vs assembly";
-      run = (fun ~quick:_ ~metrics:_ -> [ Table9.table () ]);
+      run = (fun ~transport:_ ~quick:_ ~metrics:_ -> [ Table9.table () ]);
     };
     {
       id = "table10";
       title = "Null() latency with fewer processors";
-      run = (fun ~quick ~metrics:_ -> [ List.nth (Processors.tables ~quick ()) 0 ]);
+      run = (fun ~transport:_ ~quick ~metrics:_ -> [ List.nth (Processors.tables ~quick ()) 0 ]);
     };
     {
       id = "table11";
       title = "MaxResult(b) throughput with fewer processors";
-      run = (fun ~quick ~metrics:_ -> [ List.nth (Processors.tables ~quick ()) 1 ]);
+      run = (fun ~transport:_ ~quick ~metrics:_ -> [ List.nth (Processors.tables ~quick ()) 1 ]);
     };
     {
       id = "table12";
       title = "Comparison with other systems";
-      run = (fun ~quick ~metrics:_ -> [ Table12.table ~quick () ]);
+      run = (fun ~transport:_ ~quick ~metrics:_ -> [ Table12.table ~quick () ]);
     };
     {
       id = "improvements";
       title = "Section 4.2 improvement estimates, re-simulated";
-      run = (fun ~quick:_ ~metrics:_ -> [ Improvements.table () ]);
+      run = (fun ~transport:_ ~quick:_ ~metrics:_ -> [ Improvements.table () ]);
     };
     {
       id = "uniproc-bug";
       title = "Section 5: the uniprocessor lost-packet bug";
-      run = (fun ~quick ~metrics:_ -> [ List.nth (Section5.tables ~quick ()) 0 ]);
+      run = (fun ~transport:_ ~quick ~metrics:_ -> [ List.nth (Section5.tables ~quick ()) 0 ]);
       (* note: loss events are rare and 600 ms each, so this one is
          seed-sensitive; the full run uses 1200 calls to stabilize *)
     };
     {
       id = "streaming";
       title = "Section 5 extension: streamed bulk transfer";
-      run = (fun ~quick ~metrics:_ -> [ List.nth (Section5.tables ~quick ()) 1 ]);
+      run = (fun ~transport:_ ~quick ~metrics:_ -> [ List.nth (Section5.tables ~quick ()) 1 ]);
     };
     {
       id = "multi-client";
       title = "Extension: several client machines against one server";
-      run = (fun ~quick ~metrics:_ -> [ List.nth (Extensions.tables ~quick ()) 0 ]);
+      run = (fun ~transport:_ ~quick ~metrics:_ -> [ List.nth (Extensions.tables ~quick ()) 0 ]);
     };
     {
       id = "controller-saturation";
       title = "Extension: controller saturated tx vs rx rates (section 4.1 footnote)";
-      run = (fun ~quick ~metrics:_ -> [ List.nth (Extensions.tables ~quick ()) 1 ]);
+      run = (fun ~transport:_ ~quick ~metrics:_ -> [ List.nth (Extensions.tables ~quick ()) 1 ]);
     };
     {
       id = "ablation-demux";
       title = "Ablation: interrupt-time demux vs traditional datalink thread (section 3.2)";
-      run = (fun ~quick ~metrics:_ -> [ Ablation.table ~quick () ]);
+      run = (fun ~transport:_ ~quick ~metrics:_ -> [ Ablation.table ~quick () ]);
     };
     {
       id = "latency-tails";
       title = "Extension: Null() latency distribution under load";
-      run = (fun ~quick ~metrics:_ -> [ List.nth (Extensions.tables ~quick ()) 2 ]);
+      run = (fun ~transport:_ ~quick ~metrics:_ -> [ List.nth (Extensions.tables ~quick ()) 2 ]);
     };
     {
       id = "transports";
       title = "Extension: the three bind-time transports, measured";
-      run = (fun ~quick ~metrics:_ -> [ List.nth (Extensions.tables ~quick ()) 3 ]);
+      run = (fun ~transport:_ ~quick ~metrics:_ -> [ List.nth (Extensions.tables ~quick ()) 3 ]);
     };
   ]
 

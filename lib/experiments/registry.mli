@@ -1,14 +1,21 @@
 (** The experiment registry: every reproduced table/figure, addressable
     by id from the benchmark harness, the CLI and the test suite. *)
 
+type transport = [ `Auto | `Local | `Udp | `Decnet ]
+(** The bind-time transport the workload-driving experiments should
+    measure over (see {!Workload.World.test_binding}). *)
+
 type entry = {
   id : string;
   title : string;
-  run : quick:bool -> metrics:bool -> Report.Table.t list;
+  run : transport:transport -> quick:bool -> metrics:bool -> Report.Table.t list;
       (** [quick] trades call counts for speed (used by tests); the
           benchmark harness runs with [quick:false].  [metrics] asks an
           experiment for extra percentile columns where it supports
-          them (currently Table I); others ignore it. *)
+          them (currently Table I); others ignore it.  [transport]
+          re-targets the workload-driving experiments (currently
+          Table I); experiments that measure a fixed configuration
+          ignore it. *)
 }
 
 val all : entry list

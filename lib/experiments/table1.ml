@@ -25,9 +25,9 @@ let paper =
     paper_row 8 13.67 732. 24.68 4.69;
   ]
 
-let measure_row ~calls ~metrics threads =
-  let null = Exp_common.throughput ~threads ~calls ~proc:Driver.Null () in
-  let maxr = Exp_common.throughput ~threads ~calls ~proc:Driver.Max_result () in
+let measure_row ?transport ~calls ~metrics threads =
+  let null = Exp_common.throughput ?transport ~threads ~calls ~proc:Driver.Null () in
+  let maxr = Exp_common.throughput ?transport ~threads ~calls ~proc:Driver.Max_result () in
   let null_tail_ms =
     if metrics then
       let p q = Sim.Time.to_ms (Driver.percentile null q) in
@@ -43,11 +43,11 @@ let measure_row ~calls ~metrics threads =
     null_tail_ms;
   }
 
-let run ?(calls = 10000) ?(metrics = false) () =
-  List.map (fun p -> measure_row ~calls ~metrics p.threads) paper
+let run ?(calls = 10000) ?(metrics = false) ?transport () =
+  List.map (fun p -> measure_row ?transport ~calls ~metrics p.threads) paper
 
-let table ?calls ?(metrics = false) () =
-  let measured = run ?calls ~metrics () in
+let table ?calls ?(metrics = false) ?transport () =
+  let measured = run ?calls ~metrics ?transport () in
   let tail_cells m =
     match m.null_tail_ms with
     | None -> []

@@ -14,12 +14,25 @@ type row = {
 
 val paper : row list
 
-val run : ?calls:int -> ?metrics:bool -> unit -> row list
+val run :
+  ?calls:int ->
+  ?metrics:bool ->
+  ?transport:[ `Auto | `Local | `Udp | `Decnet ] ->
+  unit ->
+  row list
 (** [calls] (default 10000) is the per-configuration call budget; the
     seconds columns are normalized to 10000 either way.  [metrics]
-    (default false) additionally computes the Null() latency tail. *)
+    (default false) additionally computes the Null() latency tail.
+    [transport] (default [`Auto], the two-machine ether) re-runs the
+    whole table over another transport — [`Local] gives the paper's
+    RPC-on-one-machine configuration. *)
 
-val table : ?calls:int -> ?metrics:bool -> unit -> Report.Table.t
+val table :
+  ?calls:int ->
+  ?metrics:bool ->
+  ?transport:[ `Auto | `Local | `Udp | `Decnet ] ->
+  unit ->
+  Report.Table.t
 (** Paper-vs-measured, one row per thread count; with [metrics], three
     extra p50/p90/p99 columns. *)
 

@@ -86,14 +86,28 @@ val new_call : t -> int
 val register_frame : t -> Bytes.t -> call:int -> unit
 (** Associates the physical identity of [frame] with [call], so the
     receive path (which sees the same buffer object) can recover the
-    call id via {!frame_call}.  A no-op while tracing is disabled or
-    when [call] is {!no_call}.  The registry is bounded (oldest entries
-    evicted), sized for the handful of in-flight frames a traced window
-    produces. *)
+    call id via {!frame_call}.  A no-op while tracing is disabled.  The
+    registry is a fixed-size ring sized for the handful of in-flight
+    frames a traced window produces; registering an already-present
+    buffer overwrites its entry in place (newest registration wins), and
+    registering one with [call = no_call] releases any stale entry — so
+    a buffer recycled from a previous call can never alias that call's
+    id.  When the ring is full the (approximately) oldest entry is
+    evicted and counted in {!frame_evictions}. *)
+
+val release_frame : t -> Bytes.t -> unit
+(** Drops the registry entry for this buffer, if any: call when a frame
+    buffer is returned to a freelist while tracing is on, so its next
+    life starts unattributed.  A no-op while tracing is disabled. *)
 
 val frame_call : t -> Bytes.t -> int
 (** The call id registered for this frame object (physical equality), or
     {!no_call} if unknown or tracing is disabled. *)
+
+val frame_evictions : t -> int
+(** Frame-registry entries evicted because the ring was full — each one
+    an in-flight call whose spans may since attribute to {!no_call}.
+    Reset by {!clear}. *)
 
 val clear : t -> unit
 (** Drops all recorded spans, resets the {!dropped} counter, the call-id

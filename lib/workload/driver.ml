@@ -137,8 +137,8 @@ let run (w : World.t) ?options ?transport ~threads ~calls ~proc () =
 (* One thread, warmed up, then [calls] sequential calls with the engine
    trace (and a fresh journal window) covering exactly the timed calls.
    Shared by [firefly trace] and the Perfetto-export test. *)
-let run_traced (w : World.t) ?options ?(warmup = 2) ~calls ~proc () =
-  let binding = World.test_binding w ?options () in
+let run_traced (w : World.t) ?options ?transport ?(warmup = 2) ~calls ~proc () =
+  let binding = World.test_binding w ?options ?transport () in
   let gate = Sim.Gate.create w.World.eng in
   let latencies = ref [] in
   Machine.spawn_thread w.World.caller ~name:"traced-call" (fun () ->
@@ -171,8 +171,8 @@ let run_traced (w : World.t) ?options ?(warmup = 2) ~calls ~proc () =
    trace's call-id allocator restarts at the [Sim.Trace.clear], and
    only traced calls allocate), so the windows line up with the span
    dump for Obs.Attrib. *)
-let run_breakdown (w : World.t) ?options ?(warmup = 2) ~calls ~proc () =
-  let binding = World.test_binding w ?options () in
+let run_breakdown (w : World.t) ?options ?transport ?(warmup = 2) ~calls ~proc () =
+  let binding = World.test_binding w ?options ?transport () in
   let gate = Sim.Gate.create w.World.eng in
   let windows = ref [] in
   Machine.spawn_thread w.World.caller ~name:"breakdown-call" (fun () ->
@@ -199,8 +199,8 @@ let run_breakdown (w : World.t) ?options ?(warmup = 2) ~calls ~proc () =
   World.run_until_quiet w gate;
   List.rev !windows
 
-let measure_single_call (w : World.t) ?options ~proc () =
-  let binding = World.test_binding w ?options () in
+let measure_single_call (w : World.t) ?options ?transport ~proc () =
+  let binding = World.test_binding w ?options ?transport () in
   let gate = Sim.Gate.create w.World.eng in
   let latency = ref Time.zero_span in
   Machine.spawn_thread w.World.caller ~name:"single-call" (fun () ->

@@ -34,7 +34,7 @@ val payload_bytes : proc -> int
 val run :
   World.t ->
   ?options:Rpc.Runtime.call_options ->
-  ?transport:[ `Auto | `Udp | `Decnet ] ->
+  ?transport:[ `Auto | `Local | `Udp | `Decnet ] ->
   threads:int ->
   calls:int ->
   proc:proc ->
@@ -46,6 +46,7 @@ val run :
 val run_traced :
   World.t ->
   ?options:Rpc.Runtime.call_options ->
+  ?transport:[ `Auto | `Local | `Udp | `Decnet ] ->
   ?warmup:int ->
   calls:int ->
   proc:proc ->
@@ -62,6 +63,7 @@ val run_traced :
 val run_breakdown :
   World.t ->
   ?options:Rpc.Runtime.call_options ->
+  ?transport:[ `Auto | `Local | `Udp | `Decnet ] ->
   ?warmup:int ->
   calls:int ->
   proc:proc ->
@@ -74,6 +76,11 @@ val run_breakdown :
     afterwards. *)
 
 val measure_single_call :
-  World.t -> ?options:Rpc.Runtime.call_options -> proc:proc -> unit -> Sim.Time.span
+  World.t ->
+  ?options:Rpc.Runtime.call_options ->
+  ?transport:[ `Auto | `Local | `Udp | `Decnet ] ->
+  proc:proc ->
+  unit ->
+  Sim.Time.span
 (** One warmed-up call's latency: makes a few calls to populate the
     fast path, then times one. *)

@@ -43,11 +43,14 @@ val test_binding :
   t ->
   ?options:Rpc.Runtime.call_options ->
   ?auth:Rpc.Secure.key ->
-  ?transport:[ `Auto | `Udp | `Decnet ] ->
+  ?transport:[ `Auto | `Local | `Udp | `Decnet ] ->
   unit ->
   Rpc.Runtime.binding
 (** Imports the Test interface into the caller's address space; [auth]
-    must match the key the world was created with, if any. *)
+    must match the key the world was created with, if any.  [`Local]
+    additionally exports the Test interface from the caller's own
+    runtime (once) and binds it over shared memory — the paper's
+    RPC-on-one-machine configuration. *)
 
 val add_machine :
   t -> name:string -> config:Hw.Config.t -> station:int -> ip:string -> Nub.Machine.t * Rpc.Node.t * Rpc.Runtime.t

@@ -58,6 +58,23 @@ let test_marshalling () =
   check_rows "table4" (Experiments.Marshalling.table4 ()) ~tolerance:0.05;
   check_rows "table5" (Experiments.Marshalling.table5 ()) ~tolerance:0.05
 
+let test_marshalling_missing_scenario () =
+  (* A sweep/table mismatch must fail with the scenario's name, not a
+     bare Not_found. *)
+  match Experiments.Marshalling.increment "no-such-scenario" with
+  | _ -> Alcotest.fail "expected Invalid_argument for an unmeasured scenario"
+  | exception Invalid_argument msg ->
+    let has_sub s sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "error names the scenario: %s" msg)
+      true
+      (has_sub msg "no-such-scenario");
+    Alcotest.(check bool) "error lists the measured scenarios" true (has_sub msg "null")
+
 (* {1 Tables VI-VIII} *)
 
 let test_table6 () =
@@ -250,7 +267,7 @@ let test_streaming () =
 let test_registry_runs_everything () =
   List.iter
     (fun e ->
-      let tables = e.Experiments.Registry.run ~quick:true ~metrics:false in
+      let tables = e.Experiments.Registry.run ~transport:`Auto ~quick:true ~metrics:false in
       Alcotest.(check bool)
         (e.Experiments.Registry.id ^ " produces tables")
         true
@@ -296,7 +313,7 @@ let test_table1_deterministic () =
     match Experiments.Registry.find "table1" with
     | None -> Alcotest.fail "table1 not registered"
     | Some e ->
-      String.concat "\n" (List.map Report.Table.render (e.Experiments.Registry.run ~quick:true ~metrics:false))
+      String.concat "\n" (List.map Report.Table.render (e.Experiments.Registry.run ~transport:`Auto ~quick:true ~metrics:false))
   in
   Alcotest.(check string) "same seed, byte-identical tables" (render ()) (render ())
 
@@ -312,7 +329,7 @@ let test_parallel_registry_identical () =
   Alcotest.(check int) "entries found" 5 (List.length entries);
   let render (e : Experiments.Registry.entry) =
     String.concat ""
-      (List.map Report.Table.render (e.Experiments.Registry.run ~quick:true ~metrics:false))
+      (List.map Report.Table.render (e.Experiments.Registry.run ~transport:`Auto ~quick:true ~metrics:false))
   in
   let serial = List.map render entries in
   let par = Par.Pool.map_list ~jobs:4 render entries in
@@ -327,6 +344,8 @@ let suite =
     Alcotest.test_case "Table I metrics columns" `Quick test_table1_metrics_columns;
     Alcotest.test_case "CPU utilization note" `Slow test_cpu_utilization;
     Alcotest.test_case "Tables II-V marshalling" `Quick test_marshalling;
+    Alcotest.test_case "marshalling names a missing scenario" `Quick
+      test_marshalling_missing_scenario;
     Alcotest.test_case "Table VI traced breakdown" `Quick test_table6;
     Alcotest.test_case "Table VII runtime breakdown" `Quick test_table7;
     Alcotest.test_case "Table VIII accounting" `Quick test_table8;

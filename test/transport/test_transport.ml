@@ -1,0 +1,283 @@
+(* Transport conformance: the same obligations checked against every
+   backend behind the TRANSPORT signature — the simulated ether, the
+   same-address-space shared-memory path, and the real loopback UDP
+   socket.  Round trips must complete, multi-packet payloads must
+   reassemble, lost packets must be retransmitted through, and
+   malformed frames (one shared mutation corpus) must be rejected by
+   the frame parser, never crash a receiver.
+
+   Socket cases skip (not fail) where the environment has no loopback
+   sockets. *)
+
+module Driver = Workload.Driver
+module World = Workload.World
+module Ti = Workload.Test_interface
+module Us = Realnet.Udp_socket
+
+let sim_transports : (string * [ `Auto | `Local | `Udp | `Decnet ]) list =
+  [ ("sim", `Auto); ("local", `Local) ]
+
+(* {1 Round trips and reassembly through the simulated runtime} *)
+
+let test_roundtrip transport () =
+  let w = World.create ~idle_load:false () in
+  let o = Driver.run w ~transport ~threads:1 ~calls:20 ~proc:Driver.Null () in
+  Alcotest.(check int) "all null calls completed" 20 o.Driver.calls;
+  let w = World.create ~idle_load:false () in
+  let o = Driver.run w ~transport ~threads:1 ~calls:10 ~proc:Driver.Max_arg () in
+  Alcotest.(check int) "all maxarg calls completed" 10 o.Driver.calls;
+  Alcotest.(check int) "no retransmissions on a clean wire" 0 o.Driver.retransmissions
+
+let test_reassembly transport () =
+  (* GetData(6000) needs a multi-fragment result; the shared-memory
+     path hands the value across without fragmentation — both must
+     deliver the same outcome. *)
+  let w = World.create ~idle_load:false () in
+  let o = Driver.run w ~transport ~threads:1 ~calls:5 ~proc:(Driver.Get_data 6000) () in
+  Alcotest.(check int) "all bulk calls completed" 5 o.Driver.calls
+
+let test_retransmit_sim () =
+  let w = World.create ~idle_load:false () in
+  let rng = Sim.Engine.rng w.World.eng in
+  Hw.Ether_link.set_fault_injector w.World.link
+    (Some
+       (fun _ ->
+         if Sim.Rng.bool rng ~p:0.2 then Hw.Ether_link.Drop else Hw.Ether_link.Deliver));
+  let options =
+    { Rpc.Runtime.retransmit_after = Sim.Time.ms 50; max_retries = 100; backoff = None }
+  in
+  let o = Driver.run w ~options ~threads:1 ~calls:30 ~proc:Driver.Null () in
+  Alcotest.(check int) "all calls completed despite 20% loss" 30 o.Driver.calls;
+  Alcotest.(check bool) "losses forced retransmissions" true (o.Driver.retransmissions > 0)
+
+(* {1 The shared malformed-frame corpus}
+
+   One valid frame, mutated: truncations at representative lengths and
+   bit flips at offsets the IP or UDP checksum covers.  Every backend's
+   receive side runs Frames.parse, so every mutant must be rejected —
+   here directly, and below through a real socket. *)
+
+let valid_frame tmg =
+  let payload = Ti.pattern 64 in
+  let hdr =
+    {
+      Rpc.Proto.ptype = Rpc.Proto.Call;
+      please_ack = false;
+      no_frag_ack = false;
+      secured = false;
+      activity =
+        {
+          Rpc.Proto.Activity.caller_ip = Us.caller_endpoint.Rpc.Frames.ip;
+          caller_space = 1;
+          thread = 1;
+        };
+      seq = 1;
+      server_space = 1;
+      interface_id = Rpc.Idl.interface_id Ti.interface;
+      proc_idx = Ti.null_idx;
+      frag_idx = 0;
+      frag_count = 1;
+      data_len = 0;
+      checksum = 0;
+    }
+  in
+  Rpc.Frames.build tmg ~src:Us.caller_endpoint ~dst:Us.server_endpoint ~hdr ~payload
+    ~payload_pos:0 ~payload_len:64
+
+let corpus tmg =
+  let frame = valid_frame tmg in
+  let n = Bytes.length frame in
+  let truncations =
+    List.filter_map
+      (fun len -> if len < n then Some (Bytes.sub frame 0 len) else None)
+      [ 0; 7; 13; 14; 33; 34; 41; 42; 73; n - 1 ]
+  in
+  (* Flips beyond offset 14 sit under the IP or UDP checksum. *)
+  let flips =
+    List.map
+      (fun off ->
+        let b = Bytes.copy frame in
+        Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x10));
+        b)
+      [ 14; 20; 25; 34; 40; 42; 60; n - 1 ]
+  in
+  (frame, truncations @ flips)
+
+let test_malformed_corpus () =
+  let tmg = Us.timing () in
+  let frame, mutants = corpus tmg in
+  (match Rpc.Frames.parse tmg frame with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "the valid frame must parse: %s" e);
+  List.iteri
+    (fun i m ->
+      match Rpc.Frames.parse tmg m with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "mutant %d (len %d) was accepted" i (Bytes.length m))
+    mutants
+
+(* {1 The real loopback UDP socket backend} *)
+
+let with_socket f =
+  if not (Us.available ()) then Alcotest.skip ()
+  else begin
+    let intf = Ti.interface in
+    match Us.start_server ~intf ~impls:(Realnet.Crossval.test_impls ()) () with
+    | Error e -> Alcotest.failf "start_server: %s" e
+    | Ok server ->
+      Fun.protect ~finally:(fun () -> Us.stop_server server) @@ fun () -> f server intf
+  end
+
+let connect_exn ?capture ?send_filter ?retransmit_after ?max_retries server intf =
+  match
+    Us.connect ?capture ?send_filter ?retransmit_after ?max_retries
+      ~port:(Us.server_port server) ~intf ()
+  with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" e
+
+let test_socket_roundtrip () =
+  with_socket @@ fun server intf ->
+  let c = connect_exn server intf in
+  Fun.protect ~finally:(fun () -> Us.close c) @@ fun () ->
+  Alcotest.(check int) "Null returns no results" 0
+    (List.length (Us.call c ~proc_idx:Ti.null_idx ~args:[]));
+  (* MaxArg's 1442-byte marshalled payload crosses the 1440-byte
+     fragment bound: a stop-and-wait fragmented *call*. *)
+  let arg = Ti.pattern Ti.buffer_bytes in
+  ignore (Us.call c ~proc_idx:Ti.max_arg_idx ~args:[ Rpc.Marshal.V_bytes arg ]);
+  match Us.call c ~proc_idx:Ti.max_result_idx ~args:[ Rpc.Marshal.V_bytes Bytes.empty ] with
+  | [ Rpc.Marshal.V_bytes b ] ->
+    Alcotest.(check bool) "MaxResult returns the pattern" true (Bytes.equal b arg)
+  | _ -> Alcotest.fail "MaxResult: unexpected result shape"
+
+let test_socket_reassembly () =
+  with_socket @@ fun server intf ->
+  let c = connect_exn server intf in
+  Fun.protect ~finally:(fun () -> Us.close c) @@ fun () ->
+  let len = 6000 in
+  match
+    Us.call c ~proc_idx:Ti.get_data_idx
+      ~args:[ Rpc.Marshal.V_int (Int32.of_int len); Rpc.Marshal.V_bytes Bytes.empty ]
+  with
+  | [ _; Rpc.Marshal.V_bytes b ] | [ Rpc.Marshal.V_bytes b ] ->
+    Alcotest.(check int) "multi-fragment result reassembled to full length" len
+      (Bytes.length b);
+    Alcotest.(check bool) "reassembled bytes are the pattern" true
+      (Bytes.equal b (Ti.pattern len))
+  | _ -> Alcotest.fail "GetData: unexpected result shape"
+
+let test_socket_retransmit () =
+  with_socket @@ fun server intf ->
+  let dropped = ref 0 in
+  (* Drop the first two frames the client sends; the retransmission
+     loop must push the call through anyway. *)
+  let send_filter _ =
+    if !dropped < 2 then begin
+      incr dropped;
+      false
+    end
+    else true
+  in
+  let c = connect_exn ~send_filter ~retransmit_after:0.02 ~max_retries:20 server intf in
+  Fun.protect ~finally:(fun () -> Us.close c) @@ fun () ->
+  ignore (Us.call c ~proc_idx:Ti.null_idx ~args:[]);
+  Alcotest.(check int) "the filter really dropped frames" 2 !dropped
+
+let test_socket_rejects_malformed () =
+  with_socket @@ fun server intf ->
+  let c = connect_exn server intf in
+  Fun.protect ~finally:(fun () -> Us.close c) @@ fun () ->
+  let _, mutants = corpus (Us.timing ()) in
+  List.iter (fun m -> if Bytes.length m > 0 then Us.send_raw c m) mutants;
+  let sent = List.length (List.filter (fun m -> Bytes.length m > 0) mutants) in
+  (* The call's datagram arrives after the mutants (same flow, in
+     order), so a completed call means they were all processed. *)
+  ignore (Us.call c ~proc_idx:Ti.null_idx ~args:[]);
+  Alcotest.(check int) "every malformed datagram was rejected" sent
+    (Us.server_rejected server);
+  ignore (Us.call c ~proc_idx:Ti.null_idx ~args:[])
+
+let test_socket_wire_bytes () =
+  (* The acceptance criterion: the first frame of a Null call on the
+     loopback wire is byte-identical to what the simulated encoder
+     produces for the same header. *)
+  with_socket @@ fun server intf ->
+  let first_tx = ref None in
+  let capture ~dir b =
+    match (dir, !first_tx) with `Tx, None -> first_tx := Some b | _ -> ()
+  in
+  let c = connect_exn ~capture server intf in
+  Fun.protect ~finally:(fun () -> Us.close c) @@ fun () ->
+  ignore (Us.call c ~proc_idx:Ti.null_idx ~args:[]);
+  let tmg = Us.timing () in
+  let hdr =
+    {
+      Rpc.Proto.ptype = Rpc.Proto.Call;
+      please_ack = false;
+      no_frag_ack = false;
+      secured = false;
+      activity =
+        {
+          Rpc.Proto.Activity.caller_ip = Us.caller_endpoint.Rpc.Frames.ip;
+          caller_space = 1;
+          thread = 1;
+        };
+      seq = 1;
+      server_space = 1;
+      interface_id = Rpc.Idl.interface_id intf;
+      proc_idx = Ti.null_idx;
+      frag_idx = 0;
+      frag_count = 1;
+      data_len = 0;
+      checksum = 0;
+    }
+  in
+  let expected =
+    Rpc.Frames.build tmg ~src:Us.caller_endpoint ~dst:Us.server_endpoint ~hdr
+      ~payload:Bytes.empty ~payload_pos:0 ~payload_len:0
+  in
+  match !first_tx with
+  | None -> Alcotest.fail "nothing captured"
+  | Some got ->
+    Alcotest.(check int) "frame length" (Bytes.length expected) (Bytes.length got);
+    Alcotest.(check bool) "on-wire bytes identical to the simulated encoder" true
+      (Bytes.equal expected got)
+
+let transport_pack () =
+  (* The Transport.S instance dispatches a real call. *)
+  with_socket @@ fun server intf ->
+  let c = connect_exn server intf in
+  Fun.protect ~finally:(fun () -> Us.close c) @@ fun () ->
+  let module T = Us.Socket_transport in
+  Alcotest.(check string) "kind" "socket" (Rpc.Transport.kind_to_string T.kind);
+  Alcotest.(check string) "interface" "Test" (T.interface c).Rpc.Idl.intf_name;
+  Alcotest.(check int) "invoke dispatches" 0
+    (List.length (T.invoke c () () ~proc_idx:Ti.null_idx ~args:[]))
+
+let () =
+  let sim_cases =
+    List.concat_map
+      (fun (name, tr) ->
+        [
+          Alcotest.test_case (name ^ " round trip") `Quick (test_roundtrip tr);
+          Alcotest.test_case (name ^ " fragment reassembly") `Quick (test_reassembly tr);
+        ])
+      sim_transports
+  in
+  Alcotest.run "transport"
+    [
+      ("conformance-sim", sim_cases @ [ Alcotest.test_case "sim retransmit under loss" `Quick test_retransmit_sim ]);
+      ("malformed", [ Alcotest.test_case "shared corpus rejected" `Quick test_malformed_corpus ]);
+      ( "conformance-socket",
+        [
+          Alcotest.test_case "socket round trip" `Quick test_socket_roundtrip;
+          Alcotest.test_case "socket fragment reassembly" `Quick test_socket_reassembly;
+          Alcotest.test_case "socket retransmit under loss" `Quick test_socket_retransmit;
+          Alcotest.test_case "socket rejects malformed frames" `Quick
+            test_socket_rejects_malformed;
+          Alcotest.test_case "socket wire bytes = simulated bytes" `Quick
+            test_socket_wire_bytes;
+          Alcotest.test_case "Transport.S instance" `Quick transport_pack;
+        ] );
+    ]
