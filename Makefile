@@ -10,7 +10,7 @@
 JOBS ?=
 JOBS_FLAG = $(if $(JOBS),--jobs $(JOBS),)
 
-.PHONY: all build test check sim-check sim-matrix fuzz bench bench-json socket-smoke clean
+.PHONY: all build test check sim-check sim-matrix fuzz fleet bench bench-json socket-smoke clean
 
 all: build
 
@@ -41,6 +41,13 @@ fuzz: build
 	dune exec bin/firefly.exe -- fuzz --canary --seed 1 --iters 5000
 	dune exec bin/firefly.exe -- fuzz --seed 1 --iters 50000 --corpus-dir fuzz-failures
 
+# Fleet smoke: a 4-node 200-call incast through the switched topology,
+# with the scenario invariants checked (conservation, no leaked sinks,
+# no stuck callers) and a Perfetto trace of the run written out.
+fleet: build
+	dune exec bin/firefly.exe -- fleet --nodes 4 --clients 16 --calls 200 \
+	  --scenario incast --check --trace --out fleet-incast.trace.json
+
 # Real loopback-UDP smoke: null and maxarg over 127.0.0.1 with the
 # simulator's exact frame bytes, printed as measured-vs-calibrated
 # cross-validation.  Exits 0 with a message where sockets are
@@ -55,10 +62,10 @@ bench: build
 
 # Refresh the checked-in microbenchmark baseline (quick tables so the
 # run stays short; the kernel numbers are measured the same either way).
-# BENCH_7.json superseded BENCH_5.json when the tracing-overhead
-# measurements (spans-off vs spans-on) were added.
+# BENCH_9.json superseded BENCH_7.json when the fleet-scenario
+# throughput probe (events/sec for a 4-node incast) was added.
 bench-json: build
-	dune exec bench/main.exe -- --quick --json BENCH_7.json $(JOBS_FLAG)
+	dune exec bench/main.exe -- --quick --json BENCH_9.json $(JOBS_FLAG)
 
 clean:
 	dune clean

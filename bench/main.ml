@@ -13,9 +13,10 @@
    [--microbench] additionally runs Bechamel microbenchmarks of the
    genuinely computational kernels (checksums, marshalling, header
    codecs, event queue), measured in real wall-clock time, plus an
-   engine throughput probe (events/sec, allocated bytes/event).
+   engine throughput probe (events/sec, allocated bytes/event) and a
+   fleet-scenario throughput probe (a 4-node incast in one engine).
    [--json FILE] (implies --microbench) persists the microbenchmark
-   numbers as JSON — the checked-in BENCH_5.json baseline. *)
+   numbers as JSON — the checked-in BENCH_9.json baseline. *)
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
@@ -161,6 +162,26 @@ let measure_engine_throughput () =
   let events = Sim.Engine.events_executed eng in
   (float_of_int events /. dt, alloc /. float_of_int events)
 
+(* Fleet throughput: a fixed 4-node 200-call incast scenario — many
+   machines, a switch, generators and per-node pools all live in one
+   engine — measured in real time.  Events/sec here is the number that
+   says whether fleet-scale studies are affordable; the simulated
+   calls/sec is deterministic and doubles as a drift canary. *)
+let measure_fleet_throughput () =
+  let spec =
+    {
+      Fleet.Scenario.default with
+      Fleet.Scenario.s_clients = 16;
+      s_calls = 200;
+      s_kind = Fleet.Scenario.Incast;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let report, _ = Fleet.Scenario.run spec in
+  let dt = Unix.gettimeofday () -. t0 in
+  let events = report.Fleet.Scenario.r_events in
+  (float_of_int events /. dt, events, report.Fleet.Scenario.r_rate_per_sec)
+
 (* Tracing overhead: the same sequential Null-RPC workload run twice —
    span recording disabled, then enabled — in real time and real
    allocation.  The spans-off run is the cost everyone pays (it must
@@ -260,11 +281,21 @@ let run_microbench () =
   say "  %-32s %11.1f%% events/sec, %+.1f bytes alloc/event" "tracing-overhead"
     (100. *. ((off_eps /. on_eps) -. 1.))
     (on_ape -. off_ape);
-  (kernels, events_per_sec, alloc_per_event, ((off_eps, off_ape), (on_eps, on_ape, on_spans)))
+  let fleet_eps, fleet_events, fleet_rate = measure_fleet_throughput () in
+  say "  %-32s %12.0f events/sec  (%d events, %.0f simulated calls/sec)"
+    "fleet-incast-4x200" fleet_eps fleet_events fleet_rate;
+  ( kernels,
+    events_per_sec,
+    alloc_per_event,
+    ((off_eps, off_ape), (on_eps, on_ape, on_spans)),
+    (fleet_eps, fleet_events, fleet_rate) )
 
 let write_json ~file ~quick
-    (kernels, events_per_sec, alloc_per_event, ((off_eps, off_ape), (on_eps, on_ape, on_spans)))
-    =
+    ( kernels,
+      events_per_sec,
+      alloc_per_event,
+      ((off_eps, off_ape), (on_eps, on_ape, on_spans)),
+      (fleet_eps, fleet_events, fleet_rate) ) =
   let open Obs.Json in
   let null_rpc =
     match List.assoc_opt "kernels/simulated-null-rpc" kernels with
@@ -274,7 +305,7 @@ let write_json ~file ~quick
   let doc =
     Obj
       [
-        ("schema", Str "firefly-bench/2");
+        ("schema", Str "firefly-bench/3");
         ("quick", Bool quick);
         ("kernels_ns_per_iter", Obj (List.map (fun (n, v) -> (n, Num v)) kernels));
         ("simulated_null_rpc_ns", null_rpc);
@@ -289,6 +320,13 @@ let write_json ~file ~quick
               ("spans_on_alloc_bytes_per_event", Num on_ape);
               ("spans_recorded", Num (float_of_int on_spans));
               ("slowdown_frac", Num ((off_eps /. on_eps) -. 1.));
+            ] );
+        ( "fleet_incast",
+          Obj
+            [
+              ("events_per_sec", Num fleet_eps);
+              ("events", Num (float_of_int fleet_events));
+              ("sim_calls_per_sec", Num fleet_rate);
             ] );
       ]
   in

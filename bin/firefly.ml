@@ -729,6 +729,210 @@ let check_cmd =
         (const run $ seeds $ base_seed $ threads $ calls $ payload $ bug $ fifo $ max_steps
         $ matrix $ uniproc $ streaming $ secured $ out_dir $ verbose $ jobs_term))
 
+(* {1 firefly fleet} *)
+
+let fleet_cmd =
+  let run nodes clients calls arrival rate alpha think scenario seed seeds jobs payload
+      straggler_speedup switch_latency egress_capacity check trace out =
+    if nodes < 2 then Error (`Msg "--nodes must be >= 2")
+    else if clients < 1 then Error (`Msg "--clients must be >= 1")
+    else if calls < 1 then Error (`Msg "--calls must be >= 1")
+    else if seeds < 1 then Error (`Msg "--seeds must be >= 1")
+    else if jobs < 1 then Error (`Msg "--jobs must be >= 1")
+    else if rate <= 0. then Error (`Msg "--rate must be > 0")
+    else begin
+      let arrival =
+        match arrival with
+        | `Poisson -> Fleet.Gen.Poisson { rate_per_sec = rate }
+        | `Pareto -> Fleet.Gen.Pareto { alpha; rate_per_sec = rate }
+        | `Closed -> Fleet.Gen.Closed { think_us = think }
+      in
+      let kind =
+        match Fleet.Scenario.kind_of_string scenario with
+        | Some k -> k
+        | None -> assert false
+      in
+      let spec =
+        {
+          Fleet.Scenario.s_nodes = nodes;
+          s_clients = clients;
+          s_calls = calls;
+          s_arrival = arrival;
+          s_kind = kind;
+          s_seed = seed;
+          s_payload = payload;
+          s_straggler_speedup = straggler_speedup;
+          s_switch_latency_us = switch_latency;
+          s_egress_capacity = egress_capacity;
+        }
+      in
+      let run_one seed =
+        let spec = { spec with Fleet.Scenario.s_seed = seed } in
+        let trace = trace || out <> None in
+        let report, artifacts = Fleet.Scenario.run ~trace spec in
+        (report, artifacts, Fleet.Scenario.render report)
+      in
+      let results =
+        if seeds = 1 || jobs <= 1 then
+          List.map run_one (List.init seeds (fun i -> seed + i))
+        else
+          (* Each seed's cluster owns its engine, so seeds fan out over
+             worker domains; rendering to strings and printing in seed
+             order keeps the output identical to the serial path. *)
+          Par.Pool.map_list ~jobs run_one (List.init seeds (fun i -> seed + i))
+      in
+      List.iteri
+        (fun i (_, _, body) ->
+          if i > 0 then say "";
+          if seeds > 1 then say "### seed %d" (seed + i);
+          print_string body)
+        results;
+      (match out with
+      | Some path ->
+        let _, artifacts, _ = List.hd results in
+        let json =
+          Obs.Trace_export.chrome_trace
+            ~journal:artifacts.Fleet.Scenario.a_obs.Obs.Ctx.journal
+            ~spans:artifacts.Fleet.Scenario.a_spans ()
+        in
+        Obs.Trace_export.write_file ~path json;
+        say "wrote %d spans to %s — open at https://ui.perfetto.dev"
+          (List.length artifacts.Fleet.Scenario.a_spans)
+          path
+      | None -> ());
+      if not check then Ok ()
+      else begin
+        let failures =
+          List.concat_map
+            (fun (report, _, _) ->
+              match Fleet.Scenario.check report with Ok () -> [] | Error es -> es)
+            results
+        in
+        match failures with
+        | [] ->
+          say "check: OK — conservation, quiescence and concurrency invariants hold";
+          Ok ()
+        | es ->
+          List.iter (fun m -> say "check: FAIL — %s" m) es;
+          Stdlib.exit 1
+      end
+    end
+  in
+  let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Machines in the cluster.") in
+  let clients =
+    Arg.(value & opt int 16 & info [ "clients" ] ~doc:"Client slots fleet-wide.")
+  in
+  let calls = Arg.(value & opt int 400 & info [ "calls" ] ~doc:"Total calls to issue.") in
+  let arrival =
+    Arg.(
+      value
+      & opt (enum [ ("poisson", `Poisson); ("pareto", `Pareto); ("closed", `Closed) ]) `Closed
+      & info [ "arrival" ]
+          ~doc:
+            "Arrival process: $(b,closed) (concurrency-bounded loop, default), $(b,poisson) \
+             (open-loop, exponential inter-arrivals) or $(b,pareto) (open-loop, heavy-tailed \
+             inter-arrivals).")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt float 200.
+      & info [ "rate" ] ~docv:"PER_SEC"
+          ~doc:
+            "Fleet-wide offered load for the open-loop arrivals (calls per second).  The \
+             4-node fleet sustains roughly 350 closed-loop calls/s; offering more than that \
+             open-loop demonstrates divergence, not throughput.")
+  in
+  let alpha =
+    Arg.(
+      value
+      & opt float 1.5
+      & info [ "alpha" ] ~doc:"Pareto tail index (must be > 1 so the mean exists).")
+  in
+  let think =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "think" ] ~docv:"US" ~doc:"Closed-loop think time between calls (microseconds).")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (enum [ ("uniform", "uniform"); ("incast", "incast"); ("straggler", "straggler") ])
+          "uniform"
+      & info [ "scenario" ]
+          ~doc:
+            "Placement: $(b,uniform) (every node serves and calls), $(b,incast) (node 0 is the \
+             only server) or $(b,straggler) (uniform with the last node's CPUs slowed).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"First simulation seed.") in
+  let seeds =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "seeds" ] ~docv:"N" ~doc:"Run N seeds (seed, seed+1, ...) and print each report.")
+  in
+  let payload =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "payload" ] ~docv:"BYTES"
+          ~doc:"Result payload: 0 calls Null(), otherwise GetData($(docv)).")
+  in
+  let straggler_speedup =
+    Arg.(
+      value
+      & opt float 0.25
+      & info [ "straggler-speedup" ]
+          ~doc:"Straggler node CPU speed relative to the rest (only with --scenario straggler).")
+  in
+  let switch_latency =
+    Arg.(
+      value
+      & opt float 10.
+      & info [ "switch-latency" ] ~docv:"US" ~doc:"Switch fabric latency (microseconds).")
+  in
+  let egress_capacity =
+    Arg.(
+      value
+      & opt int 32
+      & info [ "egress-capacity" ] ~docv:"FRAMES"
+          ~doc:"Per-port egress queue bound; overflow frames are dropped (incast loss).")
+  in
+  let check =
+    Arg.(
+      value
+      & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit non-zero unless conservation (issued = completed + failed), quiescence (no \
+             leaked fragment sinks, no stuck callers) and the closed-loop concurrency bound \
+             hold.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Record simulator spans during the run.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the first seed's Perfetto/chrome://tracing JSON timeline to $(docv) \
+             (implies $(b,--trace)).")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run an N-node fleet scenario over the switched topology: uniform, incast or straggler \
+          placement, open-loop (Poisson/Pareto) or closed-loop clients, per-node and fleet-wide \
+          p50/p99/p99.9 and a saturation breakdown naming the first bottleneck.")
+    Term.(
+      term_result ~usage:true
+        (const run $ nodes $ clients $ calls $ arrival $ rate $ alpha $ think $ scenario $ seed
+        $ seeds $ jobs_term $ payload $ straggler_speedup $ switch_latency $ egress_capacity
+        $ check $ trace $ out))
+
 (* {1 firefly fuzz} *)
 
 let fuzz_cmd =
@@ -840,6 +1044,7 @@ let () =
             trace_cmd;
             breakdown_cmd;
             profile_cmd;
+            fleet_cmd;
             check_cmd;
             fuzz_cmd;
           ]))

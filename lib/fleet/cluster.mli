@@ -1,0 +1,73 @@
+(** An N-node cluster: one engine, a switched topology, N machines each
+    on its own switch port with its own RPC node/runtime and receive
+    buffer pool, a shared name service, and per-node + fleet-wide
+    latency histograms in one {!Obs.Ctx}.
+
+    The 2-machine {!Workload.World} remains the paper-reproduction
+    path; a cluster is what the fleet scenarios and the scale tests
+    build on. *)
+
+type node = {
+  nd_id : int;
+  nd_name : string;  (** ["node<i>"] — also the node's metrics site *)
+  nd_machine : Nub.Machine.t;
+  nd_rpc : Rpc.Node.t;
+  nd_rt : Rpc.Runtime.t;
+  nd_hist : Obs.Metrics.Histogram.t;
+      (** latency (us) of calls {e issued from} this node *)
+}
+
+type t = {
+  cl_eng : Sim.Engine.t;
+  cl_obs : Obs.Ctx.t;
+  cl_switch : Topology.t;
+  cl_nodes : node array;
+  cl_names : Nameserv.t;
+  cl_fleet_hist : Obs.Metrics.Histogram.t;
+      (** every call latency fleet-wide, site ["fleet"] *)
+}
+
+val create :
+  ?seed:int ->
+  ?config:Hw.Config.t ->
+  ?config_of:(int -> Hw.Config.t) ->
+  ?switch_latency:Sim.Time.span ->
+  ?egress_capacity:int ->
+  ?pool_buffers:int ->
+  ?idle_load:bool ->
+  ?obs:Obs.Ctx.t ->
+  nodes:int ->
+  unit ->
+  t
+(** [config_of i] (default: the constant [config], default
+    {!Hw.Config.default}) picks node [i]'s machine configuration —
+    how straggler scenarios slow one server down.  [idle_load] defaults
+    to [false]: fleet tails are measured without the paper's background
+    load unless asked for.
+    @raise Invalid_argument if [nodes < 2] or above the addressing
+    limit (200). *)
+
+val node : t -> int -> node
+val nodes : t -> int
+
+val export_service :
+  t -> node:int -> service:string -> ?workers:int -> unit -> unit
+(** Exports the standard {!Workload.Test_interface} from node [node]'s
+    runtime under [service] (default 8 workers) and registers it with
+    the name service. *)
+
+val resolve :
+  t -> node:int -> service:string -> ?options:Rpc.Runtime.call_options -> unit -> Nameserv.binding
+(** Resolve [service] for a client on node [node]. *)
+
+val run_until_quiet : ?limit:Sim.Time.span -> t -> Sim.Gate.t -> unit
+(** Like {!Workload.World.run_until_quiet}: drive the engine until the
+    gate opens, failing after [limit] (default 600 simulated seconds). *)
+
+val leaked_sinks : t -> int
+(** Sum of registered fragment sinks across all nodes — nonzero at
+    quiescence means a server worker leaked one. *)
+
+val stuck_callers : t -> int
+(** Sum of outstanding caller registrations across all nodes — nonzero
+    at quiescence means a caller thread never completed. *)

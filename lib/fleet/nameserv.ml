@@ -1,0 +1,85 @@
+type entry = { mutable e_rt : Rpc.Runtime.t; mutable e_gen : int; e_intf : Rpc.Idl.interface }
+
+type binding = {
+  b_service : string;
+  b_generation : int;
+  b_node_name : string;
+  b_rpc : Rpc.Runtime.binding;
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutable n_lookups : int;
+  mutable n_rebinds : int;
+  mutable n_stale : int;
+}
+
+let create () = { table = Hashtbl.create 16; n_lookups = 0; n_rebinds = 0; n_stale = 0 }
+
+let register t ~service ~intf rt =
+  if Hashtbl.mem t.table service then
+    invalid_arg (Printf.sprintf "Nameserv.register: %s already registered" service);
+  if not (Rpc.Runtime.is_exported rt intf) then
+    invalid_arg
+      (Printf.sprintf "Nameserv.register: %s is not exported on the given runtime" service);
+  Hashtbl.replace t.table service { e_rt = rt; e_gen = 0; e_intf = intf }
+
+let rebind t ~service rt =
+  match Hashtbl.find_opt t.table service with
+  | None -> invalid_arg (Printf.sprintf "Nameserv.rebind: unknown service %s" service)
+  | Some e ->
+    if not (Rpc.Runtime.is_exported rt e.e_intf) then
+      invalid_arg
+        (Printf.sprintf "Nameserv.rebind: %s is not exported on the new runtime" service);
+    e.e_rt <- rt;
+    e.e_gen <- e.e_gen + 1;
+    t.n_rebinds <- t.n_rebinds + 1
+
+let resolve t ?options client ~service =
+  t.n_lookups <- t.n_lookups + 1;
+  match Hashtbl.find_opt t.table service with
+  | None -> Rpc.Rpc_error.fail (Rpc.Rpc_error.Unbound_interface service)
+  | Some e ->
+    let server_machine = Rpc.Runtime.machine e.e_rt in
+    let options =
+      match options with
+      | Some o -> o
+      | None -> Rpc.Runtime.default_options client
+    in
+    let rpc =
+      if Rpc.Runtime.machine client == server_machine then
+        Rpc.Runtime.bind_local client ~server:e.e_rt e.e_intf ~options
+      else
+        Rpc.Runtime.bind_ether client
+          ~dst:
+            {
+              Rpc.Frames.mac = Nub.Machine.mac server_machine;
+              ip = Nub.Machine.ip server_machine;
+            }
+          ~server_space:(Rpc.Runtime.space e.e_rt) e.e_intf ~options
+    in
+    {
+      b_service = service;
+      b_generation = e.e_gen;
+      b_node_name = Nub.Machine.name server_machine;
+      b_rpc = rpc;
+    }
+
+let is_stale t b =
+  let stale =
+    match Hashtbl.find_opt t.table b.b_service with
+    | None -> true
+    | Some e -> e.e_gen <> b.b_generation
+  in
+  if stale then t.n_stale <- t.n_stale + 1;
+  stale
+
+let generation t ~service =
+  Option.map (fun e -> e.e_gen) (Hashtbl.find_opt t.table service)
+
+let services t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
+
+let lookups t = t.n_lookups
+let rebinds t = t.n_rebinds
+let stale_hits t = t.n_stale

@@ -1,0 +1,55 @@
+(** The fleet binding service: clients resolve servers by service name.
+
+    A generalization of {!Rpc.Binder} for N-node clusters: each service
+    name maps to the runtime currently exporting it, stamped with a
+    {e generation} that increments on every rebind.  A client's binding
+    carries the generation it resolved, so after a service moves
+    (failover, rebalancing) the stale binding is detectable — and, like
+    the paper's binder, resolution itself is a zero-cost oracle; the
+    measured path is the established binding. *)
+
+type t
+
+type binding = {
+  b_service : string;
+  b_generation : int;  (** the service generation this binding resolved *)
+  b_node_name : string;  (** exporter's machine name at resolve time *)
+  b_rpc : Rpc.Runtime.binding;  (** the transport-level binding to call on *)
+}
+
+val create : unit -> t
+
+val register : t -> service:string -> intf:Rpc.Idl.interface -> Rpc.Runtime.t -> unit
+(** Announces that [rt] exports [intf] under [service] (the interface
+    must already be exported on the runtime — the name service does not
+    start workers).  Fresh services begin at generation 0.
+    @raise Invalid_argument if [service] is already registered or the
+    runtime does not export [intf]. *)
+
+val rebind : t -> service:string -> Rpc.Runtime.t -> unit
+(** Moves [service] to a new exporting runtime and bumps its
+    generation; existing bindings become stale.
+    @raise Invalid_argument if [service] is unknown or the new runtime
+    does not export the service's interface. *)
+
+val resolve :
+  t -> ?options:Rpc.Runtime.call_options -> Rpc.Runtime.t -> service:string -> binding
+(** Resolves [service] for a client runtime: shared memory when the
+    exporter lives on the same machine, the packet-exchange protocol
+    over the fabric otherwise.
+    @raise Rpc_error.Rpc ([Unbound_interface]) if nobody exports it. *)
+
+val is_stale : t -> binding -> bool
+(** Whether the service has been rebound (or dropped) since this
+    binding resolved.  Stale checks are counted. *)
+
+val generation : t -> service:string -> int option
+val services : t -> string list
+(** Registered service names, sorted. *)
+
+(** {1 Statistics} *)
+
+val lookups : t -> int
+val rebinds : t -> int
+val stale_hits : t -> int
+(** How many {!is_stale} checks returned [true]. *)

@@ -22,6 +22,7 @@ type t = {
   mbps : float;
   medium : Sim.Resource.t;
   stations : (Net.Mac.t, station) Hashtbl.t;
+  mutable uplink : (src:Net.Mac.t -> frame:Bytes.t -> wire:Time.span -> unit) option;
   mutable injector : (Bytes.t -> fault) option;
   mutable held : held_frame option;
   mutable held_gen : int;
@@ -42,6 +43,7 @@ let create ?obs eng ~mbps =
       mbps;
       medium = Sim.Resource.create eng ~name:"ethernet" ~capacity:1;
       stations = Hashtbl.create 8;
+      uplink = None;
       injector = None;
       held = None;
       held_gen = 0;
@@ -84,6 +86,7 @@ let interframe_gap t = Time.us_f (96. /. t.mbps)
 let interframe_span = interframe_gap
 
 let set_fault_injector t f = t.injector <- f
+let set_uplink t f = t.uplink <- f
 
 (* Corrupt one byte past [lo], mimicking the DEQNA's post-CRC memory
    errors: the frame still demultiplexes, only the end-to-end checksum
@@ -107,7 +110,14 @@ let deliver t ~src frame ~wire =
   else
     match Hashtbl.find_opt t.stations dst with
     | Some st -> notify st
-    | None -> () (* no such station: frame disappears into the ether *)
+    | None -> (
+      (* No station on this segment owns the destination MAC.  With an
+         uplink (a switch port bridging segments, library [fleet]) the
+         frame is handed there; otherwise it disappears into the ether,
+         exactly as before. *)
+      match t.uplink with
+      | Some up -> up ~src ~frame ~wire
+      | None -> ())
 
 let release_held t =
   match t.held with

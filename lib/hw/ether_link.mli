@@ -67,6 +67,16 @@ val interframe_span : t -> Sim.Time.span
 
 val set_fault_injector : t -> (Stdlib.Bytes.t -> fault) option -> unit
 
+val set_uplink :
+  t -> (src:Net.Mac.t -> frame:Stdlib.Bytes.t -> wire:Sim.Time.span -> unit) option -> unit
+(** The segment's bridge to the rest of a larger network: a unicast
+    frame whose destination MAC matches no attached station is handed to
+    the uplink (at transmission start, with its wire time) instead of
+    vanishing.  A switch port (library [fleet]) registers itself here;
+    [None] — the default — keeps the classic single-segment behaviour,
+    so the two-machine reproduction is untouched.  Broadcast frames stay
+    on their segment. *)
+
 (** {1 Statistics} *)
 
 val frames_carried : t -> int

@@ -239,6 +239,48 @@ let test_improvements () =
   Alcotest.(check bool) "4.2.6 saves on Null" true
     (r426.Experiments.Improvements.sim_null_saving_us > 50.)
 
+let test_improvements_sign_consistency () =
+  (* Every §4.2 change the paper estimates as a saving must also come
+     out as a saving (not a regression) when actually re-simulated —
+     catching a config toggle that silently starts costing time. *)
+  List.iter
+    (fun r ->
+      let same_sign name paper sim =
+        Alcotest.(check bool)
+          (Printf.sprintf "%s %s: sim %.0fus agrees in sign with paper %.0fus"
+             r.Experiments.Improvements.change name sim paper)
+          true
+          ((paper > 0. && sim > 0.) || (paper < 0. && sim < 0.) || paper = 0.)
+      in
+      same_sign "Null" r.Experiments.Improvements.paper_null_saving_us
+        r.Experiments.Improvements.sim_null_saving_us;
+      same_sign "MaxResult" r.Experiments.Improvements.paper_maxr_saving_us
+        r.Experiments.Improvements.sim_maxr_saving_us)
+    (Experiments.Improvements.run ())
+
+let test_improvements_deterministic () =
+  (* The whole experiment is seeded: two runs must agree field-for-field
+     (floats included — same instruction stream, same values). *)
+  let a = Experiments.Improvements.run () in
+  let b = Experiments.Improvements.run () in
+  Alcotest.(check int) "same row count" (List.length a) (List.length b);
+  List.iter2
+    (fun ra rb ->
+      Alcotest.(check string) "same change" ra.Experiments.Improvements.change
+        rb.Experiments.Improvements.change;
+      Alcotest.(check (float 0.)) "same Null saving"
+        ra.Experiments.Improvements.sim_null_saving_us
+        rb.Experiments.Improvements.sim_null_saving_us;
+      Alcotest.(check (float 0.)) "same MaxResult saving"
+        ra.Experiments.Improvements.sim_maxr_saving_us
+        rb.Experiments.Improvements.sim_maxr_saving_us)
+    a b;
+  (* And the rendered table too, since `firefly repro improvements`
+     prints it. *)
+  Alcotest.(check string) "rendered table identical"
+    (Report.Table.render (Experiments.Improvements.table ()))
+    (Report.Table.render (Experiments.Improvements.table ()))
+
 (* {1 Section 5} *)
 
 let test_uniproc_bug () =
@@ -354,6 +396,8 @@ let suite =
     Alcotest.test_case "Table XI processor throughput" `Slow test_table11;
     Alcotest.test_case "Table XII systems comparison" `Slow test_table12;
     Alcotest.test_case "Section 4.2 improvements" `Quick test_improvements;
+    Alcotest.test_case "Section 4.2 sign consistency" `Quick test_improvements_sign_consistency;
+    Alcotest.test_case "Section 4.2 deterministic" `Quick test_improvements_deterministic;
     Alcotest.test_case "Section 5 uniprocessor bug" `Quick test_uniproc_bug;
     Alcotest.test_case "Section 5 streaming extension" `Quick test_streaming;
     Alcotest.test_case "registry runs everything" `Slow test_registry_runs_everything;

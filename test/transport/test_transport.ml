@@ -84,8 +84,7 @@ let valid_frame tmg =
   Rpc.Frames.build tmg ~src:Us.caller_endpoint ~dst:Us.server_endpoint ~hdr ~payload
     ~payload_pos:0 ~payload_len:64
 
-let corpus tmg =
-  let frame = valid_frame tmg in
+let mutants_of frame =
   let n = Bytes.length frame in
   let truncations =
     List.filter_map
@@ -101,7 +100,11 @@ let corpus tmg =
         b)
       [ 14; 20; 25; 34; 40; 42; 60; n - 1 ]
   in
-  (frame, truncations @ flips)
+  truncations @ flips
+
+let corpus tmg =
+  let frame = valid_frame tmg in
+  (frame, mutants_of frame)
 
 let test_malformed_corpus () =
   let tmg = Us.timing () in
@@ -115,6 +118,142 @@ let test_malformed_corpus () =
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "mutant %d (len %d) was accepted" i (Bytes.length m))
     mutants
+
+(* {1 The same obligations over a 3-node fleet binding}
+
+   The pairwise cases above pin the transport between two fixed
+   machines.  A fleet binding goes further: the client resolves servers
+   {e by name} through the binding service and the frames cross a
+   store-and-forward switch.  Round trips, multi-fragment reassembly
+   and the shared mutation corpus must all hold unchanged. *)
+
+module Fc = Fleet.Cluster
+
+(* A valid Call frame addressed from the fleet's client node to its
+   first server, built with the same encoder the runtimes use — the
+   fleet twin of [valid_frame]. *)
+let fleet_frame cl =
+  let machine i = (Fc.node cl i).Fc.nd_machine in
+  let ep i =
+    { Rpc.Frames.mac = Nub.Machine.mac (machine i); ip = Nub.Machine.ip (machine i) }
+  in
+  let payload = Ti.pattern 64 in
+  let hdr =
+    {
+      Rpc.Proto.ptype = Rpc.Proto.Call;
+      please_ack = false;
+      no_frag_ack = false;
+      secured = false;
+      activity =
+        {
+          Rpc.Proto.Activity.caller_ip = (ep 2).Rpc.Frames.ip;
+          caller_space = 1;
+          thread = 1;
+        };
+      seq = 1;
+      server_space = 1;
+      interface_id = Rpc.Idl.interface_id Ti.interface;
+      proc_idx = Ti.null_idx;
+      frag_idx = 0;
+      frag_count = 1;
+      data_len = 0;
+      checksum = 0;
+    }
+  in
+  Rpc.Frames.build
+    (Nub.Machine.timing (machine 0))
+    ~src:(ep 2) ~dst:(ep 0) ~hdr ~payload ~payload_pos:0 ~payload_len:64
+
+let test_fleet_binding () =
+  let cl = Fc.create ~nodes:3 () in
+  Fc.export_service cl ~node:0 ~service:"Alpha" ();
+  Fc.export_service cl ~node:1 ~service:"Beta" ();
+  let alpha = Fc.resolve cl ~node:2 ~service:"Alpha" () in
+  let beta = Fc.resolve cl ~node:2 ~service:"Beta" () in
+  Alcotest.(check string) "Alpha resolved to node0" "node0"
+    alpha.Fleet.Nameserv.b_node_name;
+  Alcotest.(check string) "Beta resolved to node1" "node1" beta.Fleet.Nameserv.b_node_name;
+  Alcotest.(check bool) "fresh bindings are not stale" false
+    (Fleet.Nameserv.is_stale cl.Fc.cl_names alpha
+    || Fleet.Nameserv.is_stale cl.Fc.cl_names beta);
+  let client = Fc.node cl 2 in
+  let gate = Sim.Gate.create cl.Fc.cl_eng in
+  let len = 6000 in
+  Nub.Machine.spawn_thread client.Fc.nd_machine ~name:"fleet-conformance" (fun () ->
+      Hw.Cpu_set.with_cpu (Nub.Machine.cpus client.Fc.nd_machine) (fun ctx ->
+          let act = Rpc.Runtime.new_client client.Fc.nd_rt in
+          for _ = 1 to 10 do
+            ignore
+              (Rpc.Runtime.call alpha.Fleet.Nameserv.b_rpc act ctx ~proc_idx:Ti.null_idx
+                 ~args:[])
+          done;
+          match
+            Rpc.Runtime.call beta.Fleet.Nameserv.b_rpc act ctx ~proc_idx:Ti.get_data_idx
+              ~args:
+                [ Rpc.Marshal.V_int (Int32.of_int len); Rpc.Marshal.V_bytes Bytes.empty ]
+          with
+          | [ _; Rpc.Marshal.V_bytes b ] | [ Rpc.Marshal.V_bytes b ] ->
+            Alcotest.(check int) "multi-fragment result crossed the switch" len
+              (Bytes.length b);
+            Alcotest.(check bool) "reassembled bytes are the pattern" true
+              (Bytes.equal b (Ti.pattern len))
+          | _ -> Alcotest.fail "GetData over the fleet: unexpected result shape");
+      Sim.Gate.open_ gate);
+  Fc.run_until_quiet cl gate;
+  Alcotest.(check int) "two name-service lookups" 2
+    (Fleet.Nameserv.lookups cl.Fc.cl_names);
+  Alcotest.(check bool) "the switch forwarded the conversation" true
+    (Fleet.Topology.frames_forwarded cl.Fc.cl_switch > 0);
+  Alcotest.(check int) "no unknown-MAC drops" 0
+    (Fleet.Topology.frames_dropped_unknown cl.Fc.cl_switch);
+  Alcotest.(check int) "no leaked fragment sinks" 0 (Fc.leaked_sinks cl);
+  Alcotest.(check int) "no stuck callers" 0 (Fc.stuck_callers cl)
+
+let test_fleet_malformed () =
+  let cl = Fc.create ~nodes:3 () in
+  Fc.export_service cl ~node:0 ~service:"Alpha" ();
+  let binding = Fc.resolve cl ~node:2 ~service:"Alpha" () in
+  let server = Fc.node cl 0 in
+  let client = Fc.node cl 2 in
+  let frame = fleet_frame cl in
+  let mutants = mutants_of frame in
+  let tmg = Nub.Machine.timing server.Fc.nd_machine in
+  (match Rpc.Frames.parse tmg frame with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "the fleet frame must parse: %s" e);
+  List.iteri
+    (fun i m ->
+      match Rpc.Frames.parse tmg m with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "fleet mutant %d (len %d) was accepted" i (Bytes.length m))
+    mutants;
+  (* And through the real receive path: every mutant long enough to be
+     a legal Ethernet frame goes onto the client's wire, crosses the
+     switch, and must be rejected by the server — which then still
+     serves the valid call that follows them. *)
+  let injectable =
+    List.filter (fun m -> Bytes.length m >= Net.Ethernet.header_size) mutants
+  in
+  let gate = Sim.Gate.create cl.Fc.cl_eng in
+  Nub.Machine.spawn_thread client.Fc.nd_machine ~name:"mutant-injector" (fun () ->
+      List.iter
+        (fun m ->
+          Hw.Ether_link.transmit
+            (Nub.Machine.link client.Fc.nd_machine)
+            ~src:(Nub.Machine.mac client.Fc.nd_machine)
+            (Bytes.copy m);
+          Sim.Engine.delay cl.Fc.cl_eng (Sim.Time.ms 1))
+        injectable;
+      Hw.Cpu_set.with_cpu (Nub.Machine.cpus client.Fc.nd_machine) (fun ctx ->
+          let act = Rpc.Runtime.new_client client.Fc.nd_rt in
+          ignore
+            (Rpc.Runtime.call binding.Fleet.Nameserv.b_rpc act ctx ~proc_idx:Ti.null_idx
+               ~args:[]));
+      Sim.Gate.open_ gate);
+  Fc.run_until_quiet cl gate;
+  Alcotest.(check bool) "mutants were injected" true (List.length injectable > 0);
+  Alcotest.(check bool) "checksum-covered mutants rejected on the server" true
+    (Rpc.Node.checksum_rejects server.Fc.nd_rpc > 0)
 
 (* {1 The real loopback UDP socket backend} *)
 
@@ -269,6 +408,13 @@ let () =
     [
       ("conformance-sim", sim_cases @ [ Alcotest.test_case "sim retransmit under loss" `Quick test_retransmit_sim ]);
       ("malformed", [ Alcotest.test_case "shared corpus rejected" `Quick test_malformed_corpus ]);
+      ( "conformance-fleet",
+        [
+          Alcotest.test_case "fleet binding round trips + reassembly" `Quick
+            test_fleet_binding;
+          Alcotest.test_case "fleet receive path rejects the corpus" `Quick
+            test_fleet_malformed;
+        ] );
       ( "conformance-socket",
         [
           Alcotest.test_case "socket round trip" `Quick test_socket_roundtrip;
