@@ -10,7 +10,7 @@
 JOBS ?=
 JOBS_FLAG = $(if $(JOBS),--jobs $(JOBS),)
 
-.PHONY: all build test check sim-check sim-matrix fuzz fleet bench bench-json socket-smoke clean
+.PHONY: all build test check sim-check sim-matrix fuzz fleet bench bench-json bench-guard socket-smoke clean
 
 all: build
 
@@ -62,10 +62,16 @@ bench: build
 
 # Refresh the checked-in microbenchmark baseline (quick tables so the
 # run stays short; the kernel numbers are measured the same either way).
-# BENCH_9.json superseded BENCH_7.json when the fleet-scenario
-# throughput probe (events/sec for a 4-node incast) was added.
+# BENCH_10.json superseded BENCH_9.json when the engine hot loop went
+# closure-free (flat events, calendar queue, retransmit timer wheel).
 bench-json: build
-	dune exec bench/main.exe -- --quick --json BENCH_9.json $(JOBS_FLAG)
+	dune exec bench/main.exe -- --quick --json BENCH_10.json $(JOBS_FLAG)
+
+# Performance-regression guard: re-measure the engine and fleet probes
+# and fail on >20% throughput loss — or any alloc-bytes-per-event
+# increase — against the checked-in baseline.
+bench-guard: build
+	dune exec bench/main.exe -- --quick --only tables2-5 --baseline BENCH_10.json $(JOBS_FLAG)
 
 clean:
 	dune clean

@@ -141,53 +141,119 @@ let microbench_tests () =
     ]
 
 (* Engine throughput: 64 interleaved event chains, half a million
-   events, measured in real time and real allocation.  [Gc.allocated_bytes]
-   counts every word the mutator allocates, so alloc/event covers the
-   scheduled closure plus whatever the event queue itself costs — the
-   number the intrusive-heap work is meant to shrink. *)
-let measure_engine_throughput () =
+   events, measured in real time and real allocation through the
+   closure-free flat path ([register_handler] + [schedule_fn]).  A
+   warmup burst populates the node freelist first, so the measured
+   window is the steady state — which allocates nothing at all:
+   [Gc.allocated_bytes] counts every word the mutator allocates, and
+   the schedule/pop/dispatch cycle touches only recycled nodes. *)
+let measure_engine_throughput ?(queue = `Heap) () =
   let chains = 64 and steps = 8192 in
+  let eng = Sim.Engine.create ~queue () in
+  let fn_ref = ref (-1) in
+  let fn =
+    Sim.Engine.register_handler eng (fun remaining _ ->
+        if remaining > 0 then
+          Sim.Engine.schedule_fn eng ~after:(Sim.Time.ns 100) ~fn:!fn_ref ~a:(remaining - 1) ~b:0)
+  in
+  fn_ref := fn;
+  for _ = 1 to chains do
+    Sim.Engine.schedule_fn eng ~after:Sim.Time.zero_span ~fn ~a:256 ~b:0
+  done;
+  Sim.Engine.run eng;
+  (* Best of three timed batches (each re-seeds the same chains on the
+     same warmed engine): the batch is ~100 ms, short enough for one
+     preemption to cost 10% of the reading. *)
+  let sample () =
+    let warm_events = Sim.Engine.events_executed eng in
+    for _ = 1 to chains do
+      Sim.Engine.schedule_fn eng ~after:Sim.Time.zero_span ~fn ~a:steps ~b:0
+    done;
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    Sim.Engine.run eng;
+    let dt = Unix.gettimeofday () -. t0 in
+    let alloc = Gc.allocated_bytes () -. a0 in
+    let events = Sim.Engine.events_executed eng - warm_events in
+    (float_of_int events /. dt, alloc /. float_of_int events)
+  in
+  let best ((e1, _) as a) ((e2, _) as b) = if e2 > e1 then b else a in
+  best (sample ()) (best (sample ()) (sample ()))
+
+(* The same chains through the closure API — the cost a caller pays for
+   not registering a handler: a closure plus the [Some] wrapper of
+   [~after] per event.  Kept as a benchmark so the gap (and any
+   regression of the cold path) stays visible. *)
+let measure_engine_closure_alloc () =
+  let chains = 64 and steps = 4096 in
   let eng = Sim.Engine.create () in
   let rec tick remaining () =
     if remaining > 0 then Sim.Engine.schedule eng ~after:(Sim.Time.ns 100) (tick (remaining - 1))
   in
   for _ = 1 to chains do
+    Sim.Engine.schedule eng (tick 256)
+  done;
+  Sim.Engine.run eng;
+  let warm_events = Sim.Engine.events_executed eng in
+  for _ = 1 to chains do
     Sim.Engine.schedule eng (tick steps)
   done;
   let a0 = Gc.allocated_bytes () in
-  let t0 = Unix.gettimeofday () in
   Sim.Engine.run eng;
-  let dt = Unix.gettimeofday () -. t0 in
   let alloc = Gc.allocated_bytes () -. a0 in
-  let events = Sim.Engine.events_executed eng in
-  (float_of_int events /. dt, alloc /. float_of_int events)
+  let events = Sim.Engine.events_executed eng - warm_events in
+  alloc /. float_of_int events
 
 (* Fleet throughput: a fixed 4-node 200-call incast scenario — many
    machines, a switch, generators and per-node pools all live in one
-   engine — measured in real time.  Events/sec here is the number that
-   says whether fleet-scale studies are affordable; the simulated
-   calls/sec is deterministic and doubles as a drift canary. *)
-let measure_fleet_throughput () =
+   engine — measured in real time and real allocation.  Events/sec here
+   is the number that says whether fleet-scale studies are affordable;
+   the simulated calls/sec is deterministic and doubles as a drift
+   canary.  A whole run is only ~10 ms of wall-clock, so one sample is
+   at the mercy of a single scheduler hiccup: an untimed warmup run
+   first, then the best of three timed runs (each run is a fresh,
+   deterministic cluster, so they are true repeats). *)
+let measure_fleet_throughput ?(queue = `Heap) () =
   let spec =
     {
       Fleet.Scenario.default with
       Fleet.Scenario.s_clients = 16;
       s_calls = 200;
       s_kind = Fleet.Scenario.Incast;
+      s_queue = queue;
     }
   in
-  let t0 = Unix.gettimeofday () in
-  let report, _ = Fleet.Scenario.run spec in
-  let dt = Unix.gettimeofday () -. t0 in
-  let events = report.Fleet.Scenario.r_events in
-  (float_of_int events /. dt, events, report.Fleet.Scenario.r_rate_per_sec)
+  let sample () =
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    let report, _ = Fleet.Scenario.run spec in
+    let dt = Unix.gettimeofday () -. t0 in
+    let alloc = Gc.allocated_bytes () -. a0 in
+    let events = report.Fleet.Scenario.r_events in
+    ( float_of_int events /. dt,
+      events,
+      report.Fleet.Scenario.r_rate_per_sec,
+      alloc /. float_of_int events )
+  in
+  ignore (sample ());
+  let best a b =
+    let e1, _, _, _ = a and e2, _, _, _ = b in
+    if e2 > e1 then b else a
+  in
+  best (sample ()) (best (sample ()) (sample ()))
 
-(* Tracing overhead: the same sequential Null-RPC workload run twice —
-   span recording disabled, then enabled — in real time and real
-   allocation.  The spans-off run is the cost everyone pays (it must
-   stay indistinguishable from a build without tracing: every recording
+(* Tracing overhead: the same sequential Null-RPC workload with span
+   recording disabled vs. enabled — in real time and real allocation.
+   The spans-off run is the cost everyone pays (it must stay
+   indistinguishable from a build without tracing: every recording
    entry point short-circuits on one flag); the spans-on run is what
-   [firefly breakdown] pays for a fully-attributed window. *)
+   [firefly breakdown] pays for a fully-attributed window.
+
+   Both arms execute the identical event mix (same world, same calls,
+   same seed); an untimed warmup world runs first and each arm is
+   measured three times with the best taken, so one cold-start or a
+   GC hiccup in either arm cannot invert the comparison — which is
+   exactly how an earlier baseline recorded tracing as a speedup. *)
 let measure_tracing_overhead () =
   let calls = 200 in
   let run ~traced =
@@ -202,8 +268,17 @@ let measure_tracing_overhead () =
     let events = Sim.Engine.events_executed w.Workload.World.eng in
     (float_of_int events /. dt, alloc /. float_of_int events, Sim.Trace.length tr)
   in
-  let off = run ~traced:false in
-  let on = run ~traced:true in
+  ignore (run ~traced:false);
+  ignore (run ~traced:true);
+  let best a b =
+    let e1, _, _ = a and e2, _, _ = b in
+    if e2 > e1 then b else a
+  in
+  let rec sample n acc_off acc_on =
+    if n = 0 then (acc_off, acc_on)
+    else sample (n - 1) (best acc_off (run ~traced:false)) (best acc_on (run ~traced:true))
+  in
+  let off, on = sample 2 (run ~traced:false) (run ~traced:true) in
   (off, on)
 
 (* Real loopback round trips over the socket backend — wall-clock
@@ -266,75 +341,167 @@ let collect_microbench () =
       | _ -> None)
     (List.sort compare rows)
 
+type micro_results = {
+  mr_kernels : (string * float) list;
+  mr_engine_eps : float;  (* flat path, pairing heap *)
+  mr_engine_ape : float;  (* alloc bytes/event, flat path — 0 in steady state *)
+  mr_engine_cal_eps : float;  (* flat path, calendar queue *)
+  mr_engine_cal_ape : float;
+  mr_closure_ape : float;  (* legacy closure path alloc bytes/event *)
+  mr_off : float * float;  (* spans-off events/sec, alloc/event *)
+  mr_on : float * float * int;  (* spans-on events/sec, alloc/event, spans *)
+  mr_fleet : float * int * float * float;  (* eps, events, sim calls/s, alloc/event *)
+  mr_fleet_cal_eps : float;
+}
+
 let run_microbench () =
   say "";
   say "### microbenchmarks (real wall-clock, Bechamel OLS ns/iter)";
   let kernels = collect_microbench () in
   List.iter (fun (name, est) -> say "  %-32s %12.1f ns/iter" name est) kernels;
-  let events_per_sec, alloc_per_event = measure_engine_throughput () in
-  say "  %-32s %12.0f events/sec" "engine-throughput" events_per_sec;
-  say "  %-32s %12.1f bytes alloc/event" "engine-allocation" alloc_per_event;
-  let ((off_eps, off_ape, _), (on_eps, on_ape, on_spans)) = measure_tracing_overhead () in
+  let engine_eps, engine_ape = measure_engine_throughput ~queue:`Heap () in
+  say "  %-32s %12.0f events/sec" "engine-throughput" engine_eps;
+  say "  %-32s %12.1f bytes alloc/event" "engine-allocation" engine_ape;
+  let cal_eps, cal_ape = measure_engine_throughput ~queue:`Calendar () in
+  say "  %-32s %12.0f events/sec  %8.1f bytes alloc/event" "engine-calendar" cal_eps cal_ape;
+  let closure_ape = measure_engine_closure_alloc () in
+  say "  %-32s %12.1f bytes alloc/event" "engine-closure-path" closure_ape;
+  let (off_eps, off_ape, _), (on_eps, on_ape, on_spans) = measure_tracing_overhead () in
   say "  %-32s %12.0f events/sec  %8.1f bytes alloc/event" "workload-spans-off" off_eps off_ape;
   say "  %-32s %12.0f events/sec  %8.1f bytes alloc/event  (%d spans)" "workload-spans-on"
     on_eps on_ape on_spans;
   say "  %-32s %11.1f%% events/sec, %+.1f bytes alloc/event" "tracing-overhead"
     (100. *. ((off_eps /. on_eps) -. 1.))
     (on_ape -. off_ape);
-  let fleet_eps, fleet_events, fleet_rate = measure_fleet_throughput () in
-  say "  %-32s %12.0f events/sec  (%d events, %.0f simulated calls/sec)"
-    "fleet-incast-4x200" fleet_eps fleet_events fleet_rate;
-  ( kernels,
-    events_per_sec,
-    alloc_per_event,
-    ((off_eps, off_ape), (on_eps, on_ape, on_spans)),
-    (fleet_eps, fleet_events, fleet_rate) )
+  let fleet_eps, fleet_events, fleet_rate, fleet_ape = measure_fleet_throughput ~queue:`Heap () in
+  say "  %-32s %12.0f events/sec  (%d events, %.0f simulated calls/sec, %.1f bytes alloc/event)"
+    "fleet-incast-4x200" fleet_eps fleet_events fleet_rate fleet_ape;
+  let fleet_cal_eps, _, _, _ = measure_fleet_throughput ~queue:`Calendar () in
+  say "  %-32s %12.0f events/sec" "fleet-incast-calendar" fleet_cal_eps;
+  {
+    mr_kernels = kernels;
+    mr_engine_eps = engine_eps;
+    mr_engine_ape = engine_ape;
+    mr_engine_cal_eps = cal_eps;
+    mr_engine_cal_ape = cal_ape;
+    mr_closure_ape = closure_ape;
+    mr_off = (off_eps, off_ape);
+    mr_on = (on_eps, on_ape, on_spans);
+    mr_fleet = (fleet_eps, fleet_events, fleet_rate, fleet_ape);
+    mr_fleet_cal_eps = fleet_cal_eps;
+  }
 
-let write_json ~file ~quick
-    ( kernels,
-      events_per_sec,
-      alloc_per_event,
-      ((off_eps, off_ape), (on_eps, on_ape, on_spans)),
-      (fleet_eps, fleet_events, fleet_rate) ) =
+let json_of_results ~quick r =
   let open Obs.Json in
   let null_rpc =
-    match List.assoc_opt "kernels/simulated-null-rpc" kernels with
+    match List.assoc_opt "kernels/simulated-null-rpc" r.mr_kernels with
     | Some ns -> Num ns
     | None -> Null
   in
-  let doc =
-    Obj
-      [
-        ("schema", Str "firefly-bench/3");
-        ("quick", Bool quick);
-        ("kernels_ns_per_iter", Obj (List.map (fun (n, v) -> (n, Num v)) kernels));
-        ("simulated_null_rpc_ns", null_rpc);
-        ("engine_events_per_sec", Num events_per_sec);
-        ("engine_alloc_bytes_per_event", Num alloc_per_event);
-        ( "tracing_overhead",
-          Obj
-            [
-              ("spans_off_events_per_sec", Num off_eps);
-              ("spans_off_alloc_bytes_per_event", Num off_ape);
-              ("spans_on_events_per_sec", Num on_eps);
-              ("spans_on_alloc_bytes_per_event", Num on_ape);
-              ("spans_recorded", Num (float_of_int on_spans));
-              ("slowdown_frac", Num ((off_eps /. on_eps) -. 1.));
-            ] );
-        ( "fleet_incast",
-          Obj
-            [
-              ("events_per_sec", Num fleet_eps);
-              ("events", Num (float_of_int fleet_events));
-              ("sim_calls_per_sec", Num fleet_rate);
-            ] );
-      ]
-  in
+  let off_eps, off_ape = r.mr_off in
+  let on_eps, on_ape, on_spans = r.mr_on in
+  let fleet_eps, fleet_events, fleet_rate, fleet_ape = r.mr_fleet in
+  Obj
+    [
+      ("schema", Str "firefly-bench/4");
+      ("quick", Bool quick);
+      ("kernels_ns_per_iter", Obj (List.map (fun (n, v) -> (n, Num v)) r.mr_kernels));
+      ("simulated_null_rpc_ns", null_rpc);
+      ("engine_events_per_sec", Num r.mr_engine_eps);
+      ("engine_alloc_bytes_per_event", Num r.mr_engine_ape);
+      ("engine_calendar_events_per_sec", Num r.mr_engine_cal_eps);
+      ("engine_calendar_alloc_bytes_per_event", Num r.mr_engine_cal_ape);
+      ("engine_closure_alloc_bytes_per_event", Num r.mr_closure_ape);
+      ( "tracing_overhead",
+        Obj
+          [
+            ("spans_off_events_per_sec", Num off_eps);
+            ("spans_off_alloc_bytes_per_event", Num off_ape);
+            ("spans_on_events_per_sec", Num on_eps);
+            ("spans_on_alloc_bytes_per_event", Num on_ape);
+            ("spans_recorded", Num (float_of_int on_spans));
+            ("slowdown_frac", Num ((off_eps /. on_eps) -. 1.));
+          ] );
+      ( "fleet_incast",
+        Obj
+          [
+            ("events_per_sec", Num fleet_eps);
+            ("events", Num (float_of_int fleet_events));
+            ("sim_calls_per_sec", Num fleet_rate);
+            ("alloc_bytes_per_event", Num fleet_ape);
+            ("calendar_events_per_sec", Num r.mr_fleet_cal_eps);
+          ] );
+    ]
+
+let write_json ~file ~quick results =
   let oc = open_out file in
-  output_string oc (to_string doc);
+  output_string oc (Obs.Json.to_string (json_of_results ~quick results));
   output_char oc '\n';
   close_out oc;
   say "  (microbenchmark JSON written to %s)" file
+
+(* {1 Performance-regression guard}
+
+   [--baseline FILE] compares this run's engine and fleet numbers
+   against a checked-in baseline JSON (BENCH_10.json): more than 20%
+   throughput loss, or any alloc-bytes-per-event increase (beyond a 1
+   byte measurement tolerance), fails the run.  Throughput gains and
+   alloc improvements pass silently — the guard is a ratchet, not a
+   pin. *)
+let check_baseline ~file r =
+  let contents =
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Obs.Json.parse contents with
+  | Error e -> failwith (Printf.sprintf "baseline %s: unparseable (%s)" file e)
+  | Ok doc ->
+    let num path j =
+      let rec walk j = function
+        | [] -> Obs.Json.num j
+        | k :: rest -> Option.bind (Obs.Json.member k j) (fun v -> walk v rest)
+      in
+      walk j path
+    in
+    let failures = ref [] in
+    let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+    let check_throughput name baseline current =
+      match baseline with
+      | None -> ()
+      | Some b when b > 0. ->
+        let floor = 0.8 *. b in
+        if current < floor then
+          fail "%s: %.0f events/sec < 80%% of baseline %.0f" name current b
+      | Some _ -> ()
+    in
+    let check_alloc name baseline current =
+      match baseline with
+      | None -> ()
+      | Some b ->
+        if current > b +. 1.0 then
+          fail "%s: %.1f bytes alloc/event > baseline %.1f" name current b
+    in
+    let fleet_eps, _, _, _ = r.mr_fleet in
+    check_throughput "engine_events_per_sec" (num [ "engine_events_per_sec" ] doc) r.mr_engine_eps;
+    check_throughput "engine_calendar_events_per_sec"
+      (num [ "engine_calendar_events_per_sec" ] doc)
+      r.mr_engine_cal_eps;
+    check_throughput "fleet_incast.events_per_sec"
+      (num [ "fleet_incast"; "events_per_sec" ] doc)
+      fleet_eps;
+    check_alloc "engine_alloc_bytes_per_event"
+      (num [ "engine_alloc_bytes_per_event" ] doc)
+      r.mr_engine_ape;
+    check_alloc "engine_calendar_alloc_bytes_per_event"
+      (num [ "engine_calendar_alloc_bytes_per_event" ] doc)
+      r.mr_engine_cal_ape;
+    (match !failures with
+    | [] -> say "  (baseline %s: within regression bounds)" file
+    | fs ->
+      List.iter (fun m -> say "  baseline REGRESSION — %s" m) (List.rev fs);
+      Stdlib.exit 1)
 
 let () =
   let quick = ref false in
@@ -343,6 +510,7 @@ let () =
   let list_only = ref false in
   let jobs = ref (Par.Pool.default_jobs ()) in
   let json = ref None in
+  let baseline = ref None in
   let transport = ref "sim" in
   let args =
     [
@@ -363,10 +531,14 @@ let () =
       ( "--json",
         Arg.String (fun s -> json := Some s),
         "FILE write microbenchmark results to FILE as JSON (implies --microbench)" );
+      ( "--baseline",
+        Arg.String (fun s -> baseline := Some s),
+        "FILE fail (exit 1) on >20% engine/fleet throughput loss or any alloc-per-event \
+         increase vs the baseline JSON (implies --microbench)" );
     ]
   in
   Arg.parse args (fun _ -> ()) "firefly-rpc benchmark harness";
-  if !json <> None then micro := true;
+  if !json <> None || !baseline <> None then micro := true;
   if !list_only then
     List.iter
       (fun e -> say "%-14s %s" e.Experiments.Registry.id e.Experiments.Registry.title)
@@ -394,8 +566,11 @@ let () =
     if !transport = "socket" then run_socket_bench ();
     if !micro then begin
       let results = run_microbench () in
-      match !json with
+      (match !json with
       | Some file -> write_json ~file ~quick:!quick results
+      | None -> ());
+      match !baseline with
+      | Some file -> check_baseline ~file results
       | None -> ()
     end
   end

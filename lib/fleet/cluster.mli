@@ -29,6 +29,7 @@ type t = {
 
 val create :
   ?seed:int ->
+  ?queue:[ `Heap | `Calendar ] ->
   ?config:Hw.Config.t ->
   ?config_of:(int -> Hw.Config.t) ->
   ?switch_latency:Sim.Time.span ->
@@ -39,7 +40,10 @@ val create :
   nodes:int ->
   unit ->
   t
-(** [config_of i] (default: the constant [config], default
+(** [queue] (default [`Heap]) selects the engine's event-queue
+    discipline (see {!Sim.Engine.create}); same-seed runs render
+    byte-identically under either.  [config_of i] (default: the
+    constant [config], default
     {!Hw.Config.default}) picks node [i]'s machine configuration —
     how straggler scenarios slow one server down.  [idle_load] defaults
     to [false]: fleet tails are measured without the paper's background

@@ -17,6 +17,11 @@ type t = {
   mutable fast : ctx:Cpu_set.ctx -> frame:Bytes.t -> verdict;
   mutable datalink : ctx:Cpu_set.ctx -> frame:Bytes.t -> unit;
   datalink_q : Bytes.t Sim.Mailbox.t;
+  (* Flat-scheduled IPI prod (registered once in [create]): every [send]
+     raises one, so routing it through the engine's closure-free event
+     path keeps the per-packet cost allocation-free up to the prod
+     process itself. *)
+  mutable ipi_prod : t -> int -> Time.span -> unit;
   c_rx : Sim.Stats.Counter.t;
   c_slow : Sim.Stats.Counter.t;
   c_drop : Sim.Stats.Counter.t;
@@ -31,6 +36,23 @@ let journal t ev =
   match t.obs with
   | None -> ()
   | Some o -> Obs.Ctx.record o ~at:(Engine.now t.eng) ~site:(Cpu_set.site t.cpus) ev
+
+(* The CPU-0 prod raised by [send] once the IPI signalling latency has
+   elapsed: activate the controller at interrupt priority. *)
+let run_ipi_prod t call =
+  Engine.spawn t.eng ~name:"ipi" (fun () ->
+      Cpu_set.with_cpu ~affinity:Cpu_set.Cpu0 ~priority:Cpu_set.Interrupt t.cpus (fun ctx ->
+          Cpu_set.set_trace_call ctx call;
+          journal t Obs.Journal.Ipi;
+          charge ctx ~label:"Uniprocessor interrupt entry"
+            (Timing.uniproc_interrupt_entry t.timing);
+          charge ctx ~label:"Handle interprocessor interrupt" (Timing.ipi_handler t.timing);
+          charge ctx ~label:"Activate Ethernet controller"
+            (Timing.activate_controller t.timing);
+          Deqna.start_transmit t.deqna;
+          (* Context restore after the prod: serialized on CPU 0,
+             but the packet is already on its way. *)
+          charge ctx ~label:"Interrupt epilogue" (Timing.interrupt_epilogue t.timing)))
 
 let create ?obs eng timing ~cpus ~deqna ~pool =
   let site = Cpu_set.site cpus in
@@ -51,6 +73,7 @@ let create ?obs eng timing ~cpus ~deqna ~pool =
       fast = (fun ~ctx:_ ~frame:_ -> To_datalink);
       datalink = (fun ~ctx:_ ~frame:_ -> ());
       datalink_q = Sim.Mailbox.create eng;
+      ipi_prod = (fun _ _ _ -> assert false);
       c_rx = Sim.Stats.Counter.create ();
       c_slow = Sim.Stats.Counter.create ();
       c_drop = Sim.Stats.Counter.create ();
@@ -65,6 +88,7 @@ let create ?obs eng timing ~cpus ~deqna ~pool =
     Obs.Metrics.Registry.register_counter reg ~site ~name:"driver.rx_to_datalink" t.c_slow;
     Obs.Metrics.Registry.register_counter reg ~site ~name:"driver.rx_dropped" t.c_drop;
     Obs.Metrics.Registry.register_counter reg ~site ~name:"driver.interrupts" t.c_irq);
+  t.ipi_prod <- Engine.register eng run_ipi_prod;
   t
 
 let set_fast_handler t f = t.fast <- f
@@ -170,20 +194,7 @@ let send t ~ctx frame =
       ~label:"Interprocessor interrupt to CPU 0" ~start_at:ipi_sent
       ~stop_at:(Time.add ipi_sent ipi)
   end;
-  Engine.schedule t.eng ~after:ipi (fun () ->
-      Engine.spawn t.eng ~name:"ipi" (fun () ->
-          Cpu_set.with_cpu ~affinity:Cpu_set.Cpu0 ~priority:Cpu_set.Interrupt t.cpus (fun ctx ->
-              Cpu_set.set_trace_call ctx call;
-              journal t Obs.Journal.Ipi;
-              charge ctx ~label:"Uniprocessor interrupt entry"
-                (Timing.uniproc_interrupt_entry t.timing);
-              charge ctx ~label:"Handle interprocessor interrupt" (Timing.ipi_handler t.timing);
-              charge ctx ~label:"Activate Ethernet controller"
-                (Timing.activate_controller t.timing);
-              Deqna.start_transmit t.deqna;
-              (* Context restore after the prod: serialized on CPU 0,
-                 but the packet is already on its way. *)
-              charge ctx ~label:"Interrupt epilogue" (Timing.interrupt_epilogue t.timing))))
+  t.ipi_prod t call ipi
 
 let frames_received t = Sim.Stats.Counter.value t.c_rx
 let frames_to_datalink t = Sim.Stats.Counter.value t.c_slow

@@ -1,9 +1,44 @@
+(* The hot path — schedule, pop, dispatch — is built around the flat
+   event nodes of {!Evnode}: an event is a pooled record carrying a
+   dispatch index into the engine's handler table plus immediate payload
+   slots, so the steady state allocates nothing.  Closures remain as the
+   cold-path fallback ({!schedule}) and for irregular callers.
+
+   Two interchangeable queue disciplines order the events: the pairing
+   heap ({!Eventq}, the default) and the calendar queue ({!Calendar}).
+   Both pop in exact [(time, tie, seq)] order, so the choice is purely a
+   performance knob — byte-identical output either way.
+
+   Timeouts ({!suspend_timeout}) arm a node on a hierarchical timer
+   wheel ({!Wheel}) instead of the main queue: the retransmit pattern
+   cancels nearly every timer, and the wheel makes that an O(1) unlink
+   that recycles the node instead of leaving a dead event to sift
+   through the queue.  The wheel flushes expiring nodes — original keys
+   intact — into the main queue before their deadline, so it is
+   invisible to event order. *)
+
+type queue = Heap of Eventq.t | Cal of Calendar.t
+
 type t = {
   mutable clock : Time.t;
   mutable seq : int;
   mutable executed : int;
   mutable suspended : int;
-  queue : Eventq.t;
+  queue : queue;
+  pool : Evnode.pool;
+  mutable wheel : Wheel.t option;  (* created on first suspend_timeout *)
+  mutable horizon : Time.t;
+      (* cached {!Wheel.horizon}: events strictly before it cannot be
+         affected by the wheel, so the per-event sync is one compare *)
+  mutable enqueue : Evnode.t -> unit;  (* wheel-flush target: the main queue *)
+  mutable handlers : (int -> int -> Obj.t -> Obj.t -> unit) array;
+  mutable nhandlers : int;
+  mutable pending_span : Time.span;
+      (* argument drop-box for [on_delay]: the effect handler stashes the
+         span here and returns the one preallocated closure, instead of
+         allocating a fresh closure per [delay] — the busiest effect in
+         every model (cpu charges, wire times) *)
+  mutable on_delay : (unit, unit) Effect.Deep.continuation -> unit;
   engine_rng : Rng.t;
   (* [None] = FIFO ties (the historical order); [Some rng] draws a
      random tie key per event, so same-instant events interleave in a
@@ -16,8 +51,9 @@ type t = {
 
 (* The one-shot guard [cell] is shared between a waker and any waker
    derived from it (see [suspend_timeout]), so racing resumption paths —
-   normal wake vs. timeout — cannot both fire the continuation. *)
-type fired_cell = { mutable fired : bool }
+   normal wake vs. timeout — cannot both fire the continuation.  [timer]
+   is the armed timeout node, if any, cancelled when the waker fires. *)
+type fired_cell = { mutable fired : bool; mutable timer : Evnode.t }
 
 type 'a waker = {
   cell : fired_cell;
@@ -27,28 +63,36 @@ type 'a waker = {
 
 exception Not_in_process
 
-let create ?(seed = 42) ?(tie_break = `Fifo) () =
-  {
-    clock = Time.zero;
-    seq = 0;
-    executed = 0;
-    suspended = 0;
-    queue = Eventq.create ();
-    engine_rng = Rng.create ~seed;
-    tie_rng =
-      (match tie_break with
-      | `Fifo -> None
-      | `Random -> Some (Rng.create ~seed:(seed lxor 0x5bd1e995)));
-    engine_trace = Trace.create ();
-  }
+(* Built-in dispatch indices.  [fn_fire]: o0 = the waker's fire closure,
+   o1 = the wake value.  [fn_delay]: o0 = the suspended continuation.
+   [fn_timeout]: o0 = the waker to time out. *)
+let fn_fire = 0
+let fn_delay = 1
+let fn_timeout = 2
+
+let q_is_empty t =
+  match t.queue with Heap q -> Eventq.is_empty q | Cal c -> Calendar.is_empty c
+
+let q_min_time t =
+  match t.queue with Heap q -> Eventq.min_time q | Cal c -> Calendar.min_time c
+
+let q_insert t n =
+  match t.queue with Heap q -> Eventq.insert q n | Cal c -> Calendar.insert c n
+
+let q_pop t = match t.queue with Heap q -> Eventq.pop q | Cal c -> Calendar.pop c
 
 let now t = t.clock
 let rng t = t.engine_rng
 let trace t = t.engine_trace
 let events_executed t = t.executed
 let suspended_count t = t.suspended
+let armed_timers t = match t.wheel with None -> 0 | Some wh -> Wheel.size wh
+let queue_kind t = match t.queue with Heap _ -> `Heap | Cal _ -> `Calendar
 
-let schedule_at t time run =
+(* Every event — flat or closure — draws its key here, so the
+   (tie, seq) stream is a pure function of the schedule-call sequence,
+   identical whichever queue or payload style the caller uses. *)
+let alloc_keyed t time =
   if Time.compare time t.clock < 0 then invalid_arg "Engine.schedule_at: instant in the past";
   t.seq <- t.seq + 1;
   let tie =
@@ -56,11 +100,55 @@ let schedule_at t time run =
     | None -> 0
     | Some rng -> Rng.int rng 0x3fffffff
   in
-  Eventq.add t.queue ~time ~tie ~seq:t.seq run
+  Evnode.alloc t.pool ~time ~tie ~seq:t.seq
+
+let schedule_at t time run =
+  let n = alloc_keyed t time in
+  n.Evnode.run <- run;
+  q_insert t n
 
 let schedule t ?(after = Time.zero_span) run =
   if Time.span_is_negative after then invalid_arg "Engine.schedule: negative delay";
   schedule_at t (Time.add t.clock after) run
+
+let schedule_fn t ~after ~fn ~a ~b =
+  if Time.span_is_negative after then invalid_arg "Engine.schedule_fn: negative delay";
+  if fn < 0 || fn >= t.nhandlers then invalid_arg "Engine.schedule_fn: unknown handler";
+  let n = alloc_keyed t (Time.add t.clock after) in
+  n.Evnode.fn <- fn;
+  n.Evnode.i0 <- a;
+  n.Evnode.i1 <- b;
+  q_insert t n
+
+let grow_handlers t =
+  if t.nhandlers = Array.length t.handlers then begin
+    let bigger = Array.make (2 * t.nhandlers) t.handlers.(0) in
+    Array.blit t.handlers 0 bigger 0 t.nhandlers;
+    t.handlers <- bigger
+  end
+
+let register_handler t f =
+  grow_handlers t;
+  let id = t.nhandlers in
+  t.handlers.(id) <- (fun a b _ _ -> f a b);
+  t.nhandlers <- id + 1;
+  id
+
+(* Typed flat scheduling for callers with a boxed payload: registration
+   allocates one wrapper and one scheduling closure, after which each
+   call moves the payload through a node slot with no allocation. *)
+let register t (f : 'a -> int -> unit) =
+  grow_handlers t;
+  let id = t.nhandlers in
+  t.handlers.(id) <- (fun a _ o0 _ -> f (Obj.obj o0) a);
+  t.nhandlers <- id + 1;
+  fun (x : 'a) (a : int) (after : Time.span) ->
+    if Time.span_is_negative after then invalid_arg "Engine.register: negative delay";
+    let n = alloc_keyed t (Time.add t.clock after) in
+    n.Evnode.fn <- id;
+    n.Evnode.i0 <- a;
+    n.Evnode.o0 <- Obj.repr x;
+    q_insert t n
 
 (* Effects interpreted by the per-process handler.  The engine is carried
    in the payload so a single global handler installation per process
@@ -75,12 +163,83 @@ let wake w v =
   else begin
     w.cell.fired <- true;
     let eng = w.owner in
+    if not (Evnode.is_null w.cell.timer) then begin
+      (* O(1) cancel of the pending timeout.  If the node already left
+         the wheel for the main queue it stays there as a dead event —
+         [fn_timeout] on a fired cell is a no-op. *)
+      (match eng.wheel with
+      | Some wh -> ignore (Wheel.cancel wh w.cell.timer)
+      | None -> ());
+      w.cell.timer <- Evnode.null
+    end;
     eng.suspended <- eng.suspended - 1;
-    schedule eng (fun () -> w.fire v);
+    let n = alloc_keyed eng eng.clock in
+    n.Evnode.fn <- fn_fire;
+    n.Evnode.o0 <- Obj.repr w.fire;
+    n.Evnode.o1 <- Obj.repr v;
+    q_insert eng n;
     true
   end
 
 let waker_dead w = w.cell.fired
+
+let create ?(seed = 42) ?(tie_break = `Fifo) ?(queue = `Heap) () =
+  let pool = Evnode.create_pool () in
+  let unregistered = fun _ _ _ _ -> assert false in
+  let t =
+    {
+      clock = Time.zero;
+      seq = 0;
+      executed = 0;
+      suspended = 0;
+      queue =
+        (match queue with
+        | `Heap -> Heap (Eventq.create ~pool ())
+        | `Calendar -> Cal (Calendar.create ~pool ()));
+      pool;
+      wheel = None;
+      horizon = Time.zero;
+      enqueue = ignore;
+      handlers = Array.make 8 unregistered;
+      nhandlers = 3;
+      pending_span = Time.zero_span;
+      on_delay = ignore;
+      engine_rng = Rng.create ~seed;
+      tie_rng =
+        (match tie_break with
+        | `Fifo -> None
+        | `Random -> Some (Rng.create ~seed:(seed lxor 0x5bd1e995)));
+      engine_trace = Trace.create ();
+    }
+  in
+  t.enqueue <- (fun n -> q_insert t n);
+  t.on_delay <-
+    (fun k ->
+      let n = alloc_keyed t (Time.add t.clock t.pending_span) in
+      n.Evnode.fn <- fn_delay;
+      n.Evnode.o0 <- Obj.repr k;
+      q_insert t n);
+  t.handlers.(fn_fire) <- (fun _ _ o0 o1 -> (Obj.obj o0 : Obj.t -> unit) o1);
+  t.handlers.(fn_delay) <-
+    (fun _ _ o0 _ ->
+      Effect.Deep.continue (Obj.obj o0 : (unit, unit) Effect.Deep.continuation) ());
+  t.handlers.(fn_timeout) <-
+    (fun _ _ o0 _ ->
+      let w : Obj.t waker = Obj.obj o0 in
+      (* This very node is being dispatched (and was recycled by [step]);
+         drop the cell's reference first so [wake] cannot cancel into a
+         reused node. *)
+      w.cell.timer <- Evnode.null;
+      ignore (wake w (Obj.repr None)));
+  t
+
+let wheel_of t =
+  match t.wheel with
+  | Some wh -> wh
+  | None ->
+    let wh = Wheel.create ~pool:t.pool () in
+    t.wheel <- Some wh;
+    wh
 
 let run_process t ?(name = "process") fn =
   let open Effect.Deep in
@@ -97,17 +256,26 @@ let run_process t ?(name = "process") fn =
       retc = ignore;
       exnc = handle_exn;
       effc =
-        (fun (type a) (eff : a Effect.t) ->
+        (fun (type a) (eff : a Effect.t) :
+             (((a, unit) continuation -> unit) option) ->
           match eff with
           | Delay (t', span) when t' == t ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                schedule t ~after:span (fun () -> continue k ()))
+            (* The preallocated [on_delay] (span via [pending_span]) runs
+               synchronously as soon as this returns — nothing can
+               overwrite the drop-box in between. *)
+            t.pending_span <- span;
+            Some t.on_delay
           | Suspend (t', register) when t' == t ->
             Some
               (fun (k : (a, unit) continuation) ->
                 t.suspended <- t.suspended + 1;
-                let w = { cell = { fired = false }; fire = continue k; owner = t } in
+                let w =
+                  {
+                    cell = { fired = false; timer = Evnode.null };
+                    fire = continue k;
+                    owner = t;
+                  }
+                in
                 register w)
           | _ -> None);
     }
@@ -123,46 +291,133 @@ let suspend t register =
   try Effect.perform (Suspend (t, register)) with Effect.Unhandled _ -> raise Not_in_process
 
 let suspend_timeout t ~timeout register =
+  if Time.span_is_negative timeout then
+    invalid_arg "Engine.suspend_timeout: negative timeout";
   suspend t (fun w ->
       register { cell = w.cell; fire = (fun v -> w.fire (Some v)); owner = t };
-      schedule t ~after:timeout (fun () -> ignore (wake w None)))
+      (* Arm the timeout on the wheel under the same key a direct
+         schedule would have drawn, so event order is unchanged whether
+         the timer ever fires or not. *)
+      let n = alloc_keyed t (Time.add t.clock timeout) in
+      n.Evnode.fn <- fn_timeout;
+      n.Evnode.o0 <- Obj.repr w;
+      w.cell.timer <- n;
+      if not (Wheel.arm (wheel_of t) n) then q_insert t n)
+
+(* Make every timer due by the next queue event visible to the queue;
+   with the queue drained, roll the wheel to its next timer.  After
+   this, the queue minimum is the true next event.  The cached
+   [t.horizon] makes the common case — next event well below the
+   wheel's current slot — a single comparison. *)
+let wheel_sync t wh =
+  if Wheel.size wh > 0 then
+    if q_is_empty t then begin
+      Wheel.flush_earliest wh ~insert:t.enqueue;
+      t.horizon <- Wheel.horizon wh
+    end
+    else begin
+      let m = q_min_time t in
+      if Time.compare m t.horizon >= 0 then begin
+        Wheel.advance wh ~upto:m ~insert:t.enqueue;
+        t.horizon <- Wheel.horizon wh
+      end
+    end
+
+let sync t = match t.wheel with None -> () | Some wh -> wheel_sync t wh
+
+(* Copy out and recycle before dispatch: the handler may schedule,
+   immediately reusing this node.  Branch on the payload style first so
+   each side touches only the fields it dispatches. *)
+let[@inline] dispatch t (n : Evnode.t) =
+  t.clock <- n.Evnode.time;
+  t.executed <- t.executed + 1;
+  let fn = n.Evnode.fn in
+  if fn >= 0 then begin
+    let i0 = n.Evnode.i0 and i1 = n.Evnode.i1 in
+    let o0 = n.Evnode.o0 and o1 = n.Evnode.o1 in
+    Evnode.recycle t.pool n;
+    t.handlers.(fn) i0 i1 o0 o1
+  end
+  else begin
+    let run = n.Evnode.run in
+    Evnode.recycle t.pool n;
+    run ()
+  end
 
 let step t =
-  if Eventq.is_empty t.queue then false
+  sync t;
+  if q_is_empty t then false
   else begin
-    t.clock <- Eventq.min_time t.queue;
-    t.executed <- t.executed + 1;
-    let run = Eventq.pop_run t.queue in
-    run ();
+    dispatch t (q_pop t);
     true
   end
 
-let check_guard ~max_events t =
-  match max_events with
-  | Some n when t.executed >= n ->
-    failwith (Printf.sprintf "Engine.run: exceeded %d events (runaway model?)" n)
-  | _ -> ()
+let guard_failed t =
+  failwith (Printf.sprintf "Engine.run: exceeded %d events (runaway model?)" t.executed)
 
-let run ?max_events t =
+(* The run loops are specialized per queue discipline so the hot loop
+   calls the queue directly instead of re-matching the variant on every
+   event; [max_events] is hoisted to one integer compare. *)
+let run_heap t q ~limit =
   let continue_ = ref true in
   while !continue_ do
-    check_guard ~max_events t;
-    continue_ := step t
+    if t.executed >= limit then guard_failed t;
+    (match t.wheel with
+    | None -> ()
+    | Some wh ->
+      if Wheel.size wh > 0 then
+        if Eventq.is_empty q then begin
+          Wheel.flush_earliest wh ~insert:t.enqueue;
+          t.horizon <- Wheel.horizon wh
+        end
+        else if Time.compare (Eventq.min_time q) t.horizon >= 0 then begin
+          Wheel.advance wh ~upto:(Eventq.min_time q) ~insert:t.enqueue;
+          t.horizon <- Wheel.horizon wh
+        end);
+    if Eventq.is_empty q then continue_ := false
+    else dispatch t (Eventq.pop q)
   done
 
-let run_until ?max_events t stop =
+let run_cal t c ~limit =
   let continue_ = ref true in
   while !continue_ do
-    check_guard ~max_events t;
-    if Eventq.is_empty t.queue then continue_ := false
-    else if Time.compare (Eventq.min_time t.queue) stop > 0 then continue_ := false
-    else ignore (step t)
+    if t.executed >= limit then guard_failed t;
+    (match t.wheel with
+    | None -> ()
+    | Some wh ->
+      if Wheel.size wh > 0 then
+        if Calendar.is_empty c then begin
+          Wheel.flush_earliest wh ~insert:t.enqueue;
+          t.horizon <- Wheel.horizon wh
+        end
+        else if Time.compare (Calendar.min_time c) t.horizon >= 0 then begin
+          Wheel.advance wh ~upto:(Calendar.min_time c) ~insert:t.enqueue;
+          t.horizon <- Wheel.horizon wh
+        end);
+    if Calendar.is_empty c then continue_ := false
+    else dispatch t (Calendar.pop c)
+  done
+
+let run ?max_events t =
+  let limit = match max_events with None -> max_int | Some n -> n in
+  match t.queue with Heap q -> run_heap t q ~limit | Cal c -> run_cal t c ~limit
+
+let run_until ?max_events t stop =
+  let limit = match max_events with None -> max_int | Some n -> n in
+  let continue_ = ref true in
+  while !continue_ do
+    if t.executed >= limit then guard_failed t;
+    sync t;
+    if q_is_empty t then continue_ := false
+    else if Time.compare (q_min_time t) stop > 0 then continue_ := false
+    else dispatch t (q_pop t)
   done;
   if Time.compare t.clock stop < 0 then t.clock <- stop
 
 let run_while ?max_events t p =
+  let limit = match max_events with None -> max_int | Some n -> n in
   let continue_ = ref true in
   while !continue_ do
-    check_guard ~max_events t;
+    if t.executed >= limit then guard_failed t;
     if p () then continue_ := step t else continue_ := false
   done

@@ -28,12 +28,18 @@ type 'a waker
 exception Not_in_process
 (** Raised when {!delay} or {!suspend} is performed outside a process. *)
 
-val create : ?seed:int -> ?tie_break:[ `Fifo | `Random ] -> unit -> t
+val create :
+  ?seed:int -> ?tie_break:[ `Fifo | `Random ] -> ?queue:[ `Heap | `Calendar ] -> unit -> t
 (** [create ()] is a fresh engine with its clock at {!Time.zero}.
     [seed] (default 42) seeds the engine's {!Rng.t}.  [tie_break]
     (default [`Fifo]) selects the ordering of events scheduled for the
     same instant: FIFO, or a random order drawn from a dedicated
-    generator (seeded from [seed], independent of {!rng}). *)
+    generator (seeded from [seed], independent of {!rng}).  [queue]
+    (default [`Heap]) selects the event-queue discipline — the
+    {!Eventq} pairing heap or the {!Calendar} bucketed queue; both pop
+    in exactly the same [(time, tie, seq)] order, so the choice is a
+    pure performance knob and the simulation output is byte-identical
+    either way. *)
 
 val now : t -> Time.t
 (** [now t] is the current virtual instant.  Callable from anywhere. *)
@@ -56,6 +62,35 @@ val spawn : t -> ?after:Time.span -> ?name:string -> (unit -> unit) -> unit
 (** [spawn t ~name f] starts [f] as a new process at [now t + after].
     [name] is reported if the process dies with an uncaught exception. *)
 
+(** {2 Closure-free scheduling}
+
+    {!schedule} allocates a closure (and an [option] for [~after]) per
+    event; on the hot path that is the {e only} allocation left.  The
+    flat API removes it: a caller registers a handler once and then
+    schedules events that carry just the handler's table index and
+    small payload slots inside the recycled queue node — zero bytes
+    allocated per event in steady state.  Handler registrations are
+    engine-local and permanent. *)
+
+val register_handler : t -> (int -> int -> unit) -> int
+(** [register_handler t f] adds [f] to the engine's dispatch table and
+    returns its index for {!schedule_fn}.  [f a b] receives the two
+    payload ints of the event. *)
+
+val schedule_fn : t -> after:Time.span -> fn:int -> a:int -> b:int -> unit
+(** [schedule_fn t ~after ~fn ~a ~b] runs handler [fn] with payload
+    [(a, b)] at [now t + after].  Allocates nothing in steady state
+    (the event node comes off the engine's freelist).
+    @raise Invalid_argument on a negative delay or an unregistered
+    [fn]. *)
+
+val register : t -> ('a -> int -> unit) -> 'a -> int -> Time.span -> unit
+(** [register t f] is the flat API for handlers with a boxed payload:
+    it returns a scheduling function [sched] such that [sched x a d]
+    runs [f x a] at [now t + d].  Registration allocates once; each
+    [sched] call moves [x] through a slot of the recycled event node
+    with no per-event allocation. *)
+
 (** {1 Process operations} *)
 
 val delay : t -> Time.span -> unit
@@ -70,7 +105,11 @@ val suspend : t -> ('a waker -> unit) -> 'a
 
 val suspend_timeout : t -> timeout:Time.span -> ('a waker -> unit) -> 'a option
 (** Like {!suspend} but resumes with [None] after [timeout] if the waker
-    has not fired by then. *)
+    has not fired by then.  The timeout is armed on the engine's timer
+    wheel, so the common case — the waker fires first — cancels it with
+    an O(1) unlink instead of leaving a dead event in the queue; either
+    way the observable event order is exactly as if the timeout had
+    been scheduled on the main queue. *)
 
 val wake : 'a waker -> 'a -> bool
 (** [wake w v] resumes the suspended process with value [v].  Returns
@@ -104,3 +143,11 @@ val run_while : ?max_events:int -> t -> (unit -> bool) -> unit
 
 val suspended_count : t -> int
 (** Number of currently suspended processes (waiting on a waker). *)
+
+val armed_timers : t -> int
+(** Number of timeout timers currently armed on the engine's wheel
+    (pending {!suspend_timeout} deadlines not yet fired, cancelled or
+    flushed to the main queue). *)
+
+val queue_kind : t -> [ `Heap | `Calendar ]
+(** Which event-queue discipline this engine was created with. *)

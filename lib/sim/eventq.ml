@@ -1,90 +1,61 @@
-(* An intrusive pairing heap specialised to engine events.
+(* An intrusive pairing heap over the shared flat event nodes
+   ({!Evnode}): the heap node IS the event — one record carrying the
+   ordering key (time, tie, seq), the closure-free payload, and the
+   mutable child/sibling links.  Popped nodes are recycled through the
+   pool's freelist, so a steady-state simulation schedules events with
+   no allocation at all.
 
-   The general-purpose {!Heap} builds a fresh [Node (x, children)] cell
-   and a list cons per insertion, on top of the event record itself —
-   three allocations on the busiest path in the simulator.  Here the
-   heap node IS the event: one flat record carrying the ordering key
-   (time, tie, seq), the closure to run, and the mutable child/sibling
-   links of a pairing heap.  Popped nodes go on a small freelist, so a
-   steady-state simulation schedules events with no heap-structure
-   allocation at all.
+   [link0] = leftmost child, [link1] = next sibling; the shared
+   {!Evnode.null} sentinel stands for the absent link, avoiding an
+   [option] (and its allocation) per link. *)
 
-   A sentinel [null] node stands for the absent child/sibling, avoiding
-   an [option] (and its allocation) per link.  Nothing ever writes to
-   the sentinel's fields, so the single shared sentinel is safe to use
-   from concurrently running engines in different domains. *)
+type node = Evnode.t
 
-type node = {
-  mutable n_time : Time.t;
-  mutable n_tie : int;
-  mutable n_seq : int;
-  mutable n_run : unit -> unit;
-  mutable n_child : node;
-  mutable n_sibling : node;
-}
-
-let rec null =
-  { n_time = Time.zero; n_tie = 0; n_seq = 0; n_run = ignore; n_child = null; n_sibling = null }
-
-let is_null n = n == null
+let is_null = Evnode.is_null
+let null = Evnode.null
 
 type t = {
   mutable root : node;
   mutable size : int;
-  mutable free : node;
-  mutable free_len : int;
+  pool : Evnode.pool;
 }
 
-(* Bounding the freelist keeps a burst of simultaneous events from
-   pinning memory forever; 256 covers the steady state of every model
-   in the repo. *)
-let max_free = 256
+let create ?pool () =
+  let pool = match pool with Some p -> p | None -> Evnode.create_pool () in
+  { root = null; size = 0; pool }
 
-let create () = { root = null; size = 0; free = null; free_len = 0 }
-
+let pool t = t.pool
 let size t = t.size
 let is_empty t = t.size = 0
-
-let leq a b =
-  let c = Time.compare a.n_time b.n_time in
-  if c <> 0 then c < 0
-  else if a.n_tie <> b.n_tie then a.n_tie < b.n_tie
-  else a.n_seq <= b.n_seq
+let leq = Evnode.leq
 
 (* Meld two roots (neither null, neither with a live sibling link): the
    loser becomes the winner's leftmost child. *)
-let meld a b =
+let[@inline] meld (a : node) (b : node) =
   if leq a b then begin
-    b.n_sibling <- a.n_child;
-    a.n_child <- b;
+    b.Evnode.link1 <- a.Evnode.link0;
+    a.Evnode.link0 <- b;
     a
   end
   else begin
-    a.n_sibling <- b.n_child;
-    b.n_child <- a;
+    a.Evnode.link1 <- b.Evnode.link0;
+    b.Evnode.link0 <- a;
     b
   end
 
-let add t ~time ~tie ~seq run =
-  let n =
-    if is_null t.free then
-      { n_time = time; n_tie = tie; n_seq = seq; n_run = run; n_child = null; n_sibling = null }
-    else begin
-      let n = t.free in
-      t.free <- n.n_sibling;
-      t.free_len <- t.free_len - 1;
-      n.n_time <- time;
-      n.n_tie <- tie;
-      n.n_seq <- seq;
-      n.n_run <- run;
-      n.n_sibling <- null;
-      n
-    end
-  in
+let insert t (n : node) =
+  (* Callers hand over nodes with clean links (fresh from [Evnode.alloc],
+     popped, or unlinked by the wheel), so no re-scrub here: redundant
+     pointer stores cost a write-barrier call each on the hottest path. *)
   t.root <- (if is_null t.root then n else meld t.root n);
   t.size <- t.size + 1
 
-let min_time t = t.root.n_time
+let add t ~time ~tie ~seq run =
+  let n = Evnode.alloc t.pool ~time ~tie ~seq in
+  n.Evnode.run <- run;
+  insert t n
+
+let min_time t = t.root.Evnode.time
 (* Undefined when empty (returns the sentinel's time); callers check
    {!is_empty} first, as the engine's run loops already must. *)
 
@@ -92,57 +63,59 @@ let min_time t = t.root.n_time
    adjacent pairs and chains the winners in reverse (reusing the
    sibling links), pass two folds them right-to-left.  No recursion, no
    allocation. *)
-let combine_siblings first =
+let combine_siblings (first : node) =
   if is_null first then null
   else begin
     let acc = ref null in
     let cur = ref first in
     while not (is_null !cur) do
       let a = !cur in
-      let b = a.n_sibling in
+      let b = a.Evnode.link1 in
       if is_null b then begin
-        a.n_sibling <- !acc;
+        a.Evnode.link1 <- !acc;
         acc := a;
         cur := null
       end
       else begin
-        let next = b.n_sibling in
-        a.n_sibling <- null;
-        b.n_sibling <- null;
+        let next = b.Evnode.link1 in
+        a.Evnode.link1 <- null;
+        b.Evnode.link1 <- null;
         let m = meld a b in
-        m.n_sibling <- !acc;
+        m.Evnode.link1 <- !acc;
         acc := m;
         cur := next
       end
     done;
     let root = ref !acc in
-    let rest = ref !root.n_sibling in
-    !root.n_sibling <- null;
+    let rest = ref !root.Evnode.link1 in
+    !root.Evnode.link1 <- null;
     while not (is_null !rest) do
       let n = !rest in
-      rest := n.n_sibling;
-      n.n_sibling <- null;
+      rest := n.Evnode.link1;
+      n.Evnode.link1 <- null;
       root := meld !root n
     done;
     !root
   end
 
-(* Remove the minimum and run its closure.  The node is recycled (and
-   its closure reference dropped) before the closure runs, so the
-   closure is free to schedule new events that reuse it.
+(* Remove and return the minimum node.  The caller dispatches its
+   payload and recycles it (the engine copies the payload to locals,
+   recycles, then dispatches, so the handler is free to schedule new
+   events that reuse the node).
    @raise Invalid_argument when empty. *)
-let pop_run t =
-  if t.size = 0 then invalid_arg "Eventq.pop_run: empty";
+let pop t =
+  if t.size = 0 then invalid_arg "Eventq.pop: empty";
   let n = t.root in
-  t.root <- combine_siblings n.n_child;
+  t.root <- combine_siblings n.Evnode.link0;
   t.size <- t.size - 1;
-  let run = n.n_run in
-  n.n_run <- ignore;
-  n.n_child <- null;
-  if t.free_len < max_free then begin
-    n.n_sibling <- t.free;
-    t.free <- n;
-    t.free_len <- t.free_len + 1
-  end
-  else n.n_sibling <- null;
+  n.Evnode.link0 <- null;
+  n.Evnode.link1 <- null;
+  n
+
+(* Closure-mode convenience for tests and cold callers: pop the minimum,
+   recycle it, return its closure. *)
+let pop_run t =
+  let n = pop t in
+  let run = n.Evnode.run in
+  Evnode.recycle t.pool n;
   run

@@ -1,30 +1,46 @@
-(** The engine's event queue: an intrusive pairing heap whose nodes are
-    the events, ordered by [(time, tie, seq)] exactly like
-    {!Engine}'s historical [event_leq] — the key is a total order (the
-    sequence number is unique), so the pop sequence, and therefore every
-    simulation output, is independent of heap internals.
+(** The engine's default event queue: an intrusive pairing heap whose
+    nodes are the shared flat events ({!Evnode}), ordered by
+    [(time, tie, seq)] — the key is a total order (the sequence number
+    is unique), so the pop sequence, and therefore every simulation
+    output, is independent of heap internals.
 
-    Compared with the general-purpose {!Heap} it saves the per-event
-    tree cell and list cons, and recycles popped nodes through a
-    freelist: scheduling in steady state allocates nothing but the
-    caller's closure. *)
+    Scheduling in steady state allocates nothing: nodes recycle through
+    the pool's freelist and the payload is closure-free (a handler index
+    plus immediate slots) unless the caller opts into the closure API.
+
+    The {!Calendar} queue is the drop-in alternative for the
+    dense-timestamp regime; both pop in exactly the same order. *)
 
 type t
 
-val create : unit -> t
+val create : ?pool:Evnode.pool -> unit -> t
+(** [pool] (default: a fresh one) is the node freelist — the engine
+    shares one pool between its queue and its timer wheel so nodes flow
+    between them without allocation. *)
+
+val pool : t -> Evnode.pool
 val size : t -> int
 val is_empty : t -> bool
 
+val insert : t -> Evnode.t -> unit
+(** [insert t n] links an already-filled node into the heap.  [n.seq]
+    must be unique across live events for the order to be total. *)
+
 val add : t -> time:Time.t -> tie:int -> seq:int -> (unit -> unit) -> unit
-(** [add t ~time ~tie ~seq run] inserts an event.  [seq] must be unique
-    across live events for the order to be total. *)
+(** Closure-mode insert: allocates a node off the pool and stores [run]
+    in it. *)
 
 val min_time : t -> Time.t
 (** Time of the next event.  Meaningless when {!is_empty}; callers must
     check first. *)
 
+val pop : t -> Evnode.t
+(** Removes and returns the minimum node; the caller dispatches its
+    payload and recycles it through the pool.
+    @raise Invalid_argument when empty. *)
+
 val pop_run : t -> unit -> unit
-(** Removes the minimum event and returns its closure (which the caller
-    then runs).  The node is recycled eagerly, so the returned closure
-    may itself [add] without growing the heap's memory.
+(** Closure-mode pop: removes the minimum event, recycles the node and
+    returns its closure (which the caller then runs).  Only meaningful
+    for events added with {!add}.
     @raise Invalid_argument when empty. *)

@@ -1,0 +1,46 @@
+(** A hierarchical timer wheel (4 levels x 256 slots, 65.5 us level-0
+    granularity) for timers that are nearly always cancelled — the
+    retransmit-timeout pattern.  Armed nodes live in circular
+    doubly-linked slot lists, so {!cancel} is an O(1) unlink; expiring
+    nodes are flushed — original [(time, tie, seq)] keys intact — into
+    the engine's main queue before their deadline arrives, so the wheel
+    never affects pop order and determinism is preserved exactly. *)
+
+type t
+
+val create : ?pool:Evnode.pool -> unit -> t
+(** [pool] (default: a fresh one) is shared with the engine's event
+    queue so nodes flow between wheel and queue without allocation. *)
+
+val pool : t -> Evnode.pool
+val size : t -> int
+val is_empty : t -> bool
+
+val horizon : t -> Time.t
+(** No armed timer can expire before this instant.  {!advance} with
+    [upto] below it is a guaranteed no-op — the engine caches the value
+    so the per-event wheel check is a single comparison, refreshing it
+    whenever an [advance]/[flush_earliest] moves the wheel. *)
+
+val arm : t -> Evnode.t -> bool
+(** [arm t n] files the node under its deadline [n.time].  Returns
+    [false] — caller must schedule on the main queue instead — when the
+    deadline's wheel slot has already been flushed (deadline below
+    wheel granularity). *)
+
+val cancel : t -> Evnode.t -> bool
+(** O(1) unlink-and-recycle of an armed timer.  Returns [false] (and
+    does nothing) if the node is no longer in the wheel — i.e. it was
+    already flushed into the main queue, where it will pop as a dead
+    event. *)
+
+val advance : t -> upto:Time.t -> insert:(Evnode.t -> unit) -> unit
+(** Flush every timer whose wheel slot starts at or before [upto] into
+    the main queue via [insert].  The engine calls this before
+    executing events up to [upto], so a timer is always on the main
+    queue before its deadline is reached. *)
+
+val flush_earliest : t -> insert:(Evnode.t -> unit) -> unit
+(** Roll the wheel forward until at least one timer lands in the main
+    queue (or the wheel empties).  Used when the main queue runs dry
+    while timers remain armed. *)

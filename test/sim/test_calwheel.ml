@@ -1,0 +1,280 @@
+(* The calendar queue and the timer wheel must be invisible to event
+   order: whatever the bucket math, the window resizes or the wheel's
+   cascades do, the pop sequence must be the exact (time, tie, seq)
+   total order — the same sequence the pairing heap and a sorted-list
+   model produce.  These tests hold all three structures to one
+   sequence, across random interleavings and across the deterministic
+   resize/overflow boundaries. *)
+
+module Time = Sim.Time
+module Engine = Sim.Engine
+module Evnode = Sim.Evnode
+module Eventq = Sim.Eventq
+module Calendar = Sim.Calendar
+module Wheel = Sim.Wheel
+
+let time_of_ns n = Time.of_ns_since_start n
+
+let key_compare (t1, tie1, seq1) (t2, tie2, seq2) =
+  match Time.compare t1 t2 with
+  | 0 -> ( match compare tie1 tie2 with 0 -> compare seq1 seq2 | c -> c)
+  | c -> c
+
+let key_of (n : Evnode.t) = (n.Evnode.time, n.Evnode.tie, n.Evnode.seq)
+
+(* {1 Heap vs calendar vs sorted list, random add/pop interleavings} *)
+
+(* Commands: [Some (dt, tie)] = add at (clock + dt) — the engine never
+   schedules in the past, and both queues assume it; [None] = pop.
+   Offsets span ten bits of ns up to tens of ms, so a single run
+   crosses many calendar days and lands events in the overflow heap. *)
+let prop_three_way_model =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 300)
+        (frequency
+           [
+             ( 3,
+               map
+                 (fun (dt, tie) -> Some (dt, tie))
+                 (pair
+                    (oneof
+                       [ int_bound 500; int_bound 50_000; int_bound 20_000_000 ])
+                    (int_bound 3)) );
+             (2, return None);
+           ]))
+  in
+  let print cmds =
+    String.concat "; "
+      (List.map
+         (function
+           | Some (dt, tie) -> Printf.sprintf "add(+%d,%d)" dt tie
+           | None -> "pop")
+         cmds)
+  in
+  QCheck.Test.make ~name:"calendar matches heap and sorted-list model" ~count:200
+    (QCheck.make ~print gen) (fun cmds ->
+      let pool_h = Evnode.create_pool () and pool_c = Evnode.create_pool () in
+      let heap = Eventq.create ~pool:pool_h () in
+      let cal = Calendar.create ~pool:pool_c () in
+      let model = ref [] in
+      let clock = ref 0 in
+      let seq = ref 0 in
+      List.for_all
+        (fun cmd ->
+          match cmd with
+          | Some (dt, tie) ->
+            let t = time_of_ns (!clock + dt) in
+            incr seq;
+            Eventq.add heap ~time:t ~tie ~seq:!seq ignore;
+            Calendar.add cal ~time:t ~tie ~seq:!seq ignore;
+            model := List.sort key_compare ((t, tie, !seq) :: !model);
+            Eventq.size heap = List.length !model
+            && Calendar.size cal = List.length !model
+          | None -> (
+            match !model with
+            | [] -> Eventq.is_empty heap && Calendar.is_empty cal
+            | expect :: rest ->
+              model := rest;
+              let nh = Eventq.pop heap and nc = Calendar.pop cal in
+              let kh = key_of nh and kc = key_of nc in
+              Evnode.recycle pool_h nh;
+              Evnode.recycle pool_c nc;
+              let et, _, _ = expect in
+              clock := Time.since_start_ns et;
+              kh = expect && kc = expect))
+        cmds)
+
+(* {1 Calendar resize and overflow boundaries, deterministically} *)
+
+(* Dense enough to force the bucket array to double (>2 events/slot),
+   then a far-future band that must sit in the overflow heap and
+   migrate back as the window slides, then pops across both.  The full
+   pop sequence must equal the sorted model — resizes rebuild the
+   structure mid-stream and must not reorder anything. *)
+let test_calendar_resize_boundaries () =
+  let pool = Evnode.create_pool () in
+  let cal = Calendar.create ~pool () in
+  let model = ref [] in
+  let seq = ref 0 in
+  let add ns tie =
+    incr seq;
+    let t = time_of_ns ns in
+    Calendar.add cal ~time:t ~tie ~seq:!seq ignore;
+    model := (t, tie, !seq) :: !model
+  in
+  (* 3000 events, ~37 ns apart: thousands of events per 4 us day. *)
+  for i = 0 to 2_999 do
+    add (i * 37) (i land 1)
+  done;
+  (* A sparse far band: seconds away, far outside any direct window. *)
+  for i = 0 to 199 do
+    add (1_000_000_000 + (i * 9_000_000)) 0
+  done;
+  let expect = List.sort key_compare (List.rev !model) in
+  let got = ref [] in
+  while not (Calendar.is_empty cal) do
+    let n = Calendar.pop cal in
+    got := key_of n :: !got;
+    Evnode.recycle pool n
+  done;
+  Alcotest.(check int) "all events popped" (List.length expect) (List.length !got);
+  Alcotest.(check bool) "pop sequence equals sorted model" true
+    (List.rev !got = expect)
+
+(* {1 Wheel + heap vs direct heap, random arm/cancel/pop interleavings} *)
+
+type wheel_cmd = Arm of int * int | Cancel of int | Pop
+
+(* Drive a heap+wheel pair exactly as the engine does — advance the
+   wheel to the queue minimum before every pop, flush the earliest
+   timers when the queue runs dry — and compare the pop sequence with a
+   sorted-list model of every key armed and not successfully cancelled.
+   A node the wheel already flushed into the queue stays there as a
+   dead event even if "cancelled" afterwards ([Wheel.cancel] returns
+   false), which is precisely the engine's timeout semantics. *)
+let prop_wheel_equiv =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 400)
+        (frequency
+           [
+             ( 3,
+               map
+                 (fun (dt, tie) -> Arm (dt, tie))
+                 (pair
+                    (oneof
+                       [ int_bound 30_000; int_bound 3_000_000; int_bound 400_000_000 ])
+                    (int_bound 3)) );
+             (2, map (fun k -> Cancel k) (int_bound 64));
+             (3, return Pop);
+           ]))
+  in
+  let print cmds =
+    String.concat "; "
+      (List.map
+         (function
+           | Arm (dt, tie) -> Printf.sprintf "arm(+%d,%d)" dt tie
+           | Cancel k -> Printf.sprintf "cancel(%d)" k
+           | Pop -> "pop")
+         cmds)
+  in
+  QCheck.Test.make ~name:"wheel+heap matches direct sorted-list model" ~count:150
+    (QCheck.make ~print gen) (fun cmds ->
+      let pool = Evnode.create_pool () in
+      let q = Eventq.create ~pool () in
+      let wh = Wheel.create ~pool () in
+      let model = ref [] in
+      (* Armed nodes the test may still cancel; entries leave when
+         cancelled or popped so a recycled node cannot alias. *)
+      let candidates = ref [] in
+      let clock = ref 0 in
+      let seq = ref 0 in
+      let sync () =
+        if Wheel.size wh > 0 then
+          if Eventq.is_empty q then Wheel.flush_earliest wh ~insert:(Eventq.insert q)
+          else
+            Wheel.advance wh ~upto:(Eventq.min_time q) ~insert:(Eventq.insert q)
+      in
+      List.for_all
+        (fun cmd ->
+          match cmd with
+          | Arm (dt, tie) ->
+            incr seq;
+            let t = time_of_ns (!clock + dt) in
+            let n = Evnode.alloc pool ~time:t ~tie ~seq:!seq in
+            if Wheel.arm wh n then candidates := n :: !candidates
+            else Eventq.insert q n;
+            model := List.sort key_compare ((t, tie, !seq) :: !model);
+            true
+          | Cancel k -> (
+            match !candidates with
+            | [] -> true
+            | cs ->
+              let n = List.nth cs (k mod List.length cs) in
+              let key = key_of n in
+              candidates := List.filter (fun c -> c != n) cs;
+              if Wheel.cancel wh n then begin
+                (* Still armed: the event must vanish from the model. *)
+                model := List.filter (fun c -> c <> key) !model;
+                true
+              end
+              else
+                (* Already flushed to the queue: stays a (dead) event. *)
+                true)
+          | Pop -> (
+            sync ();
+            match !model with
+            | [] -> Eventq.is_empty q && Wheel.is_empty wh
+            | expect :: rest ->
+              model := rest;
+              let n = Eventq.pop q in
+              let key = key_of n in
+              candidates := List.filter (fun c -> c != n) !candidates;
+              Evnode.recycle pool n;
+              let et, _, _ = expect in
+              clock := Time.since_start_ns et;
+              key = expect))
+        cmds)
+
+(* {1 Engine-level wheel semantics} *)
+
+let us = Time.us
+
+let test_armed_timer_accounting () =
+  let eng = Engine.create () in
+  let saved = ref None in
+  Engine.spawn eng (fun () ->
+      ignore
+        (Engine.suspend_timeout eng ~timeout:(us 500) (fun w -> saved := Some w)));
+  Engine.schedule eng ~after:(us 1) (fun () ->
+      Alcotest.(check int) "timer armed on the wheel" 1 (Engine.armed_timers eng));
+  Engine.schedule eng ~after:(us 5) (fun () ->
+      match !saved with
+      | Some w -> ignore (Engine.wake w 1)
+      | None -> Alcotest.fail "waker not registered");
+  Engine.schedule eng ~after:(us 10) (fun () ->
+      Alcotest.(check int) "wake cancelled the timer in O(1)" 0
+        (Engine.armed_timers eng));
+  Engine.run eng;
+  Alcotest.(check int) "nothing left armed" 0 (Engine.armed_timers eng)
+
+(* The same mixed workload — chains, timeouts that fire, timeouts that
+   are beaten — on both queue disciplines: the dispatch sequence (time
+   and tag of every observable step) must be identical. *)
+let run_mixed queue =
+  let eng = Engine.create ~tie_break:`Random ~queue () in
+  let log = ref [] in
+  let note tag = log := (Time.since_start_ns (Engine.now eng), tag) :: !log in
+  for i = 1 to 8 do
+    Engine.spawn eng ~after:(us i) (fun () ->
+        note "start";
+        Engine.delay eng (us (3 + i));
+        note "mid";
+        let r =
+          Engine.suspend_timeout eng ~timeout:(us (10 + i)) (fun w ->
+              if i land 1 = 0 then
+                Engine.schedule eng ~after:(us 2) (fun () -> ignore (Engine.wake w i)))
+        in
+        (match r with Some _ -> note "woken" | None -> note "timed-out");
+        Engine.delay eng (us 1);
+        note "done")
+  done;
+  Engine.run eng;
+  List.rev !log
+
+let test_engine_queue_equivalence () =
+  let h = run_mixed `Heap and c = run_mixed `Calendar in
+  Alcotest.(check (list (pair int string)))
+    "heap and calendar dispatch identically" h c
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_three_way_model;
+    Alcotest.test_case "calendar resize and overflow boundaries" `Quick
+      test_calendar_resize_boundaries;
+    QCheck_alcotest.to_alcotest prop_wheel_equiv;
+    Alcotest.test_case "armed-timer accounting" `Quick test_armed_timer_accounting;
+    Alcotest.test_case "heap vs calendar engine equivalence" `Quick
+      test_engine_queue_equivalence;
+  ]

@@ -4,6 +4,7 @@ let () =
       ("time", Test_time.suite);
       ("heap", Test_heap.suite);
       ("eventq", Test_eventq.suite);
+      ("calendar-wheel", Test_calwheel.suite);
       ("engine", Test_engine.suite);
       ("sync", Test_sync.suite);
       ("stats-trace", Test_stats_trace.suite);
